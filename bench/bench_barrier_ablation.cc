@@ -1,0 +1,101 @@
+/**
+ * @file
+ * §4 companion: host-assisted barrier ablation.
+ *
+ * The paper found the host-assisted precise barrier to be "a mandatory
+ * pre-requisite to execute very short tests": a guest software barrier
+ * induces start offsets and setup overhead so large that short tests
+ * lose their raciness and throughput collapses. This bench compares
+ * host-assisted (skew <= 2 cycles, no overhead) against a modelled
+ * guest barrier (hundreds of cycles of skew + per-iteration setup),
+ * reporting simulated cycles per iteration and the mean NDT the same
+ * tests achieve.
+ */
+
+#include "bench_common.hh"
+
+using namespace mcvbench;
+
+namespace {
+
+struct AblationResult
+{
+    double ticksPerIteration = 0.0;
+    double meanNdt = 0.0;
+};
+
+AblationResult
+runMode(Tick skew, Tick overhead, std::uint64_t runs)
+{
+    sim::SystemConfig cfg;
+    cfg.seed = 99;
+    sim::System system(cfg);
+    mc::Checker checker(mc::makeTso());
+
+    gp::GenParams gen;
+    gen.testSize = 96; // very short tests: the case the paper targets
+    gen.iterations = 4;
+    gen.memSize = 1024;
+
+    host::Workload::Params wl;
+    wl.iterations = gen.iterations;
+    wl.barrierSkew = skew;
+    wl.guestOverhead = overhead;
+    host::Workload workload(system, checker, host::layoutFor(gen), wl);
+
+    gp::RandomTestGen rtg(gen);
+    Rng rng(5);
+
+    AblationResult out;
+    std::uint64_t iterations = 0;
+    double ndt_sum = 0.0;
+    std::uint64_t ticks = 0;
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        host::RunResult r = workload.runTest(rtg.randomTest(rng));
+        iterations += static_cast<std::uint64_t>(r.iterationsRun);
+        ticks += r.simTicks;
+        ndt_sum += r.nd.ndt;
+    }
+    out.ticksPerIteration =
+        static_cast<double>(ticks) / static_cast<double>(iterations);
+    out.meanNdt = ndt_sum / static_cast<double>(runs);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    const auto runs = static_cast<std::uint64_t>(40 * scale);
+
+    std::printf("Barrier ablation (96-op tests, %llu test-runs "
+                "per mode):\n\n",
+                static_cast<unsigned long long>(runs));
+    std::printf("%-28s | %-20s | %s\n", "Barrier",
+                "sim cycles/iteration", "mean NDT");
+
+    const AblationResult host_barrier = runMode(2, 0, runs);
+    std::printf("%-28s | %-20.0f | %.2f\n",
+                "host-assisted precise", host_barrier.ticksPerIteration,
+                host_barrier.meanNdt);
+
+    const AblationResult guest_small = runMode(300, 500, runs);
+    std::printf("%-28s | %-20.0f | %.2f\n", "guest barrier (moderate)",
+                guest_small.ticksPerIteration, guest_small.meanNdt);
+
+    const AblationResult guest_big = runMode(2000, 5000, runs);
+    std::printf("%-28s | %-20.0f | %.2f\n", "guest barrier (heavy)",
+                guest_big.ticksPerIteration, guest_big.meanNdt);
+
+    std::printf("\nslowdown vs host-assisted: %.1fx (moderate), "
+                "%.1fx (heavy)\n",
+                guest_small.ticksPerIteration /
+                    host_barrier.ticksPerIteration,
+                guest_big.ticksPerIteration /
+                    host_barrier.ticksPerIteration);
+    std::printf("Expectation: large skew dilutes overlap between "
+                "threads (lower NDT) and inflates cycles/iteration.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * §5.2.1 companion: checker cost as a fraction of total wall-clock.
+ *
+ * The paper reports that with 1k-op tests the checker generally uses
+ * between 30%% and 40%% of the total wall-clock time. This bench runs
+ * test-runs at the paper's full test size and reports the measured
+ * fraction, plus absolute checking throughput (events/s).
+ */
+
+#include "bench_common.hh"
+
+using namespace mcvbench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const auto runs = static_cast<std::uint64_t>(20 * scale);
+
+    host::VerificationHarness::Params params;
+    params.system.seed = 17;
+    params.gen.testSize = 1000; // Table 3: the paper's test size
+    params.gen.iterations = 10; // Table 3
+    params.gen.memSize = 8 * 1024;
+    params.workload.iterations = params.gen.iterations;
+    params.recordNdt = false;
+
+    host::RandomSource source(params.gen, 17);
+    host::VerificationHarness harness(params, source);
+
+    host::Budget budget;
+    budget.maxTestRuns = runs;
+    const host::HarnessResult result = harness.run(budget);
+
+    const double frac = result.checkSeconds / result.wallSeconds;
+    std::printf("checker cost at 1k-op tests, 10 iterations/run "
+                "(%llu test-runs):\n",
+                static_cast<unsigned long long>(result.testRuns));
+    std::printf("  total wall:    %.3f s\n", result.wallSeconds);
+    std::printf("  checker wall:  %.3f s\n", result.checkSeconds);
+    std::printf("  fraction:      %.1f%%   (paper: 30-40%%)\n",
+                100.0 * frac);
+    std::printf("  events checked: %llu (%.0f events/s in checker)\n",
+                static_cast<unsigned long long>(result.eventsExecuted),
+                static_cast<double>(result.eventsExecuted) /
+                    result.checkSeconds);
+    return 0;
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benches.
+ *
+ * Absolute numbers from the paper (hours on the authors' Xeon host)
+ * are meaningless here; budgets are expressed in test-runs and scaled
+ * down so every bench finishes in minutes. Set MCVERSI_BENCH_SCALE to
+ * scale all budgets (e.g. 4 for a longer, higher-confidence run), and
+ * MCVERSI_BENCH_SAMPLES to override the per-cell sample count (paper:
+ * 10).
+ */
+
+#ifndef MCVERSI_BENCH_BENCH_COMMON_HH
+#define MCVERSI_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mcversi.hh"
+
+namespace mcvbench {
+
+using namespace mcversi;
+
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("MCVERSI_BENCH_SCALE"))
+        return std::atof(s) > 0 ? std::atof(s) : 1.0;
+    return 1.0;
+}
+
+inline int
+benchSamples(int dflt)
+{
+    if (const char *s = std::getenv("MCVERSI_BENCH_SAMPLES"))
+        return std::atoi(s) > 0 ? std::atoi(s) : dflt;
+    return dflt;
+}
+
+/** Generator configurations of §5.2 (Table 4 columns). */
+enum class GenConfig {
+    All1K,
+    All8K,
+    StdXo1K,
+    StdXo8K,
+    Rand1K,
+    Rand8K,
+    DiyLitmus,
+};
+
+inline const char *
+genConfigName(GenConfig c)
+{
+    switch (c) {
+      case GenConfig::All1K: return "McVerSi-ALL (1KB)";
+      case GenConfig::All8K: return "McVerSi-ALL (8KB)";
+      case GenConfig::StdXo1K: return "McVerSi-Std.XO (1KB)";
+      case GenConfig::StdXo8K: return "McVerSi-Std.XO (8KB)";
+      case GenConfig::Rand1K: return "McVerSi-RAND (1KB)";
+      case GenConfig::Rand8K: return "McVerSi-RAND (8KB)";
+      case GenConfig::DiyLitmus: return "diy-litmus";
+    }
+    return "?";
+}
+
+inline bool
+isLitmus(GenConfig c)
+{
+    return c == GenConfig::DiyLitmus;
+}
+
+inline Addr
+memSizeOf(GenConfig c)
+{
+    switch (c) {
+      case GenConfig::All1K:
+      case GenConfig::StdXo1K:
+      case GenConfig::Rand1K:
+        return 1024;
+      default:
+        return 8 * 1024;
+    }
+}
+
+/** Scaled-down Table 3 generation parameters for bench budgets. */
+inline gp::GenParams
+benchGenParams(GenConfig c)
+{
+    gp::GenParams gen;
+    gen.testSize = 192; // paper: 1k ops; scaled for wall-clock budgets
+    gen.iterations = 4; // paper: 10
+    gen.memSize = memSizeOf(c);
+    return gen;
+}
+
+struct CellResult
+{
+    int found = 0;
+    int samples = 0;
+    double meanRunsToBug = 0.0;
+    double meanSecondsToBug = 0.0;
+    std::vector<std::uint64_t> runsToBug;
+};
+
+/**
+ * Run one generator/bug pair for several samples (different seeds),
+ * mirroring §5.1's methodology with test-run budgets instead of a
+ * 24-hour limit.
+ */
+inline CellResult
+runCell(GenConfig config, sim::BugId bug, int samples,
+        std::uint64_t max_runs, double max_seconds)
+{
+    CellResult cell;
+    cell.samples = samples;
+    double total_runs = 0.0;
+    double total_secs = 0.0;
+
+    for (int s = 0; s < samples; ++s) {
+        const std::uint64_t seed =
+            0xb5297a4dull * static_cast<std::uint64_t>(s + 1) +
+            static_cast<std::uint64_t>(bug) * 97 +
+            static_cast<std::uint64_t>(config);
+
+        host::Budget budget;
+        budget.maxTestRuns = max_runs;
+        budget.maxWallSeconds = max_seconds;
+
+        host::HarnessResult result;
+        const sim::BugInfo &info = sim::bugInfo(bug);
+        const sim::Protocol protocol =
+            info.protocol == sim::ProtocolKind::Tsocc
+                ? sim::Protocol::Tsocc
+                : sim::Protocol::Mesi;
+
+        if (isLitmus(config)) {
+            litmus::LitmusRunner::Params params;
+            params.system.bug = bug;
+            params.system.seed = seed;
+            params.system.protocol = protocol;
+            params.iterationsPerRun = 12;
+            litmus::LitmusRunner runner(params, litmus::x86TsoSuite());
+            // Litmus runs are much cheaper per test-run.
+            host::Budget lb = budget;
+            lb.maxTestRuns = max_runs * 4;
+            result = runner.run(lb);
+        } else {
+            host::VerificationHarness::Params params;
+            params.system.bug = bug;
+            params.system.seed = seed;
+            params.system.protocol = protocol;
+            params.gen = benchGenParams(config);
+            params.workload.iterations = params.gen.iterations;
+            params.recordNdt = false;
+
+            gp::GaParams ga;
+            ga.population = 40;
+
+            switch (config) {
+              case GenConfig::All1K:
+              case GenConfig::All8K: {
+                host::GaSource source(
+                    ga, params.gen, seed,
+                    gp::SteadyStateGa::XoMode::Selective);
+                host::VerificationHarness harness(params, source);
+                result = harness.run(budget);
+                break;
+              }
+              case GenConfig::StdXo1K:
+              case GenConfig::StdXo8K: {
+                host::GaSource source(
+                    ga, params.gen, seed,
+                    gp::SteadyStateGa::XoMode::SinglePoint);
+                host::VerificationHarness harness(params, source);
+                result = harness.run(budget);
+                break;
+              }
+              default: {
+                host::RandomSource source(params.gen, seed);
+                host::VerificationHarness harness(params, source);
+                result = harness.run(budget);
+                break;
+              }
+            }
+        }
+
+        if (result.bugFound) {
+            ++cell.found;
+            total_runs += static_cast<double>(result.testRunsToBug);
+            total_secs += result.wallSecondsToBug;
+            cell.runsToBug.push_back(result.testRunsToBug);
+        }
+    }
+    if (cell.found > 0) {
+        cell.meanRunsToBug = total_runs / cell.found;
+        cell.meanSecondsToBug = total_secs / cell.found;
+    }
+    return cell;
+}
+
+} // namespace mcvbench
+
+#endif // MCVERSI_BENCH_BENCH_COMMON_HH

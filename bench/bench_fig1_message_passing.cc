@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 1 companion: the message-passing example.
+ *
+ * The paper's Figure 1 motivates MCM testing with the MP litmus test:
+ * under TSO the outcome r1 = 1 /\ r2 = 0 is forbidden. This bench runs
+ * MP on (a) the correct MESI system and (b) systems with each of the
+ * read-reordering bugs, and reports how often each outcome class is
+ * observed -- demonstrating that the forbidden outcome appears exactly
+ * when a bug is injected.
+ */
+
+#include "bench_common.hh"
+
+using namespace mcvbench;
+
+namespace {
+
+struct Outcomes
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t forbidden = 0;
+    bool protocolError = false;
+};
+
+Outcomes
+runMp(sim::BugId bug, std::uint64_t runs)
+{
+    litmus::LitmusRunner::Params params;
+    params.system.bug = bug;
+    params.system.seed = 123;
+    params.iterationsPerRun = 10;
+    params.instances = 24;
+    litmus::LitmusRunner runner(params, {litmus::messagePassing()});
+
+    Outcomes out;
+    // Count forbidden observations over many independent short runs
+    // (the runner stops at the first hit, so re-run).
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        host::Budget budget;
+        budget.maxTestRuns = 1;
+        host::HarnessResult result = runner.run(budget);
+        ++out.iterations;
+        if (result.bugFound)
+            ++out.forbidden;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    const auto runs = static_cast<std::uint64_t>(60 * scale);
+
+    std::printf("Figure 1: message passing (MP) -- forbidden outcome "
+                "r1=1 /\\ r2=0 under TSO\n");
+    std::printf("%llu test-runs of %s per system\n\n",
+                static_cast<unsigned long long>(runs),
+                litmus::messagePassing().name.c_str());
+    std::printf("%-24s | %-12s | %s\n", "System", "forbidden",
+                "observed rate");
+
+    const sim::BugId cases[] = {
+        sim::BugId::None,
+        sim::BugId::LqNoTso,
+        sim::BugId::MesiLqIsInv,
+        sim::BugId::MesiLqSmInv,
+        sim::BugId::SqNoFifo,
+    };
+    for (sim::BugId bug : cases) {
+        const Outcomes out = runMp(bug, runs);
+        std::printf("%-24s | %8llu/%-3llu | %.1f%%\n",
+                    sim::bugInfo(bug).name,
+                    static_cast<unsigned long long>(out.forbidden),
+                    static_cast<unsigned long long>(out.iterations),
+                    100.0 * static_cast<double>(out.forbidden) /
+                        static_cast<double>(out.iterations));
+    }
+    std::printf(
+        "\nExpectation: 0%% on the correct system; ~100%% under "
+        "SQ+no-FIFO (write pair drains out of order).\n"
+        "The LQ-side bugs need precise invalidation timing that a "
+        "fixed MP rarely hits at\nthis budget -- exactly why "
+        "diy-litmus is a weak detector for them (Table 4: NF).\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 2 companion: measurable properties of the selective crossover.
+ *
+ * Figure 2 of the paper illustrates crossover and mutation on two
+ * parents with fitaddrs {a,b} and {a,c}. This bench measures the
+ * properties the figure depicts, over many random parent pairs:
+ *
+ *  1. every memory operation on a parent's fit address is inherited
+ *     from that parent (selective preservation);
+ *  2. slots unselected by both parents are mutated, biased to the
+ *     union of fit addresses with probability PBFA;
+ *  3. child length always equals parent length;
+ *  4. the expected fraction of child slots inherited grows with the
+ *     parents' fitaddr fractions.
+ */
+
+#include "bench_common.hh"
+
+using namespace mcvbench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const int trials = static_cast<int>(2000 * scale);
+
+    gp::GenParams gen;
+    gen.testSize = 256;
+    gen.memSize = 8 * 1024;
+    gp::GaParams ga;
+    gp::RandomTestGen rtg(gen);
+    Rng rng(42);
+
+    std::printf("Figure 2: selective crossover properties over %d "
+                "random parent pairs\n\n",
+                trials);
+
+    std::uint64_t fit_slots = 0;
+    std::uint64_t fit_inherited = 0;
+    std::uint64_t mutated_slots = 0;
+    std::uint64_t mutated_to_fit_union = 0;
+    std::uint64_t inherited_t1 = 0;
+    std::uint64_t inherited_t2 = 0;
+    std::uint64_t total_slots = 0;
+    bool length_ok = true;
+
+    for (int t = 0; t < trials; ++t) {
+        gp::Test t1 = rtg.randomTest(rng);
+        gp::Test t2 = rtg.randomTest(rng);
+        // Synthesize fitaddrs like an evaluated test-run would.
+        gp::NdInfo nd1;
+        gp::NdInfo nd2;
+        for (int i = 0; i < 3; ++i) {
+            nd1.fitaddrs.insert(rtg.randomAddr(rng));
+            nd2.fitaddrs.insert(rtg.randomAddr(rng));
+        }
+        gp::Test child =
+            gp::crossoverMutate(t1, nd1, t2, nd2, rtg, ga, rng);
+        length_ok = length_ok && (child.size() == t1.size());
+
+        std::unordered_set<Addr> fit_union = nd1.fitaddrs;
+        fit_union.insert(nd2.fitaddrs.begin(), nd2.fitaddrs.end());
+
+        for (std::size_t i = 0; i < child.size(); ++i) {
+            ++total_slots;
+            const gp::Node &n1 = t1.node(i);
+            const bool is_fit1 =
+                n1.op.isMem() && nd1.fitaddrs.count(n1.op.addr);
+            if (is_fit1) {
+                ++fit_slots;
+                if (child.node(i) == n1)
+                    ++fit_inherited;
+            }
+            if (child.node(i) == t1.node(i)) {
+                ++inherited_t1;
+            } else if (child.node(i) == t2.node(i)) {
+                ++inherited_t2;
+            } else {
+                ++mutated_slots;
+                if (child.node(i).op.isMem() &&
+                    fit_union.count(child.node(i).op.addr)) {
+                    ++mutated_to_fit_union;
+                }
+            }
+        }
+    }
+
+    std::printf("child length preserved:           %s\n",
+                length_ok ? "yes" : "NO");
+    std::printf("parent-1 fit slots inherited:     %.2f%% "
+                "(expected 100%%)\n",
+                100.0 * static_cast<double>(fit_inherited) /
+                    static_cast<double>(fit_slots));
+    std::printf("slots inherited from parent 1:    %.1f%%\n",
+                100.0 * static_cast<double>(inherited_t1) /
+                    static_cast<double>(total_slots));
+    std::printf("slots inherited from parent 2:    %.1f%%\n",
+                100.0 * static_cast<double>(inherited_t2) /
+                    static_cast<double>(total_slots));
+    std::printf("slots mutated:                    %.1f%%\n",
+                100.0 * static_cast<double>(mutated_slots) /
+                    static_cast<double>(total_slots));
+    std::printf("mutations drawing fit addresses:  %.2f%% "
+                "(PBFA = %.0f%% of mem-op mutations)\n",
+                100.0 * static_cast<double>(mutated_to_fit_union) /
+                    static_cast<double>(mutated_slots),
+                100.0 * ga.pBfa);
+    return length_ok &&
+                   fit_inherited == fit_slots
+               ? 0
+               : 1;
+}

@@ -1,0 +1,63 @@
+// Temporary diagnostic: find what livelocks a small random workload.
+#include <iostream>
+#include <string>
+
+#include "mcversi.hh"
+
+using namespace mcversi;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1;
+    const std::size_t test_size =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 64;
+
+    sim::SystemConfig cfg;
+    cfg.seed = seed;
+    if (argc > 3 && std::string(argv[3]) == "tsocc")
+        cfg.protocol = sim::Protocol::Tsocc;
+    sim::System system(cfg);
+    mc::Checker checker(mc::makeTso());
+
+    gp::GenParams gen;
+    gen.testSize = test_size;
+    gen.iterations = 4;
+    gen.memSize = 8 * 1024;
+
+    host::Workload::Params wl;
+    wl.iterations = gen.iterations;
+    host::Workload workload(system, checker, host::layoutFor(gen), wl);
+
+    gp::RandomTestGen rtg(gen);
+    Rng rng(seed);
+
+    for (int t = 0; t < 60; ++t) {
+        gp::Test test = rtg.randomTest(rng);
+        try {
+            host::RunResult r = workload.runTest(test);
+            std::cout << "test " << t << ": " << r.describe()
+                      << " iters=" << r.iterationsRun
+                      << " events=" << r.eventsExecuted << "\n";
+            if (r.bugDetected())
+                return 2;
+        } catch (const std::exception &e) {
+            std::cout << "test " << t << " EXCEPTION: " << e.what()
+                      << "\n";
+            for (Pid p = 0; p < 8; ++p)
+                std::cout << "  " << system.core(p).debugState() << "\n";
+            for (int t = 0; t < 8; ++t) {
+                if (auto *l2 = system.tsoccL2(t))
+                    std::cout << "  " << l2->debugSummary() << "\n";
+            }
+            for (Pid p = 0; p < 8; ++p) {
+                if (auto *l1 = system.tsoccL1(p))
+                    std::cout << "  " << l1->debugSummary() << "\n";
+            }
+            return 1;
+        }
+    }
+    std::cout << "all ok\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Temporary diagnostic: transition frequencies under a bug config.
+#include <iostream>
+#include <string>
+
+#include "mcversi.hh"
+
+using namespace mcversi;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bug_name = argc > 1 ? argv[1] : "MESI,LQ+M,Inv";
+    const std::uint64_t runs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 100;
+
+    host::VerificationHarness::Params params;
+    params.system.bug = sim::bugByName(bug_name);
+    params.system.seed = 3;
+    params.gen.testSize = 256;
+    params.gen.iterations = 4;
+    params.gen.memSize = 8 * 1024;
+    params.workload.iterations = 4;
+    params.recordNdt = false;
+
+    host::RandomSource source(params.gen, 3);
+    host::VerificationHarness harness(params, source);
+    host::Budget budget;
+    budget.maxTestRuns = runs;
+    auto result = harness.run(budget);
+    std::cout << "bugFound=" << result.bugFound << " runs="
+              << result.testRuns << "\n";
+
+    auto &cov = harness.system().coverage();
+    for (std::uint32_t id = 0; id < cov.numTransitions(); ++id) {
+        std::cout << cov.name(id) << " = " << cov.counts()[id] << "\n";
+    }
+    std::uint64_t squashes = 0;
+    for (Pid p = 0; p < 8; ++p)
+        squashes += harness.system().core(p).squashes();
+    std::cout << "total squashes = " << squashes << "\n";
+    return 0;
+}

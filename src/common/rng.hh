@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generation.
+ *
+ * Every source of randomness in McVerSi (test generation, GA decisions,
+ * simulator timing perturbation) draws from an explicitly seeded Rng so
+ * that simulation runs are exactly reproducible given a seed, matching
+ * the paper's methodology ("Each simulation run ... uses a different
+ * random seed for both simulation and test generation").
+ *
+ * The generator is xoshiro256** (public domain, Blackman & Vigna),
+ * implemented locally so the library has no dependency on platform
+ * random facilities.
+ */
+
+#ifndef MCVERSI_COMMON_RNG_HH
+#define MCVERSI_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mcversi {
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the full state from a 64-bit seed via SplitMix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitMix64(seed);
+    }
+
+    /** Raw 64 bits of randomness. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // UniformRandomBitGenerator interface.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+    result_type operator()() { return next(); }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased via rejection sampling (Lemire-style threshold).
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli variate with probability @p p (clamped to [0,1]). */
+    bool
+    boolWithProb(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toUnit(next()) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return toUnit(next()); }
+
+    /** Derive an independent child generator (for per-component streams). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd2b74407b1ce6e93ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitMix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static double
+    toUnit(std::uint64_t r)
+    {
+        return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace mcversi
+
+#endif // MCVERSI_COMMON_RNG_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all McVerSi subsystems.
+ */
+
+#ifndef MCVERSI_COMMON_TYPES_HH
+#define MCVERSI_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcversi {
+
+/** Simulated time, in core clock cycles of the simulated system. */
+using Tick = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Processor / hardware thread identifier. */
+using Pid = std::int32_t;
+
+/**
+ * A value written by a store. Write values are globally unique within a
+ * simulation (see §4.1 of the paper: "each write event is assigned a
+ * unique ID -- the value to be written"), with 0 reserved for the initial
+ * contents of memory.
+ */
+using WriteVal = std::uint64_t;
+
+/** The initial contents of all memory locations. */
+inline constexpr WriteVal kInitVal = 0;
+
+/** Pid used for events not issued by any core (initial writes). */
+inline constexpr Pid kInitPid = -1;
+
+/** An invalid / not-present address marker. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size of the simulated system (Table 2: 64B lines). */
+inline constexpr Addr kLineBytes = 64;
+
+/** Size of every data access issued by generated tests, in bytes. */
+inline constexpr Addr kWordBytes = 8;
+
+/** Return the line-aligned base address of @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~(kLineBytes - 1);
+}
+
+/** Return the index of the word containing @p a within its line. */
+constexpr unsigned
+wordInLine(Addr a)
+{
+    return static_cast<unsigned>((a % kLineBytes) / kWordBytes);
+}
+
+} // namespace mcversi
+
+#endif // MCVERSI_COMMON_TYPES_HH

@@ -1,0 +1,108 @@
+#include "gp/crossover.hh"
+
+namespace mcversi::gp {
+
+double
+fitaddrFraction(const Test &test, const std::unordered_set<Addr> &fitaddrs)
+{
+    std::size_t mem_ops = 0;
+    std::size_t fit = 0;
+    for (const Node &node : test.nodes()) {
+        if (!node.op.isMem())
+            continue;
+        ++mem_ops;
+        if (fitaddrs.count(node.op.addr))
+            ++fit;
+    }
+    if (mem_ops == 0)
+        return 0.0;
+    return static_cast<double>(fit) / static_cast<double>(mem_ops);
+}
+
+Test
+crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
+                const NdInfo &nd2, const RandomTestGen &gen,
+                const GaParams &ga, Rng &rng)
+{
+    const std::size_t len = t1.size();
+
+    const double a1 = fitaddrFraction(t1, nd1.fitaddrs);
+    const double a2 = fitaddrFraction(t2, nd2.fitaddrs);
+    // Selection probability for non-memory ops: matches the expected
+    // selection rate of memory ops in the same parent.
+    const double p_select1 = a1 + ga.pUsel - a1 * ga.pUsel;
+    const double p_select2 = a2 + ga.pUsel - a2 * ga.pUsel;
+
+    // Union of both parents' fit addresses, for PBFA-directed mutation.
+    std::unordered_set<Addr> fit_union = nd1.fitaddrs;
+    fit_union.insert(nd2.fitaddrs.begin(), nd2.fitaddrs.end());
+
+    Test child = t1;
+    std::size_t mutations = 0;
+
+    for (std::size_t i = 0; i < len; ++i) {
+        const Node &n1 = t1.node(i);
+        bool select1;
+        if (n1.op.isMem()) {
+            select1 = rng.boolWithProb(ga.pUsel) ||
+                      nd1.fitaddrs.count(n1.op.addr) > 0;
+        } else {
+            select1 = rng.boolWithProb(p_select1);
+        }
+
+        const Node &n2 = t2.node(i);
+        bool select2;
+        if (n2.op.isMem()) {
+            select2 = rng.boolWithProb(ga.pUsel) ||
+                      nd2.fitaddrs.count(n2.op.addr) > 0;
+        } else {
+            select2 = rng.boolWithProb(p_select2);
+        }
+
+        if (!select1 && select2) {
+            child.node(i) = t2.node(i);
+        } else if (!select1 && !select2) {
+            ++mutations;
+            if (rng.boolWithProb(ga.pBfa)) {
+                child.node(i) =
+                    gen.randomNodeConstrained(rng, fit_union);
+            } else {
+                child.node(i) = gen.randomNode(rng);
+            }
+        }
+        // Otherwise retain child[i] (== t1[i]).
+    }
+
+    // Top up mutation if the implicit mutation rate fell short.
+    if (len > 0 &&
+        static_cast<double>(mutations) / static_cast<double>(len) <
+            ga.pMut) {
+        for (std::size_t i = 0; i < len; ++i) {
+            if (rng.boolWithProb(ga.pMut))
+                child.node(i) = gen.randomNode(rng);
+        }
+    }
+    return child;
+}
+
+Test
+singlePointCrossoverMutate(const Test &t1, const Test &t2,
+                           const RandomTestGen &gen, const GaParams &ga,
+                           Rng &rng)
+{
+    const std::size_t len = t1.size();
+    Test child = t1;
+    if (len > 1) {
+        const std::size_t point =
+            static_cast<std::size_t>(rng.below(len - 1)) + 1;
+        for (std::size_t i = point; i < len; ++i)
+            child.node(i) = t2.node(i);
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+        if (rng.boolWithProb(ga.pMut))
+            child.node(i) = gen.randomNode(rng);
+    }
+    return child;
+}
+
+} // namespace mcversi::gp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Crossover and mutation operators (§3.3, Algorithm 1).
+ *
+ * The selective crossover gives preference to memory operations involved
+ * in races: nodes whose address is in a parent's fitaddrs set are always
+ * inherited, preserving the sequences of operations that contribute to
+ * the non-deterministic outcome. Slots selected from neither parent are
+ * regenerated randomly (implicit, directed mutation), optionally with
+ * addresses biased towards the union of both parents' fitaddrs (PBFA).
+ *
+ * The standard single-point crossover (McVerSi-Std.XO in the paper) is
+ * provided for comparison.
+ */
+
+#ifndef MCVERSI_GP_CROSSOVER_HH
+#define MCVERSI_GP_CROSSOVER_HH
+
+#include "common/rng.hh"
+#include "gp/ndmetrics.hh"
+#include "gp/params.hh"
+#include "gp/randgen.hh"
+#include "gp/test.hh"
+
+namespace mcversi::gp {
+
+/** Fraction of memory operations guaranteed to be selected (Alg. 1). */
+double fitaddrFraction(const Test &test,
+                       const std::unordered_set<Addr> &fitaddrs);
+
+/**
+ * Selective crossover + mutation (Algorithm 1).
+ *
+ * @param t1, nd1  first parent and its test-run non-determinism info
+ * @param t2, nd2  second parent and its info
+ * @param gen      factory for random replacement nodes
+ * @param ga       GA parameters (PUSEL, PBFA, PMUT)
+ * @param rng      randomness source
+ * @return a child of the same length as the parents
+ */
+Test crossoverMutate(const Test &t1, const NdInfo &nd1,
+                     const Test &t2, const NdInfo &nd2,
+                     const RandomTestGen &gen, const GaParams &ga,
+                     Rng &rng);
+
+/**
+ * Standard single-point crossover over the flat list (McVerSi-Std.XO),
+ * followed by per-gene mutation with probability PMUT.
+ */
+Test singlePointCrossoverMutate(const Test &t1, const Test &t2,
+                                const RandomTestGen &gen,
+                                const GaParams &ga, Rng &rng);
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_CROSSOVER_HH

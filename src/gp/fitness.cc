@@ -1,0 +1,37 @@
+#include "gp/fitness.hh"
+
+namespace mcversi::gp {
+
+double
+AdaptiveCoverageFitness::evaluate(
+    const std::vector<std::uint64_t> &pre_counts,
+    const std::vector<std::uint32_t> &covered)
+{
+    std::size_t considered = 0;
+    for (const std::uint64_t c : pre_counts)
+        if (c < cutoff_)
+            ++considered;
+
+    std::size_t hit = 0;
+    for (const std::uint32_t id : covered) {
+        if (id < pre_counts.size() && pre_counts[id] < cutoff_)
+            ++hit;
+    }
+
+    const double fitness =
+        considered == 0
+            ? 0.0
+            : static_cast<double>(hit) / static_cast<double>(considered);
+
+    if (fitness < params_.stallThreshold) {
+        if (++stalled_ >= params_.stallWindow) {
+            cutoff_ *= 2;
+            stalled_ = 0;
+        }
+    } else {
+        stalled_ = 0;
+    }
+    return fitness;
+}
+
+} // namespace mcversi::gp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Adaptive coverage fitness (§3.2).
+ *
+ * Coverage is the GP fitness function. The computation dynamically
+ * adapts so that frequent state transitions are excluded: upon
+ * initialization, only transitions whose global count is below a low
+ * cut-off are considered; if the adaptive coverage stays below a
+ * threshold for too many test evaluations, the cut-off doubles
+ * (exponential increase). If t transitions are under consideration and
+ * a test-run covered n of them, its fitness is n / t. Each test's
+ * fitness is evaluated exactly once.
+ */
+
+#ifndef MCVERSI_GP_FITNESS_HH
+#define MCVERSI_GP_FITNESS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mcversi::gp {
+
+/** Adaptive structural-coverage fitness function. */
+class AdaptiveCoverageFitness
+{
+  public:
+    struct Params
+    {
+        /** Initial transition-count cut-off. */
+        std::uint64_t initialCutoff = 4;
+        /** Fitness below this counts as a stalled evaluation. */
+        double stallThreshold = 0.02;
+        /** Consecutive stalled evaluations before doubling cut-off. */
+        int stallWindow = 50;
+    };
+
+    explicit AdaptiveCoverageFitness(Params params)
+        : params_(params), cutoff_(params.initialCutoff)
+    {
+    }
+
+    AdaptiveCoverageFitness() : AdaptiveCoverageFitness(Params{}) {}
+
+    /**
+     * Evaluate one test-run.
+     *
+     * @param pre_counts global per-transition counts at run start,
+     *                   indexed by transition id
+     * @param covered    ids of transitions this run covered
+     * @return fitness in [0, 1]
+     */
+    double evaluate(const std::vector<std::uint64_t> &pre_counts,
+                    const std::vector<std::uint32_t> &covered);
+
+    std::uint64_t cutoff() const { return cutoff_; }
+    int stalledEvals() const { return stalled_; }
+
+  private:
+    Params params_;
+    std::uint64_t cutoff_;
+    int stalled_ = 0;
+};
+
+/**
+ * Normalize NDT into [0, 1) for fitness blending (used by the
+ * McVerSi-Std.XO configuration, which adds "equal weighting for coverage
+ * and normalized NDT" to its fitness). NDT has no a-priori upper bound,
+ * so we use the monotone map ndt / (ndt + 1).
+ */
+inline double
+normalizedNdt(double ndt)
+{
+    if (ndt <= 0.0)
+        return 0.0;
+    return ndt / (ndt + 1.0);
+}
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_FITNESS_HH

@@ -1,0 +1,101 @@
+#include "gp/ga.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcversi::gp {
+
+std::size_t
+SteadyStateGa::tournamentSelect()
+{
+    assert(!population_.empty());
+    std::size_t best = static_cast<std::size_t>(
+        rng_.below(population_.size()));
+    for (int i = 1; i < ga_.tournamentSize; ++i) {
+        const std::size_t cand = static_cast<std::size_t>(
+            rng_.below(population_.size()));
+        if (population_[cand].fitness > population_[best].fitness)
+            best = cand;
+    }
+    return best;
+}
+
+Test
+SteadyStateGa::nextTest()
+{
+    assert(!hasPending_ && "reportResult() missing for previous test");
+    if (population_.size() < ga_.population) {
+        // Still building the initial random population.
+        pending_ = gen_.randomTest(rng_);
+    } else if (!rng_.boolWithProb(ga_.pCrossover)) {
+        // Crossover probability < 1: clone-and-mutate a parent.
+        const Individual &p = population_[tournamentSelect()];
+        Test child = p.test;
+        for (std::size_t i = 0; i < child.size(); ++i)
+            if (rng_.boolWithProb(ga_.pMut))
+                child.node(i) = gen_.randomNode(rng_);
+        pending_ = std::move(child);
+    } else {
+        const Individual &p1 = population_[tournamentSelect()];
+        const Individual &p2 = population_[tournamentSelect()];
+        if (mode_ == XoMode::Selective) {
+            pending_ = crossoverMutate(p1.test, p1.nd, p2.test, p2.nd,
+                                       gen_, ga_, rng_);
+        } else {
+            pending_ = singlePointCrossoverMutate(p1.test, p2.test, gen_,
+                                                  ga_, rng_);
+        }
+    }
+    hasPending_ = true;
+    return pending_;
+}
+
+void
+SteadyStateGa::reportResult(double fitness, NdInfo nd)
+{
+    assert(hasPending_ && "no pending test");
+    hasPending_ = false;
+    ++evaluated_;
+
+    Individual ind;
+    ind.test = std::move(pending_);
+    ind.fitness = fitness;
+    ind.nd = std::move(nd);
+    ind.bornAt = births_++;
+
+    if (population_.size() < ga_.population) {
+        population_.push_back(std::move(ind));
+        return;
+    }
+    // Delete-oldest replacement.
+    auto oldest = std::min_element(
+        population_.begin(), population_.end(),
+        [](const Individual &a, const Individual &b) {
+            return a.bornAt < b.bornAt;
+        });
+    *oldest = std::move(ind);
+}
+
+double
+SteadyStateGa::meanFitness() const
+{
+    if (population_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Individual &ind : population_)
+        sum += ind.fitness;
+    return sum / static_cast<double>(population_.size());
+}
+
+double
+SteadyStateGa::meanNdt() const
+{
+    if (population_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Individual &ind : population_)
+        sum += ind.nd.ndt;
+    return sum / static_cast<double>(population_.size());
+}
+
+} // namespace mcversi::gp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Steady-state genetic algorithm (§5.2.1).
+ *
+ * Both McVerSi-ALL and McVerSi-Std.XO implement a steady-state GA with
+ * tournament selection and the delete-oldest replacement strategy
+ * (steady-state GAs outperform generational GAs in non-stationary
+ * environments, which a continuously-running simulation is).
+ *
+ * The GA is decoupled from the simulator: callers pull the next test to
+ * evaluate via nextTest() and push back the evaluation result via
+ * reportResult(). The first `population` calls yield random individuals
+ * (the initial population); afterwards every test is an offspring of two
+ * tournament-selected parents.
+ */
+
+#ifndef MCVERSI_GP_GA_HH
+#define MCVERSI_GP_GA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gp/crossover.hh"
+#include "gp/ndmetrics.hh"
+#include "gp/params.hh"
+#include "gp/randgen.hh"
+#include "gp/test.hh"
+
+namespace mcversi::gp {
+
+/** One evaluated member of the population. */
+struct Individual
+{
+    Test test;
+    double fitness = 0.0;
+    NdInfo nd;
+    /** Monotone birth counter for delete-oldest replacement. */
+    std::uint64_t bornAt = 0;
+};
+
+/** Steady-state GA with tournament selection and delete-oldest. */
+class SteadyStateGa
+{
+  public:
+    /** Crossover operator variant. */
+    enum class XoMode {
+        Selective,   ///< Algorithm 1 (McVerSi-ALL)
+        SinglePoint, ///< standard flat-list crossover (McVerSi-Std.XO)
+    };
+
+    SteadyStateGa(GaParams ga, GenParams gen, std::uint64_t seed,
+                  XoMode mode = XoMode::Selective)
+        : ga_(ga), gen_(gen), rng_(seed), mode_(mode)
+    {
+    }
+
+    /**
+     * Produce the next test to evaluate. Must be followed by exactly one
+     * reportResult() call before the next invocation.
+     */
+    Test nextTest();
+
+    /** Report the evaluation result of the test from nextTest(). */
+    void reportResult(double fitness, NdInfo nd);
+
+    std::size_t populationSize() const { return population_.size(); }
+    std::uint64_t evaluated() const { return evaluated_; }
+    const std::vector<Individual> &population() const
+    {
+        return population_;
+    }
+
+    /** Mean fitness of the current population (0 if empty). */
+    double meanFitness() const;
+
+    /** Mean NDT of the current population (0 if empty). */
+    double meanNdt() const;
+
+    XoMode mode() const { return mode_; }
+
+  private:
+    /** Tournament of size ga_.tournamentSize; returns population index. */
+    std::size_t tournamentSelect();
+
+    GaParams ga_;
+    RandomTestGen gen_;
+    Rng rng_;
+    XoMode mode_;
+
+    std::vector<Individual> population_;
+    Test pending_;
+    bool hasPending_ = false;
+    std::uint64_t evaluated_ = 0;
+    std::uint64_t births_ = 0;
+};
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_GA_HH

@@ -1,0 +1,4 @@
+#include "gp/ndmetrics.hh"
+
+// NdAccumulator is header-only; this translation unit anchors the
+// component in the build and hosts future out-of-line additions.

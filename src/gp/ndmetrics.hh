@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Non-determinism metrics (Definitions 1-3 of the paper).
+ *
+ * The simulator records the conflict orders rf_i and co_i of each
+ * iteration i of a test-run; their union over all iterations is
+ * rfcoRUN (Def. 1). Events are identified *statically* (by test node),
+ * so the same operation observed with different conflict predecessors in
+ * different iterations accumulates multiple predecessors:
+ *
+ *   NDT  = |rfcoRUN| / n          (Def. 2, n = events in the test)
+ *   NDe  = |{e | (e, ek) in rfcoRUN}|   (Def. 3)
+ *
+ * NDT == 1 means every event only ever follows one producer (typically
+ * the initial write): the test-run was observed fully deterministic.
+ * fitaddrs is the set of addresses of events whose NDe exceeds the
+ * rounded NDT (§3.3).
+ */
+
+#ifndef MCVERSI_GP_NDMETRICS_HH
+#define MCVERSI_GP_NDMETRICS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "gp/test.hh"
+
+namespace mcversi::gp {
+
+/** Static id for the initial write of a logical address. */
+constexpr StaticEventId
+initStaticEventId(Addr logical_addr)
+{
+    return -2 - static_cast<StaticEventId>(logical_addr);
+}
+
+/** Summary of a test-run's non-determinism, attached to individuals. */
+struct NdInfo
+{
+    double ndt = 0.0;
+    std::unordered_set<Addr> fitaddrs;
+};
+
+/** Accumulates rfcoRUN across the iterations of one test-run. */
+class NdAccumulator
+{
+  public:
+    /**
+     * Start a new test-run.
+     *
+     * @param num_events number of (static) MCM events in the test (n in
+     *                   Def. 2)
+     */
+    void
+    beginRun(std::size_t num_events)
+    {
+        preds_.clear();
+        eventAddr_.clear();
+        numPairs_ = 0;
+        numEvents_ = num_events;
+    }
+
+    /**
+     * Record one conflict-order pair (producer, consumer) observed in
+     * some iteration. Idempotent across iterations.
+     */
+    void
+    addEdge(StaticEventId producer, StaticEventId consumer)
+    {
+        if (preds_[consumer].insert(producer).second)
+            ++numPairs_;
+    }
+
+    /** Record the (logical) address of a static event. */
+    void
+    noteEventAddr(StaticEventId sid, Addr logical_addr)
+    {
+        eventAddr_[sid] = logical_addr;
+    }
+
+    /** |rfcoRUN|: distinct conflict-order pairs observed. */
+    std::size_t distinctPairs() const { return numPairs_; }
+
+    /** NDT (Def. 2). */
+    double
+    ndt() const
+    {
+        if (numEvents_ == 0)
+            return 0.0;
+        return static_cast<double>(numPairs_) /
+               static_cast<double>(numEvents_);
+    }
+
+    /** NDe of one event (Def. 3). */
+    std::size_t
+    nde(StaticEventId sid) const
+    {
+        auto it = preds_.find(sid);
+        return it == preds_.end() ? 0 : it->second.size();
+    }
+
+    /** Addresses of events whose NDe exceeds the rounded NDT. */
+    std::unordered_set<Addr>
+    fitaddrs() const
+    {
+        const auto threshold =
+            static_cast<std::size_t>(std::llround(ndt()));
+        std::unordered_set<Addr> out;
+        for (const auto &[sid, producers] : preds_) {
+            if (producers.size() <= threshold)
+                continue;
+            auto it = eventAddr_.find(sid);
+            if (it != eventAddr_.end())
+                out.insert(it->second);
+        }
+        return out;
+    }
+
+    /** Bundle NDT and fitaddrs. */
+    NdInfo
+    info() const
+    {
+        return NdInfo{ndt(), fitaddrs()};
+    }
+
+  private:
+    std::unordered_map<StaticEventId, std::unordered_set<StaticEventId>>
+        preds_;
+    std::unordered_map<StaticEventId, Addr> eventAddr_;
+    std::size_t numPairs_ = 0;
+    std::size_t numEvents_ = 0;
+};
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_NDMETRICS_HH

@@ -1,0 +1,31 @@
+#include "gp/ops.hh"
+
+#include <sstream>
+
+namespace mcversi::gp {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Read: return "Read";
+      case OpKind::ReadAddrDp: return "ReadAddrDp";
+      case OpKind::Write: return "Write";
+      case OpKind::ReadModifyWrite: return "ReadModifyWrite";
+      case OpKind::CacheFlush: return "CacheFlush";
+      case OpKind::Delay: return "Delay";
+    }
+    return "?";
+}
+
+std::string
+Op::toString() const
+{
+    std::ostringstream os;
+    os << opKindName(kind);
+    if (isMem())
+        os << "@0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace mcversi::gp

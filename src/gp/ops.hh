@@ -1,0 +1,93 @@
+/**
+ * @file
+ * High-level test operations (genes).
+ *
+ * Each node of a test DAG is a high-level operation of a thread which
+ * maps to executable code of the target ISA (§3.3). The operation mix
+ * and biases follow Table 3 of the paper; the set is sufficient to cover
+ * all enforced orderings of x86-TSO.
+ */
+
+#ifndef MCVERSI_GP_OPS_HH
+#define MCVERSI_GP_OPS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcversi::gp {
+
+/** Operation kinds, with Table 3 default biases in comments. */
+enum class OpKind : std::uint8_t {
+    Read,            ///< 50%: read into register
+    ReadAddrDp,      ///< 5%: read with address dependency on prior read
+    Write,           ///< 42%: write from register
+    ReadModifyWrite, ///< 1%: atomic RMW; on x86 also implies fences
+    CacheFlush,      ///< 1%: cache flush (e.g. clflush)
+    Delay,           ///< 1%: constant delay using NOPs
+};
+
+inline constexpr int kNumOpKinds = 6;
+
+const char *opKindName(OpKind kind);
+
+/**
+ * One operation. For memory operations, @ref addr is a *logical* offset
+ * into the test memory region (a multiple of the generator stride); the
+ * host maps logical offsets to physical addresses when emitting code.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Delay;
+    /** Logical test-memory offset; meaningful iff isMem(). */
+    Addr addr = 0;
+    /** NOP count; meaningful only for Delay. */
+    std::uint32_t delay = 8;
+
+    /**
+     * True if the operation is a memory operation, i.e. carries a valid
+     * addr attribute (Algorithm 1's is_memop). Note CacheFlush accesses
+     * an address but produces no MCM events.
+     */
+    bool
+    isMem() const
+    {
+        return kind != OpKind::Delay;
+    }
+
+    /** Number of MCM events this operation maps to when executed. */
+    int
+    numEvents() const
+    {
+        switch (kind) {
+          case OpKind::Read:
+          case OpKind::ReadAddrDp:
+          case OpKind::Write:
+            return 1;
+          case OpKind::ReadModifyWrite:
+            return 2;
+          case OpKind::CacheFlush:
+          case OpKind::Delay:
+            return 0;
+        }
+        return 0;
+    }
+
+    friend bool operator==(const Op &, const Op &) = default;
+
+    std::string toString() const;
+};
+
+/** A gene: a 〈pid, op〉 tuple (§3.3). */
+struct Node
+{
+    Pid pid = 0;
+    Op op{};
+
+    friend bool operator==(const Node &, const Node &) = default;
+};
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_OPS_HH

@@ -1,0 +1,72 @@
+#include "gp/randgen.hh"
+
+namespace mcversi::gp {
+
+Addr
+RandomTestGen::randomAddr(Rng &rng) const
+{
+    const std::size_t slots = params_.numSlots();
+    return static_cast<Addr>(rng.below(slots)) * params_.stride;
+}
+
+Op
+RandomTestGen::randomOp(Rng &rng) const
+{
+    Op op;
+    const double x = rng.uniform();
+    double acc = params_.biasRead;
+    if (x < acc) {
+        op.kind = OpKind::Read;
+    } else if (x < (acc += params_.biasReadAddrDp)) {
+        op.kind = OpKind::ReadAddrDp;
+    } else if (x < (acc += params_.biasWrite)) {
+        op.kind = OpKind::Write;
+    } else if (x < (acc += params_.biasRmw)) {
+        op.kind = OpKind::ReadModifyWrite;
+    } else if (x < (acc += params_.biasFlush)) {
+        op.kind = OpKind::CacheFlush;
+    } else {
+        op.kind = OpKind::Delay;
+    }
+    if (op.isMem())
+        op.addr = randomAddr(rng);
+    return op;
+}
+
+Node
+RandomTestGen::randomNode(Rng &rng) const
+{
+    Node node;
+    node.pid = static_cast<Pid>(
+        rng.below(static_cast<std::uint64_t>(params_.numThreads)));
+    node.op = randomOp(rng);
+    return node;
+}
+
+Node
+RandomTestGen::randomNodeConstrained(
+    Rng &rng, const std::unordered_set<Addr> &addrs) const
+{
+    Node node = randomNode(rng);
+    if (node.op.isMem() && !addrs.empty()) {
+        // Pick uniformly among the constraint set.
+        const std::size_t k =
+            static_cast<std::size_t>(rng.below(addrs.size()));
+        auto it = addrs.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(k));
+        node.op.addr = *it;
+    }
+    return node;
+}
+
+Test
+RandomTestGen::randomTest(Rng &rng) const
+{
+    std::vector<Node> nodes;
+    nodes.reserve(params_.testSize);
+    for (std::size_t i = 0; i < params_.testSize; ++i)
+        nodes.push_back(randomNode(rng));
+    return Test(std::move(nodes));
+}
+
+} // namespace mcversi::gp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Biased pseudo-random test generation.
+ *
+ * Implements the baseline generator (McVerSi-RAND), the initial GP
+ * population, and the "Make random 〈pid, op〉" primitive of Algorithm 1,
+ * with user constraints per §3.1: distribution of operations, memory
+ * address range, and stride.
+ */
+
+#ifndef MCVERSI_GP_RANDGEN_HH
+#define MCVERSI_GP_RANDGEN_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gp/params.hh"
+#include "gp/test.hh"
+
+namespace mcversi::gp {
+
+/** Random node / test factory. */
+class RandomTestGen
+{
+  public:
+    explicit RandomTestGen(GenParams params) : params_(params) {}
+
+    const GenParams &params() const { return params_; }
+
+    /** Random logical address: a multiple of stride within the range. */
+    Addr randomAddr(Rng &rng) const;
+
+    /** Random operation per the configured kind biases. */
+    Op randomOp(Rng &rng) const;
+
+    /** Random gene: uniform pid, biased op. */
+    Node randomNode(Rng &rng) const;
+
+    /**
+     * Random gene with the address constrained to @p addrs when the op
+     * is a memory operation (Algorithm 1's PBFA case). Falls back to an
+     * unconstrained address if @p addrs is empty.
+     */
+    Node randomNodeConstrained(
+        Rng &rng, const std::unordered_set<Addr> &addrs) const;
+
+    /** A full random test of params().testSize genes. */
+    Test randomTest(Rng &rng) const;
+
+  private:
+    GenParams params_;
+};
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_RANDGEN_HH

@@ -1,0 +1,65 @@
+#include "gp/test.hh"
+
+namespace mcversi::gp {
+
+std::vector<std::vector<std::size_t>>
+Test::threadSlots(int num_threads) const
+{
+    std::vector<std::vector<std::size_t>> out(
+        static_cast<std::size_t>(num_threads));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Pid pid = nodes_[i].pid;
+        if (pid >= 0 && pid < num_threads)
+            out[static_cast<std::size_t>(pid)].push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+Test::countMemOps() const
+{
+    std::size_t n = 0;
+    for (const Node &node : nodes_)
+        if (node.op.isMem())
+            ++n;
+    return n;
+}
+
+std::unordered_set<Addr>
+Test::usedAddrs() const
+{
+    std::unordered_set<Addr> out;
+    for (const Node &node : nodes_)
+        if (node.op.isMem())
+            out.insert(node.op.addr);
+    return out;
+}
+
+std::size_t
+Test::countEvents() const
+{
+    std::size_t n = 0;
+    for (const Node &node : nodes_)
+        n += static_cast<std::size_t>(node.op.numEvents());
+    return n;
+}
+
+std::uint64_t
+Test::fingerprint() const
+{
+    // FNV-1a over the node contents.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const Node &node : nodes_) {
+        mix(static_cast<std::uint64_t>(node.pid));
+        mix(static_cast<std::uint64_t>(node.op.kind));
+        mix(node.op.addr);
+        mix(node.op.delay);
+    }
+    return h;
+}
+
+} // namespace mcversi::gp

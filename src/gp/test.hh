@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Test (chromosome) representation (§3.3).
+ *
+ * A test is a DAG of a constant number of nodes, with each disjoint
+ * sub-graph representing one thread. Nodes are stored as a flat list of
+ * 〈pid, op〉 tuples; the order of nodes within the list gives rise to the
+ * code sequence of each thread. The flat representation makes both the
+ * selective crossover and preservation of relative scheduling positions
+ * efficient (paper §3.3).
+ */
+
+#ifndef MCVERSI_GP_TEST_HH
+#define MCVERSI_GP_TEST_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "gp/ops.hh"
+
+namespace mcversi::gp {
+
+/**
+ * Static event identifier: identifies one MCM event of a test across all
+ * iterations of a test-run. Encoded as nodeIndex * 2 + sub, where sub is
+ * 0 for the read part and 1 for the write part of an instruction.
+ */
+using StaticEventId = std::int64_t;
+
+constexpr StaticEventId
+staticEventId(std::size_t node_index, int sub)
+{
+    return static_cast<StaticEventId>(node_index) * 2 + sub;
+}
+
+constexpr std::size_t
+staticEventNode(StaticEventId sid)
+{
+    return static_cast<std::size_t>(sid / 2);
+}
+
+/** A test: fixed-length flat list of genes. */
+class Test
+{
+  public:
+    Test() = default;
+    explicit Test(std::vector<Node> nodes) : nodes_(std::move(nodes)) {}
+
+    std::size_t size() const { return nodes_.size(); }
+    const Node &node(std::size_t i) const { return nodes_[i]; }
+    Node &node(std::size_t i) { return nodes_[i]; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /**
+     * Node indices of each thread in code-sequence order.
+     *
+     * @param num_threads size of the returned per-thread table
+     */
+    std::vector<std::vector<std::size_t>>
+    threadSlots(int num_threads) const;
+
+    /** Number of memory operations (Algorithm 1's mem_ops). */
+    std::size_t countMemOps() const;
+
+    /** Distinct logical addresses referenced by memory operations. */
+    std::unordered_set<Addr> usedAddrs() const;
+
+    /** Total MCM events the test maps to. */
+    std::size_t countEvents() const;
+
+    /** Order-sensitive content hash (for dedup and tests). */
+    std::uint64_t fingerprint() const;
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_TEST_HH

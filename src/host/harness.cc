@@ -1,0 +1,78 @@
+#include "host/harness.hh"
+
+#include <chrono>
+
+namespace mcversi::host {
+
+TestMemLayout
+layoutFor(const gp::GenParams &gen)
+{
+    return TestMemLayout(gen.memSize, gen.stride);
+}
+
+VerificationHarness::VerificationHarness(Params params,
+                                         TestSource &source)
+    : params_(params), source_(source), fitness_(params.fitness)
+{
+    system_ = std::make_unique<sim::System>(params_.system);
+    checker_ = std::make_unique<mc::Checker>(mc::makeTso());
+    workload_ = std::make_unique<Workload>(*system_, *checker_,
+                                           layoutFor(params_.gen),
+                                           params_.workload);
+}
+
+RunResult
+VerificationHarness::runOne(const gp::Test &test,
+                            const ConditionFn &condition)
+{
+    return workload_->runTest(test, condition);
+}
+
+HarnessResult
+VerificationHarness::run(const Budget &budget)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    HarnessResult result;
+    for (;;) {
+        if (budget.maxTestRuns > 0 && result.testRuns >= budget.maxTestRuns)
+            break;
+        if (budget.maxWallSeconds > 0.0 &&
+            elapsed() >= budget.maxWallSeconds) {
+            break;
+        }
+
+        gp::Test test = source_.next();
+        RunResult run = workload_->runTest(test);
+        ++result.testRuns;
+        result.checkSeconds += run.checkSeconds;
+        result.simTicks += run.simTicks;
+        result.eventsExecuted += run.eventsExecuted;
+        if (params_.recordNdt)
+            result.ndtHistory.push_back(run.nd.ndt);
+
+        RunFeedback feedback;
+        feedback.coverageFitness =
+            fitness_.evaluate(run.preRunCounts, run.coveredTransitions);
+        feedback.nd = run.nd;
+        source_.report(feedback);
+
+        if (run.bugDetected()) {
+            result.bugFound = true;
+            result.detail = run.describe();
+            result.testRunsToBug = result.testRuns;
+            result.wallSecondsToBug = elapsed();
+            break;
+        }
+    }
+    result.wallSeconds = elapsed();
+    result.totalCoverage = system_->coverage().totalCoverage();
+    return result;
+}
+
+} // namespace mcversi::host

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Verification harness: the full generate-execute-verify-reset loop.
+ *
+ * One harness = one simulation run of §5.1: a fresh system with a given
+ * protocol, bug injection and seed, driven by a test source until a bug
+ * is found or the budget (test-runs and/or wall-clock) is exhausted.
+ * The simulation runs continuously, loading tests on-the-fly; coverage
+ * counters, write-value IDs and RNG streams all persist across tests.
+ */
+
+#ifndef MCVERSI_HOST_HARNESS_HH
+#define MCVERSI_HOST_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gp/fitness.hh"
+#include "host/sources.hh"
+#include "host/workload.hh"
+#include "memconsistency/checker.hh"
+#include "sim/system.hh"
+
+namespace mcversi::host {
+
+/** Stop conditions for a harness run. */
+struct Budget
+{
+    /** Max test-runs (0 = unlimited). */
+    std::uint64_t maxTestRuns = 0;
+    /** Max wall-clock seconds (0 = unlimited). */
+    double maxWallSeconds = 0.0;
+};
+
+/** Outcome of a harness run. */
+struct HarnessResult
+{
+    bool bugFound = false;
+    std::string detail;
+    std::uint64_t testRuns = 0;
+    std::uint64_t testRunsToBug = 0;
+    double wallSeconds = 0.0;
+    double wallSecondsToBug = 0.0;
+    double checkSeconds = 0.0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t eventsExecuted = 0;
+    /** NDT of each evaluated test-run, in order. */
+    std::vector<double> ndtHistory;
+    /** Final total structural coverage per protocol prefix. */
+    double totalCoverage = 0.0;
+};
+
+/** One verification campaign on one simulated system. */
+class VerificationHarness
+{
+  public:
+    struct Params
+    {
+        sim::SystemConfig system{};
+        /** Test-memory geometry (memSize/stride drive the layout). */
+        gp::GenParams gen{};
+        Workload::Params workload{};
+        gp::AdaptiveCoverageFitness::Params fitness{};
+        /** Record per-run NDT history (costs memory on long runs). */
+        bool recordNdt = true;
+    };
+
+    VerificationHarness(Params params, TestSource &source);
+
+    /** Run until a bug is found or the budget is exhausted. */
+    HarnessResult run(const Budget &budget);
+
+    /** Run exactly one test through the workload (building block). */
+    RunResult runOne(const gp::Test &test,
+                     const ConditionFn &condition = nullptr);
+
+    sim::System &system() { return *system_; }
+    Workload &workload() { return *workload_; }
+    mc::Checker &checker() { return *checker_; }
+    gp::AdaptiveCoverageFitness &fitness() { return fitness_; }
+
+  private:
+    Params params_;
+    TestSource &source_;
+    std::unique_ptr<sim::System> system_;
+    std::unique_ptr<mc::Checker> checker_;
+    std::unique_ptr<Workload> workload_;
+    gp::AdaptiveCoverageFitness fitness_;
+};
+
+/** GenParams-consistent layout helper. */
+TestMemLayout layoutFor(const gp::GenParams &gen);
+
+} // namespace mcversi::host
+
+#endif // MCVERSI_HOST_HARNESS_HH

@@ -1,0 +1,38 @@
+#include "host/interface.hh"
+
+namespace mcversi::host {
+
+std::vector<Addr>
+TestMemLayout::wordAddrs() const
+{
+    std::vector<Addr> out;
+    out.reserve(memSize_ / kWordBytes);
+    for (Addr logical = 0; logical < memSize_; logical += kWordBytes)
+        out.push_back(toPhys(logical));
+    return out;
+}
+
+Tick
+HostServices::barrierWaitPrecise(Tick max_skew)
+{
+    // Host-assisted barrier: all threads released at a common tick,
+    // plus at most max_skew cycles of start offset. A guest software
+    // barrier would add hundreds of cycles of skew and extra coherence
+    // traffic; callers model that by passing a large max_skew.
+    sim::EventQueue &eq = system_.eventQueue();
+    const Tick base = eq.now() + 10;
+    for (Pid p = 0; p < static_cast<Pid>(system_.numCores()); ++p) {
+        const Tick skew = max_skew == 0 ? 0 : skewRng_.below(max_skew + 1);
+        system_.core(p).start(base + skew);
+    }
+    return base;
+}
+
+void
+HostServices::resetTestMem()
+{
+    system_.resetProtocolState();
+    system_.zeroMemory(layout_.wordAddrs());
+}
+
+} // namespace mcversi::host

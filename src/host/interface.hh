@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Guest-host interface (Table 1 of the paper).
+ *
+ * The guest workload is simulation-aware: functions that would dominate
+ * wall-clock time if executed as guest code are implemented by the host
+ * (the simulator) instead. HostServices exposes the Table 1 functions;
+ * the Workload (Algorithm 2) is their only caller.
+ *
+ * Test memory layout: to ensure cache capacity evictions take place,
+ * test memory is partitioned into contiguous 512B blocks whose starting
+ * addresses are separated by 1MB (§5.2.1); e.g. 8KB of test memory maps
+ * to 16 such partitions.
+ */
+
+#ifndef MCVERSI_HOST_INTERFACE_HH
+#define MCVERSI_HOST_INTERFACE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/cpu/program.hh"
+#include "sim/system.hh"
+
+namespace mcversi::host {
+
+/** Logical test-memory to physical address mapping. */
+class TestMemLayout
+{
+  public:
+    static constexpr Addr kDefaultPhysBase = 0x100000;
+    static constexpr Addr kPartitionSize = 512;
+    static constexpr Addr kPartitionSpacing = 1024 * 1024;
+
+    TestMemLayout() = default;
+
+    TestMemLayout(Addr mem_size, Addr stride,
+                  Addr phys_base = kDefaultPhysBase)
+        : memSize_(mem_size), stride_(stride), physBase_(phys_base)
+    {
+    }
+
+    Addr memSize() const { return memSize_; }
+    Addr stride() const { return stride_; }
+
+    /** Number of 512B partitions. */
+    Addr
+    numPartitions() const
+    {
+        return (memSize_ + kPartitionSize - 1) / kPartitionSize;
+    }
+
+    /** Map a logical test-memory offset to a physical address. */
+    Addr
+    toPhys(Addr logical) const
+    {
+        const Addr partition = logical / kPartitionSize;
+        const Addr offset = logical % kPartitionSize;
+        return physBase_ + partition * kPartitionSpacing + offset;
+    }
+
+    /** Inverse of toPhys (physical address must be in the region). */
+    Addr
+    toLogical(Addr phys) const
+    {
+        const Addr rel = phys - physBase_;
+        const Addr partition = rel / kPartitionSpacing;
+        const Addr offset = rel % kPartitionSpacing;
+        return partition * kPartitionSize + offset;
+    }
+
+    /** True if @p phys lies inside the mapped test region. */
+    bool
+    contains(Addr phys) const
+    {
+        if (phys < physBase_)
+            return false;
+        const Addr rel = phys - physBase_;
+        if (rel % kPartitionSpacing >= kPartitionSize)
+            return false;
+        return toLogical(phys) < memSize_;
+    }
+
+    /** All word addresses of the region (for host-side zeroing). */
+    std::vector<Addr> wordAddrs() const;
+
+  private:
+    Addr memSize_ = 0;
+    Addr stride_ = 16;
+    Addr physBase_ = kDefaultPhysBase;
+};
+
+/**
+ * Host side of the guest-host interface (Table 1).
+ *
+ * Function-to-method mapping:
+ *   barrier_wait_coarse()   -> barrierWaitCoarse()
+ *   barrier_wait_precise()  -> barrierWaitPrecise()
+ *   make_test_thread(code)  -> makeTestThread(pid, program)
+ *   mark_test_mem_range(a,b)-> markTestMemRange(layout)
+ *   reset_test_mem()        -> resetTestMem()
+ *   verify_reset_all()/verify_reset_conflict() are implemented by the
+ *   Workload (they need the checker and the GA feedback path).
+ */
+class HostServices
+{
+  public:
+    explicit HostServices(sim::System &system)
+        : system_(system), skewRng_(system.config().seed ^ 0x5eedULL)
+    {
+    }
+
+    /** mark_test_mem_range: configure the test generator range. */
+    void
+    markTestMemRange(const TestMemLayout &layout)
+    {
+        layout_ = layout;
+    }
+
+    const TestMemLayout &layout() const { return layout_; }
+
+    /** make_test_thread: host writes the code for one thread. */
+    void
+    makeTestThread(Pid pid, sim::Program program)
+    {
+        system_.core(pid).loadProgram(std::move(program));
+    }
+
+    /**
+     * barrier_wait_coarse: wait for all threads and the memory system
+     * to quiesce. Host-assisted: the event queue simply runs dry.
+     * May throw sim::ProtocolError.
+     */
+    void
+    barrierWaitCoarse()
+    {
+        system_.runToQuiescence();
+    }
+
+    /**
+     * barrier_wait_precise: release all threads in lock-step.
+     *
+     * @param max_skew 0 for host-assisted precision (threads start
+     *        within 2 cycles); large values model a guest software
+     *        barrier's release skew (ablation studies)
+     * @return the base start tick used
+     */
+    Tick barrierWaitPrecise(Tick max_skew = 2);
+
+    /**
+     * reset_test_mem: write initial values to all test locations and
+     * flush caches and other structures affecting the next execution.
+     * Only legal at quiescence.
+     */
+    void resetTestMem();
+
+    sim::System &system() { return system_; }
+
+  private:
+    sim::System &system_;
+    Rng skewRng_;
+    TestMemLayout layout_;
+};
+
+} // namespace mcversi::host
+
+#endif // MCVERSI_HOST_INTERFACE_HH

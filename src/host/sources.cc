@@ -1,0 +1,4 @@
+#include "host/sources.hh"
+
+// Sources are header-only; this translation unit anchors them in the
+// build.

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Test sources: where the next test comes from (§5.2).
+ *
+ *  - RandomSource: McVerSi-RAND, stateless pseudo-random generation.
+ *  - GaSource: the GP-based generators. In Selective mode (McVerSi-ALL)
+ *    fitness is the adaptive coverage alone; in SinglePoint mode
+ *    (McVerSi-Std.XO) fitness adds normalized NDT with equal weighting,
+ *    since the standard crossover cannot otherwise converge towards
+ *    racy tests.
+ */
+
+#ifndef MCVERSI_HOST_SOURCES_HH
+#define MCVERSI_HOST_SOURCES_HH
+
+#include <memory>
+#include <string>
+
+#include "gp/fitness.hh"
+#include "gp/ga.hh"
+#include "gp/ndmetrics.hh"
+#include "gp/randgen.hh"
+#include "gp/test.hh"
+
+namespace mcversi::host {
+
+/** Feedback passed back to a source after evaluating its test. */
+struct RunFeedback
+{
+    /** Adaptive coverage fitness in [0, 1]. */
+    double coverageFitness = 0.0;
+    /** Non-determinism metrics of the test-run. */
+    gp::NdInfo nd{};
+};
+
+/** Produces tests and consumes evaluation feedback. */
+class TestSource
+{
+  public:
+    virtual ~TestSource() = default;
+    virtual gp::Test next() = 0;
+    virtual void report(const RunFeedback &feedback) = 0;
+    virtual std::string name() const = 0;
+};
+
+/** McVerSi-RAND: stateless pseudo-random tests. */
+class RandomSource : public TestSource
+{
+  public:
+    RandomSource(gp::GenParams params, std::uint64_t seed)
+        : gen_(params), rng_(seed)
+    {
+    }
+
+    gp::Test next() override { return gen_.randomTest(rng_); }
+    void report(const RunFeedback &) override {}
+    std::string name() const override { return "McVerSi-RAND"; }
+
+  private:
+    gp::RandomTestGen gen_;
+    Rng rng_;
+};
+
+/** McVerSi-ALL / McVerSi-Std.XO: steady-state GP generation. */
+class GaSource : public TestSource
+{
+  public:
+    GaSource(gp::GaParams ga, gp::GenParams gen, std::uint64_t seed,
+             gp::SteadyStateGa::XoMode mode)
+        : ga_(ga, gen, seed, mode)
+    {
+    }
+
+    gp::Test next() override { return ga_.nextTest(); }
+
+    void
+    report(const RunFeedback &feedback) override
+    {
+        double fitness = feedback.coverageFitness;
+        if (ga_.mode() == gp::SteadyStateGa::XoMode::SinglePoint) {
+            // Std.XO: equal weighting of coverage and normalized NDT.
+            fitness = 0.5 * fitness +
+                      0.5 * gp::normalizedNdt(feedback.nd.ndt);
+        }
+        ga_.reportResult(fitness, feedback.nd);
+    }
+
+    std::string
+    name() const override
+    {
+        return ga_.mode() == gp::SteadyStateGa::XoMode::Selective
+                   ? "McVerSi-ALL"
+                   : "McVerSi-Std.XO";
+    }
+
+    const gp::SteadyStateGa &ga() const { return ga_; }
+
+  private:
+    gp::SteadyStateGa ga_;
+};
+
+} // namespace mcversi::host
+
+#endif // MCVERSI_HOST_SOURCES_HH

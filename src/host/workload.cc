@@ -1,0 +1,223 @@
+#include "host/workload.hh"
+
+#include <chrono>
+
+#include "sim/fault.hh"
+
+namespace mcversi::host {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+sim::InstrKind
+toInstrKind(gp::OpKind kind)
+{
+    switch (kind) {
+      case gp::OpKind::Read: return sim::InstrKind::Load;
+      case gp::OpKind::ReadAddrDp: return sim::InstrKind::LoadAddrDep;
+      case gp::OpKind::Write: return sim::InstrKind::Store;
+      case gp::OpKind::ReadModifyWrite: return sim::InstrKind::Rmw;
+      case gp::OpKind::CacheFlush: return sim::InstrKind::Flush;
+      case gp::OpKind::Delay: return sim::InstrKind::Delay;
+    }
+    return sim::InstrKind::Delay;
+}
+
+} // namespace
+
+std::string
+RunResult::describe() const
+{
+    if (protocolError)
+        return "protocol error: " + protocolErrorInfo;
+    if (violation) {
+        return std::string("MCM violation (") +
+               mc::CheckResult::kindName(checkResult.kind) +
+               "): " + checkResult.message;
+    }
+    if (conditionHit)
+        return "litmus forbidden outcome observed";
+    return "ok";
+}
+
+Workload::Workload(sim::System &system, mc::Checker &checker,
+                   TestMemLayout layout, Params params)
+    : system_(system), checker_(checker), services_(system),
+      params_(params)
+{
+    services_.markTestMemRange(layout);
+}
+
+std::vector<sim::Program>
+Workload::emitPrograms(
+    const gp::Test &test,
+    std::vector<std::vector<std::size_t>> &slot_tables) const
+{
+    const TestMemLayout &layout = services_.layout();
+    const int num_threads = system_.numCores();
+    slot_tables = test.threadSlots(num_threads);
+
+    std::vector<sim::Program> programs(
+        static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+        sim::Program &prog = programs[static_cast<std::size_t>(t)];
+        prog.mapLogical = [layout](Addr logical) {
+            return layout.toPhys(logical);
+        };
+        prog.memSize = layout.memSize();
+        prog.stride = layout.stride();
+        for (const std::size_t node_idx :
+             slot_tables[static_cast<std::size_t>(t)]) {
+            const gp::Op &op = test.node(node_idx).op;
+            sim::ProgInstr instr;
+            instr.kind = toInstrKind(op.kind);
+            instr.logical = op.addr;
+            instr.addr = op.isMem() ? layout.toPhys(op.addr) : 0;
+            instr.delay = op.delay;
+            prog.instrs.push_back(instr);
+        }
+    }
+    return programs;
+}
+
+gp::StaticEventId
+Workload::staticIdOf(
+    const mc::Event &ev,
+    const std::vector<std::vector<std::size_t>> &slots) const
+{
+    if (ev.isInit()) {
+        const Addr logical = services_.layout().toLogical(ev.addr);
+        return gp::initStaticEventId(logical);
+    }
+    const auto &thread = slots[static_cast<std::size_t>(ev.iiid.pid)];
+    const std::size_t node_idx =
+        thread[static_cast<std::size_t>(ev.iiid.poi)];
+    return gp::staticEventId(node_idx, ev.sub);
+}
+
+void
+Workload::accumulateNd(
+    const mc::ExecWitness &witness,
+    const std::vector<std::vector<std::size_t>> &slots)
+{
+    const TestMemLayout &layout = services_.layout();
+    auto add = [&](mc::EventId from, mc::EventId to) {
+        const mc::Event &producer = witness.event(from);
+        const mc::Event &consumer = witness.event(to);
+        const gp::StaticEventId psid = staticIdOf(producer, slots);
+        const gp::StaticEventId csid = staticIdOf(consumer, slots);
+        nd_.addEdge(psid, csid);
+        if (!consumer.isInit() && layout.contains(consumer.addr)) {
+            nd_.noteEventAddr(csid, layout.toLogical(consumer.addr));
+        }
+    };
+    witness.rf().forEach(
+        [&](mc::EventId from, const mc::Relation::SuccSet &succs) {
+            for (mc::EventId to : succs)
+                add(from, to);
+        });
+    witness.co().forEach(
+        [&](mc::EventId from, const mc::Relation::SuccSet &succs) {
+            for (mc::EventId to : succs)
+                add(from, to);
+        });
+}
+
+RunResult
+Workload::runTest(const gp::Test &test, const ConditionFn &condition)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult result;
+
+    std::vector<std::vector<std::size_t>> slot_tables;
+    std::vector<sim::Program> programs = emitPrograms(test, slot_tables);
+
+    // make_test_thread: host writes each thread's code.
+    for (Pid p = 0; p < static_cast<Pid>(system_.numCores()); ++p)
+        services_.makeTestThread(p, programs[static_cast<std::size_t>(p)]);
+
+    nd_.beginRun(test.countEvents());
+    system_.coverage().beginRun();
+    result.preRunCounts = system_.coverage().preRunCounts();
+
+    const Tick ticks0 = system_.eventQueue().now();
+
+    for (int iter = 0; iter < params_.iterations; ++iter) {
+        // reset_test_mem: initial values + cache flush.
+        services_.resetTestMem();
+        system_.witness().reset();
+
+        if (params_.guestOverhead > 0) {
+            // Guest-side setup (software barrier arrival, test-memory
+            // reset loops) consumes simulated time before any thread
+            // can be released.
+            system_.eventQueue().scheduleIn(params_.guestOverhead,
+                                            []() {});
+            system_.runToQuiescence();
+        }
+
+        // barrier_wait_precise + execute code + barrier_wait_coarse.
+        services_.barrierWaitPrecise(params_.barrierSkew);
+        try {
+            services_.barrierWaitCoarse();
+        } catch (const sim::ProtocolError &err) {
+            result.protocolError = true;
+            result.protocolErrorInfo = err.what();
+            result.violationIteration = iter;
+            result.iterationsRun = iter + 1;
+            break;
+        } catch (const std::runtime_error &) {
+            // Livelock watchdog: the event cap fired (replay storms
+            // can self-sustain under extreme conflict). Abandon this
+            // iteration: drop all in-flight events and state; the next
+            // iteration starts from a clean reset.
+            ++result.watchdogAborts;
+            system_.eventQueue().clearPending();
+            system_.resetProtocolState();
+            system_.witness().reset();
+            continue;
+        }
+
+        result.eventsExecuted += system_.witness().numEvents();
+        system_.witness().finalize();
+
+        // verify_reset_conflict / verify_reset_all: check the candidate
+        // execution.
+        if (params_.checkEveryIteration) {
+            const auto c0 = std::chrono::steady_clock::now();
+            mc::CheckResult check = checker_.check(system_.witness());
+            result.checkSeconds += secondsSince(c0);
+            if (!check.ok()) {
+                result.violation = true;
+                result.checkResult = std::move(check);
+                result.violationIteration = iter;
+                result.iterationsRun = iter + 1;
+                break;
+            }
+        }
+        if (condition && condition(system_.witness())) {
+            result.conditionHit = true;
+            result.violationIteration = iter;
+            result.iterationsRun = iter + 1;
+            break;
+        }
+
+        accumulateNd(system_.witness(), slot_tables);
+        result.iterationsRun = iter + 1;
+    }
+
+    result.simTicks = system_.eventQueue().now() - ticks0;
+    result.coveredTransitions = system_.coverage().endRun();
+    result.nd = nd_.info();
+    result.totalSeconds = secondsSince(t0);
+    return result;
+}
+
+} // namespace mcversi::host

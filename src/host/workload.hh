@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The guest workload kernel (Algorithm 2 of the paper).
+ *
+ * For each test-run: emit each thread's code (make_test_thread), then
+ * for every iteration release the threads in lock-step
+ * (barrier_wait_precise), run to completion (barrier_wait_coarse),
+ * verify the candidate execution and clear its conflict orders
+ * (verify_reset_conflict), and reset the test memory (reset_test_mem).
+ * After the final iteration verify_reset_all evaluates the run:
+ * coverage delta, NDT / NDe / fitaddrs, and timing.
+ */
+
+#ifndef MCVERSI_HOST_WORKLOAD_HH
+#define MCVERSI_HOST_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gp/ndmetrics.hh"
+#include "gp/test.hh"
+#include "host/interface.hh"
+#include "memconsistency/checker.hh"
+#include "sim/system.hh"
+
+namespace mcversi::host {
+
+/** Outcome of one test-run (several iterations of one test). */
+struct RunResult
+{
+    /** An MCM violation or witness anomaly was detected. */
+    bool violation = false;
+    mc::CheckResult checkResult{};
+    /** The protocol hit an invalid transition (Ruby-style crash). */
+    bool protocolError = false;
+    std::string protocolErrorInfo;
+    /** A litmus-style forbidden condition was observed. */
+    bool conditionHit = false;
+    int violationIteration = -1;
+
+    gp::NdInfo nd{};
+    std::vector<std::uint32_t> coveredTransitions;
+    std::vector<std::uint64_t> preRunCounts;
+
+    int iterationsRun = 0;
+    /** Iterations abandoned by the livelock watchdog (event cap). */
+    int watchdogAborts = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t eventsExecuted = 0;
+    double checkSeconds = 0.0;
+    double totalSeconds = 0.0;
+
+    bool
+    bugDetected() const
+    {
+        return violation || protocolError || conditionHit;
+    }
+
+    std::string describe() const;
+};
+
+/**
+ * Per-iteration self-check hook (litmus tests): returns true if the
+ * forbidden outcome was observed in this iteration's witness.
+ */
+using ConditionFn = std::function<bool(const mc::ExecWitness &)>;
+
+/** Drives test-runs on a simulated system (the Algorithm 2 kernel). */
+class Workload
+{
+  public:
+    struct Params
+    {
+        int iterations = 10;
+        /**
+         * Start skew of the precise barrier: ~2 cycles with host
+         * assistance, hundreds with a guest software barrier.
+         */
+        Tick barrierSkew = 2;
+        /**
+         * Extra simulated cycles consumed per iteration by guest-side
+         * setup (0 with full host assistance; the ablation bench models
+         * a guest implementation with large values).
+         */
+        Tick guestOverhead = 0;
+        /** Run the axiomatic checker after every iteration. */
+        bool checkEveryIteration = true;
+    };
+
+    Workload(sim::System &system, mc::Checker &checker,
+             TestMemLayout layout, Params params);
+
+    /**
+     * Execute one full test-run of @p test.
+     *
+     * @param condition optional litmus self-check evaluated after every
+     *        iteration
+     */
+    RunResult runTest(const gp::Test &test,
+                      const ConditionFn &condition = nullptr);
+
+    HostServices &services() { return services_; }
+    const Params &params() const { return params_; }
+    void setParams(Params p) { params_ = p; }
+
+    /** Translate one test into per-thread programs (code emission). */
+    std::vector<sim::Program>
+    emitPrograms(const gp::Test &test,
+                 std::vector<std::vector<std::size_t>> &slot_tables) const;
+
+  private:
+    /** Map a witness event to its static event id. */
+    gp::StaticEventId
+    staticIdOf(const mc::Event &ev,
+               const std::vector<std::vector<std::size_t>> &slots) const;
+
+    void accumulateNd(const mc::ExecWitness &witness,
+                      const std::vector<std::vector<std::size_t>> &slots);
+
+    sim::System &system_;
+    mc::Checker &checker_;
+    HostServices services_;
+    Params params_;
+    gp::NdAccumulator nd_;
+};
+
+} // namespace mcversi::host
+
+#endif // MCVERSI_HOST_WORKLOAD_HH

@@ -1,0 +1,276 @@
+#include "litmus/diy.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace mcversi::litmus {
+
+const char *
+edgeName(EdgeType e)
+{
+    switch (e) {
+      case EdgeType::Rfe: return "Rfe";
+      case EdgeType::Fre: return "Fre";
+      case EdgeType::Coe: return "Coe";
+      case EdgeType::PodRR: return "PodRR";
+      case EdgeType::PodRW: return "PodRW";
+      case EdgeType::PodWW: return "PodWW";
+      case EdgeType::MFencedWR: return "MFencedWR";
+    }
+    return "?";
+}
+
+bool
+isCommEdge(EdgeType e)
+{
+    return e == EdgeType::Rfe || e == EdgeType::Fre ||
+           e == EdgeType::Coe;
+}
+
+bool
+edgeSrcIsWrite(EdgeType e)
+{
+    switch (e) {
+      case EdgeType::Rfe:
+      case EdgeType::Coe:
+      case EdgeType::PodWW:
+      case EdgeType::MFencedWR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+edgeDstIsWrite(EdgeType e)
+{
+    switch (e) {
+      case EdgeType::Fre:
+      case EdgeType::Coe:
+      case EdgeType::PodRW:
+      case EdgeType::PodWW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+cycleName(const CycleSpec &spec)
+{
+    std::string name;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        if (i)
+            name += " ";
+        name += edgeName(spec[i]);
+    }
+    return name;
+}
+
+namespace {
+
+bool
+adjacencyOk(const CycleSpec &spec)
+{
+    const std::size_t n = spec.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (edgeDstIsWrite(spec[i]) !=
+            edgeSrcIsWrite(spec[(i + 1) % n])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+structureOk(const CycleSpec &spec)
+{
+    const std::size_t n = spec.size();
+    if (n < 4)
+        return false;
+    if (!isCommEdge(spec[n - 1]))
+        return false;
+    std::size_t comm = 0;
+    std::size_t po = 0;
+    for (EdgeType e : spec)
+        (isCommEdge(e) ? comm : po) += 1;
+    if (comm < 2 || po < 2)
+        return false;
+    return adjacencyOk(spec);
+}
+
+/** Canonical rotation: lexicographically smallest ending in comm. */
+CycleSpec
+canonicalize(const CycleSpec &spec)
+{
+    const std::size_t n = spec.size();
+    CycleSpec best;
+    for (std::size_t r = 0; r < n; ++r) {
+        if (!isCommEdge(spec[(r + n - 1) % n]))
+            continue;
+        CycleSpec rot;
+        rot.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            rot.push_back(spec[(r + i) % n]);
+        if (best.empty() || rot < best)
+            best = rot;
+    }
+    return best.empty() ? spec : best;
+}
+
+} // namespace
+
+std::optional<LitmusTest>
+buildTest(const CycleSpec &spec, Addr addr_stride)
+{
+    if (!structureOk(spec))
+        return std::nullopt;
+    const std::size_t n = spec.size();
+
+    // Event attributes from the walk.
+    std::vector<bool> is_write(n);
+    std::vector<int> tid(n);
+    std::vector<std::size_t> aidx(n);
+    std::size_t num_po = 0;
+    for (EdgeType e : spec)
+        if (!isCommEdge(e))
+            ++num_po;
+
+    int cur_tid = 0;
+    std::size_t cur_aidx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        is_write[i] = edgeSrcIsWrite(spec[i]);
+        tid[i] = cur_tid;
+        aidx[i] = cur_aidx % num_po;
+        if (isCommEdge(spec[i])) {
+            ++cur_tid;
+        } else {
+            ++cur_aidx;
+        }
+    }
+    const int num_threads = cur_tid;
+
+    // Emit per-thread ops; record each event's (pid, slot).
+    std::vector<std::vector<gp::Node>> thread_ops(
+        static_cast<std::size_t>(num_threads));
+    std::vector<int> slot(n);
+    std::size_t next_scratch = num_po;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &ops = thread_ops[static_cast<std::size_t>(tid[i])];
+        gp::Node node;
+        node.pid = tid[i];
+        node.op.kind =
+            is_write[i] ? gp::OpKind::Write : gp::OpKind::Read;
+        node.op.addr = static_cast<Addr>(aidx[i]) * addr_stride;
+        slot[i] = static_cast<int>(ops.size());
+        ops.push_back(node);
+        // A fence edge inserts an RMW to a private scratch location
+        // between this event and the next one of the same thread.
+        if (spec[i] == EdgeType::MFencedWR) {
+            gp::Node fence;
+            fence.pid = tid[i];
+            fence.op.kind = gp::OpKind::ReadModifyWrite;
+            fence.op.addr =
+                static_cast<Addr>(next_scratch++) * addr_stride;
+            ops.push_back(fence);
+        }
+    }
+
+    LitmusTest out;
+    out.name = cycleName(spec);
+    out.numThreads = num_threads;
+    out.numAddrs = static_cast<int>(next_scratch);
+
+    std::vector<gp::Node> flat;
+    for (const auto &ops : thread_ops)
+        for (const gp::Node &node : ops)
+            flat.push_back(node);
+    out.test = gp::Test(std::move(flat));
+
+    // Conditions from communication edges.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!isCommEdge(spec[i]))
+            continue;
+        const std::size_t j = (i + 1) % n;
+        CondAtom atom;
+        switch (spec[i]) {
+          case EdgeType::Rfe:
+            atom.kind = CondAtom::Kind::ReadsFrom;
+            atom.pid = tid[j];
+            atom.slot = slot[j];
+            atom.otherPid = tid[i];
+            atom.otherSlot = slot[i];
+            break;
+          case EdgeType::Fre:
+            atom.kind = CondAtom::Kind::ReadsBefore;
+            atom.pid = tid[i];
+            atom.slot = slot[i];
+            atom.otherPid = tid[j];
+            atom.otherSlot = slot[j];
+            break;
+          case EdgeType::Coe:
+            atom.kind = CondAtom::Kind::CoBefore;
+            atom.pid = tid[i];
+            atom.slot = slot[i];
+            atom.otherPid = tid[j];
+            atom.otherSlot = slot[j];
+            break;
+          default:
+            break;
+        }
+        out.forbidden.push_back(atom);
+    }
+    return out;
+}
+
+namespace {
+
+constexpr EdgeType kAlphabet[] = {
+    EdgeType::Rfe,   EdgeType::Fre,   EdgeType::Coe,
+    EdgeType::PodRR, EdgeType::PodRW, EdgeType::PodWW,
+    EdgeType::MFencedWR,
+};
+
+} // namespace
+
+std::vector<CycleSpec>
+enumerateCycles(std::size_t max_len, std::size_t max_tests)
+{
+    std::set<CycleSpec> seen;
+    std::vector<CycleSpec> out;
+
+    CycleSpec cur;
+    // Depth-first enumeration with adjacency pruning.
+    auto rec = [&](auto &&self, std::size_t target_len) -> void {
+        if (cur.size() == target_len) {
+            if (!structureOk(cur))
+                return;
+            // Only accept the canonical rotation itself; every
+            // rotation class is enumerated, so none are lost.
+            CycleSpec canon = canonicalize(cur);
+            if (cur == canon && seen.insert(canon).second)
+                out.push_back(canon);
+            return;
+        }
+        for (EdgeType e : kAlphabet) {
+            if (!cur.empty() &&
+                edgeDstIsWrite(cur.back()) != edgeSrcIsWrite(e)) {
+                continue;
+            }
+            cur.push_back(e);
+            self(self, target_len);
+            cur.pop_back();
+        }
+    };
+
+    for (std::size_t len = 4; len <= max_len; ++len) {
+        rec(rec, len);
+        if (out.size() >= max_tests)
+            break;
+    }
+    if (out.size() > max_tests)
+        out.resize(max_tests);
+    return out;
+}
+
+} // namespace mcversi::litmus

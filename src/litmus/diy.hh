@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mini-diy: litmus test generation from critical cycles.
+ *
+ * Following the diy tool (Alglave et al., "Fences in weak memory
+ * models"), a litmus test is synthesized from a *cycle of relaxation
+ * edges*. Communication edges (Rfe, Fre, Coe/Wse) connect events on the
+ * same address across threads; program-order edges (PodRR, PodRW,
+ * PodWW, MFencedWR) connect events of one thread on different
+ * addresses. Any cycle built solely from edges that x86-TSO globally
+ * orders is forbidden; observing it is a violation. The final condition
+ * is derived per communication edge:
+ *
+ *   Rfe(W -> R)  : R reads from W
+ *   Fre(R -> W)  : R reads a write strictly co-before W (or init)
+ *   Coe(W -> W') : W is co-before W'
+ *
+ * x86 has no standalone mfence in our op set; MFencedWR edges insert an
+ * atomic RMW to a scratch location (the x86 "lock-prefix as fence"
+ * idiom, which the paper's operation mix also relies on).
+ */
+
+#ifndef MCVERSI_LITMUS_DIY_HH
+#define MCVERSI_LITMUS_DIY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+
+namespace mcversi::litmus {
+
+/** Relaxation edge alphabet (x86-TSO forbidden cycles only). */
+enum class EdgeType : std::uint8_t {
+    Rfe,       ///< external read-from            (W -> R, same addr)
+    Fre,       ///< external from-read            (R -> W, same addr)
+    Coe,       ///< external coherence            (W -> W, same addr)
+    PodRR,     ///< program order read-read       (different addr)
+    PodRW,     ///< program order read-write      (different addr)
+    PodWW,     ///< program order write-write     (different addr)
+    MFencedWR, ///< fenced write-read             (different addr)
+};
+
+const char *edgeName(EdgeType e);
+
+/** True for Rfe / Fre / Coe. */
+bool isCommEdge(EdgeType e);
+
+/** Source / destination event type: true = write. */
+bool edgeSrcIsWrite(EdgeType e);
+bool edgeDstIsWrite(EdgeType e);
+
+/** A cycle of edges. */
+using CycleSpec = std::vector<EdgeType>;
+
+/** diy-style name: edge names joined by spaces. */
+std::string cycleName(const CycleSpec &spec);
+
+/**
+ * Build a litmus test from a cycle.
+ *
+ * Validity: adjacent edge types must agree (including wrap-around),
+ * the last edge must be a communication edge (canonical rotation), at
+ * least two communication and two program-order edges must be present.
+ *
+ * @param addr_stride byte distance between test variables (>= one
+ *        cache line keeps variables from false sharing)
+ * @return the test, or nullopt if the spec is invalid
+ */
+std::optional<LitmusTest> buildTest(const CycleSpec &spec,
+                                    Addr addr_stride = kLineBytes);
+
+/**
+ * Enumerate forbidden critical cycles of length [4, max_len],
+ * canonicalized by rotation, in deterministic order.
+ */
+std::vector<CycleSpec> enumerateCycles(std::size_t max_len,
+                                       std::size_t max_tests);
+
+} // namespace mcversi::litmus
+
+#endif // MCVERSI_LITMUS_DIY_HH

@@ -1,0 +1,156 @@
+#include "litmus/litmus.hh"
+
+namespace mcversi::litmus {
+
+mc::EventId
+findEvent(const mc::ExecWitness &ew, Pid pid, int slot, bool want_write)
+{
+    for (const mc::EventId id : ew.threadEvents(pid)) {
+        const mc::Event &ev = ew.event(id);
+        if (ev.iiid.poi != slot)
+            continue;
+        if (ev.isWrite() == want_write)
+            return id;
+    }
+    return mc::kNoEvent;
+}
+
+namespace {
+
+/** True if @p w (or init) is strictly co-before @p target. */
+bool
+coStrictlyBefore(const mc::ExecWitness &ew, mc::EventId w,
+                 mc::EventId target)
+{
+    for (mc::EventId cur = ew.coSuccessor(w); cur != mc::kNoEvent;
+         cur = ew.coSuccessor(cur)) {
+        if (cur == target)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+namespace {
+
+bool evalConjunction(const std::vector<CondAtom> &atoms,
+                     const mc::ExecWitness &ew);
+
+} // namespace
+
+bool
+evalForbidden(const LitmusTest &test, const mc::ExecWitness &ew)
+{
+    if (!test.forbiddenAlternatives.empty()) {
+        for (const auto &alt : test.forbiddenAlternatives)
+            if (evalConjunction(alt, ew))
+                return true;
+        return false;
+    }
+    return evalConjunction(test.forbidden, ew);
+}
+
+LitmusTest
+unroll(const LitmusTest &test, int instances, Addr block_stride)
+{
+    LitmusTest out;
+    out.name = test.name + " x" + std::to_string(instances);
+    out.numThreads = test.numThreads;
+    out.numAddrs = test.numAddrs * instances;
+
+    // Per-thread op counts of one instance, for slot shifting.
+    std::vector<int> ops_per_thread(
+        static_cast<std::size_t>(test.numThreads), 0);
+    for (const gp::Node &node : test.test.nodes())
+        ++ops_per_thread[static_cast<std::size_t>(node.pid)];
+
+    std::vector<gp::Node> nodes;
+    nodes.reserve(test.test.size() * static_cast<std::size_t>(instances));
+    for (int k = 0; k < instances; ++k) {
+        const Addr base = static_cast<Addr>(k) * block_stride;
+        for (const gp::Node &node : test.test.nodes()) {
+            gp::Node copy = node;
+            if (copy.op.isMem())
+                copy.op.addr += base;
+            nodes.push_back(copy);
+        }
+        std::vector<CondAtom> alt;
+        for (const CondAtom &atom : test.forbidden) {
+            CondAtom shifted = atom;
+            shifted.slot +=
+                k * ops_per_thread[static_cast<std::size_t>(atom.pid)];
+            shifted.otherSlot +=
+                k * ops_per_thread[static_cast<std::size_t>(
+                        atom.otherPid)];
+            alt.push_back(shifted);
+        }
+        out.forbiddenAlternatives.push_back(std::move(alt));
+    }
+    out.test = gp::Test(std::move(nodes));
+    out.forbidden = test.forbidden;
+    return out;
+}
+
+namespace {
+
+bool
+evalConjunction(const std::vector<CondAtom> &atoms,
+                const mc::ExecWitness &ew)
+{
+    for (const CondAtom &atom : atoms) {
+        switch (atom.kind) {
+          case CondAtom::Kind::ReadsFrom: {
+            const mc::EventId r =
+                findEvent(ew, atom.pid, atom.slot, false);
+            const mc::EventId w =
+                findEvent(ew, atom.otherPid, atom.otherSlot, true);
+            if (r == mc::kNoEvent || w == mc::kNoEvent)
+                return false;
+            if (ew.rfSource(r) != w)
+                return false;
+            break;
+          }
+          case CondAtom::Kind::ReadsInit: {
+            const mc::EventId r =
+                findEvent(ew, atom.pid, atom.slot, false);
+            if (r == mc::kNoEvent)
+                return false;
+            const mc::EventId src = ew.rfSource(r);
+            if (src == mc::kNoEvent || !ew.event(src).isInit())
+                return false;
+            break;
+          }
+          case CondAtom::Kind::ReadsBefore: {
+            const mc::EventId r =
+                findEvent(ew, atom.pid, atom.slot, false);
+            const mc::EventId w =
+                findEvent(ew, atom.otherPid, atom.otherSlot, true);
+            if (r == mc::kNoEvent || w == mc::kNoEvent)
+                return false;
+            const mc::EventId src = ew.rfSource(r);
+            if (src == mc::kNoEvent)
+                return false;
+            if (!coStrictlyBefore(ew, src, w))
+                return false;
+            break;
+          }
+          case CondAtom::Kind::CoBefore: {
+            const mc::EventId w1 =
+                findEvent(ew, atom.pid, atom.slot, true);
+            const mc::EventId w2 =
+                findEvent(ew, atom.otherPid, atom.otherSlot, true);
+            if (w1 == mc::kNoEvent || w2 == mc::kNoEvent)
+                return false;
+            if (!coStrictlyBefore(ew, w1, w2))
+                return false;
+            break;
+          }
+        }
+    }
+    return !atoms.empty();
+}
+
+} // namespace
+
+} // namespace mcversi::litmus

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Litmus tests: short, self-checking MCM tests (§5.2.2).
+ *
+ * A litmus test is a tiny multi-threaded program plus a *forbidden*
+ * final condition. Unlike McVerSi's checker-based verification, litmus
+ * tests detect bugs only when the forbidden outcome is actually
+ * observed -- they are self-checking, which makes them portable but
+ * blind to anything their condition does not mention.
+ *
+ * Conditions are conjunctions of atoms over the observed conflict
+ * orders, expressed against static (thread, program-order-slot) event
+ * coordinates so they are oblivious to the unique write values the
+ * simulator assigns.
+ */
+
+#ifndef MCVERSI_LITMUS_LITMUS_HH
+#define MCVERSI_LITMUS_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+#include "gp/test.hh"
+#include "memconsistency/execwitness.hh"
+
+namespace mcversi::litmus {
+
+/** One conjunct of a litmus final condition. */
+struct CondAtom
+{
+    enum class Kind : std::uint8_t {
+        /** read (pid, slot) reads from write (otherPid, otherSlot). */
+        ReadsFrom,
+        /** read (pid, slot) reads the initial value. */
+        ReadsInit,
+        /**
+         * read (pid, slot) reads a write strictly co-before
+         * (otherPid, otherSlot) -- the observable form of an fr edge.
+         */
+        ReadsBefore,
+        /** write (pid, slot) is co-before write (otherPid, otherSlot). */
+        CoBefore,
+    };
+
+    Kind kind = Kind::ReadsFrom;
+    Pid pid = 0;
+    int slot = 0; ///< program-order index within the thread
+    Pid otherPid = 0;
+    int otherSlot = 0;
+};
+
+/** A complete litmus test. */
+struct LitmusTest
+{
+    std::string name;
+    /** Flat gene list; per-thread order is list order (like gp tests). */
+    gp::Test test;
+    int numThreads = 2;
+    int numAddrs = 2;
+    /** Conjunction; observed together => forbidden outcome. */
+    std::vector<CondAtom> forbidden;
+    /**
+     * For unrolled tests: one conjunction per instance; observing any
+     * alternative is the forbidden outcome. Empty => use `forbidden`.
+     */
+    std::vector<std::vector<CondAtom>> forbiddenAlternatives;
+};
+
+/**
+ * Evaluate the forbidden condition against one iteration's witness.
+ *
+ * @return true iff every atom of some alternative holds
+ */
+bool evalForbidden(const LitmusTest &test, const mc::ExecWitness &ew);
+
+/**
+ * Replicate a litmus test body @p instances times, each instance on its
+ * own set of variables (the litmus "-s size" array idiom: running many
+ * instances back-to-back lets thread timing drift open the racy windows
+ * that a single aligned instance never exhibits). The forbidden outcome
+ * becomes a disjunction over instances.
+ *
+ * @param block_stride byte distance between instances' variable blocks
+ */
+LitmusTest unroll(const LitmusTest &test, int instances,
+                  Addr block_stride);
+
+/** Find the event of (pid, slot) with the wanted type; kNoEvent if absent. */
+mc::EventId findEvent(const mc::ExecWitness &ew, Pid pid, int slot,
+                      bool want_write);
+
+} // namespace mcversi::litmus
+
+#endif // MCVERSI_LITMUS_LITMUS_HH

@@ -1,0 +1,84 @@
+#include "litmus/runner.hh"
+
+#include <chrono>
+
+namespace mcversi::litmus {
+
+LitmusRunner::LitmusRunner(Params params, std::vector<LitmusTest> suite)
+    : params_(params)
+{
+    system_ = std::make_unique<sim::System>(params_.system);
+    checker_ = std::make_unique<mc::Checker>(mc::makeTso());
+
+    // Unroll every test into its array form (diy -s semantics).
+    Addr max_addrs = 1;
+    suite_.reserve(suite.size());
+    for (const LitmusTest &t : suite) {
+        const Addr block =
+            static_cast<Addr>(t.numAddrs) * params_.addrStride;
+        suite_.push_back(unroll(t, params_.instances, block));
+        max_addrs = std::max(
+            max_addrs, static_cast<Addr>(suite_.back().numAddrs));
+    }
+    const Addr mem_size = max_addrs * params_.addrStride;
+
+    host::Workload::Params wl;
+    wl.iterations = params_.iterationsPerRun;
+    wl.checkEveryIteration = false; // Self-checking only.
+    workload_ = std::make_unique<host::Workload>(
+        *system_, *checker_,
+        host::TestMemLayout(mem_size, params_.addrStride), wl);
+}
+
+host::HarnessResult
+LitmusRunner::run(const host::Budget &budget)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    host::HarnessResult result;
+    if (suite_.empty()) {
+        result.wallSeconds = elapsed();
+        return result;
+    }
+
+    std::size_t idx = 0;
+    for (;;) {
+        if (budget.maxTestRuns > 0 &&
+            result.testRuns >= budget.maxTestRuns) {
+            break;
+        }
+        if (budget.maxWallSeconds > 0.0 &&
+            elapsed() >= budget.maxWallSeconds) {
+            break;
+        }
+
+        const LitmusTest &test = suite_[idx];
+        idx = (idx + 1) % suite_.size(); // Outer loop over the suite.
+
+        host::RunResult run = workload_->runTest(
+            test.test, [&test](const mc::ExecWitness &ew) {
+                return evalForbidden(test, ew);
+            });
+        ++result.testRuns;
+        result.simTicks += run.simTicks;
+        result.eventsExecuted += run.eventsExecuted;
+
+        if (run.bugDetected()) {
+            result.bugFound = true;
+            result.detail = test.name + ": " + run.describe();
+            result.testRunsToBug = result.testRuns;
+            result.wallSecondsToBug = elapsed();
+            break;
+        }
+    }
+    result.wallSeconds = elapsed();
+    result.totalCoverage = system_->coverage().totalCoverage();
+    return result;
+}
+
+} // namespace mcversi::litmus

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Litmus suite runner (the diy-litmus configuration of §5.2.2).
+ *
+ * Runs every test of a suite in an outer loop ("re-execute all tests
+ * after the last of the tests has been executed"), since one cannot
+ * pre-determine which test will detect an error. Detection is purely
+ * self-checking -- a test fires only if its forbidden final condition
+ * is observed -- plus protocol crashes (invalid transitions), which any
+ * methodology would notice. The axiomatic checker is *not* consulted,
+ * faithful to litmus methodology.
+ */
+
+#ifndef MCVERSI_LITMUS_RUNNER_HH
+#define MCVERSI_LITMUS_RUNNER_HH
+
+#include <memory>
+
+#include "host/harness.hh"
+#include "litmus/litmus.hh"
+
+namespace mcversi::litmus {
+
+/** Runs a litmus suite against one simulated system. */
+class LitmusRunner
+{
+  public:
+    struct Params
+    {
+        sim::SystemConfig system{};
+        /**
+         * Iterations of each test per test-run; the paper uses large
+         * -s values post-silicon style, scaled down here for
+         * simulation budgets.
+         */
+        int iterationsPerRun = 20;
+        /**
+         * Instances per iteration (the diy "-s size" array: each
+         * instance has its own variables; running them back-to-back
+         * lets thread drift open racy windows). Paper: 8000; scaled
+         * down for simulation.
+         */
+        int instances = 24;
+        /** Variable spacing: one cache line. */
+        Addr addrStride = kLineBytes;
+    };
+
+    LitmusRunner(Params params, std::vector<LitmusTest> suite);
+
+    /** Cycle through the suite until a bug is found or budget ends. */
+    host::HarnessResult run(const host::Budget &budget);
+
+    sim::System &system() { return *system_; }
+
+  private:
+    Params params_;
+    std::vector<LitmusTest> suite_;
+    std::unique_ptr<sim::System> system_;
+    std::unique_ptr<mc::Checker> checker_;
+    std::unique_ptr<host::Workload> workload_;
+};
+
+} // namespace mcversi::litmus
+
+#endif // MCVERSI_LITMUS_RUNNER_HH

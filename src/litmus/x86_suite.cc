@@ -1,0 +1,74 @@
+#include "litmus/x86_suite.hh"
+
+#include <stdexcept>
+
+namespace mcversi::litmus {
+
+namespace {
+
+LitmusTest
+mustBuild(const CycleSpec &spec, const char *name)
+{
+    auto test = buildTest(spec);
+    if (!test)
+        throw std::logic_error(std::string("invalid litmus spec: ") +
+                               name);
+    return *test;
+}
+
+} // namespace
+
+std::vector<LitmusTest>
+x86TsoSuite()
+{
+    std::vector<LitmusTest> suite;
+    for (const CycleSpec &spec : enumerateCycles(6, kX86SuiteSize)) {
+        if (auto test = buildTest(spec))
+            suite.push_back(std::move(*test));
+        if (suite.size() >= kX86SuiteSize)
+            break;
+    }
+    return suite;
+}
+
+LitmusTest
+messagePassing()
+{
+    LitmusTest t = mustBuild({EdgeType::PodWW, EdgeType::Rfe,
+                              EdgeType::PodRR, EdgeType::Fre},
+                             "MP");
+    t.name = "MP (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+storeBufferingFenced()
+{
+    LitmusTest t = mustBuild({EdgeType::MFencedWR, EdgeType::Fre,
+                              EdgeType::MFencedWR, EdgeType::Fre},
+                             "SB+fences");
+    t.name = "SB+fences (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+loadBuffering()
+{
+    LitmusTest t = mustBuild({EdgeType::PodRW, EdgeType::Rfe,
+                              EdgeType::PodRW, EdgeType::Rfe},
+                             "LB");
+    t.name = "LB (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+twoPlusTwoW()
+{
+    LitmusTest t = mustBuild({EdgeType::PodWW, EdgeType::Coe,
+                              EdgeType::PodWW, EdgeType::Coe},
+                             "2+2W");
+    t.name = "2+2W (" + t.name + ")";
+    return t;
+}
+
+} // namespace mcversi::litmus

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * McVerSi umbrella header: the full public API.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   mcversi::host::VerificationHarness::Params params;
+ *   params.system.protocol = mcversi::sim::Protocol::Mesi;
+ *   params.system.bug = mcversi::sim::BugId::MesiLqIsInv;
+ *   mcversi::host::GaSource source(ga, gen, seed,
+ *       mcversi::gp::SteadyStateGa::XoMode::Selective);
+ *   mcversi::host::VerificationHarness harness(params, source);
+ *   auto result = harness.run({.maxTestRuns = 1000});
+ */
+
+#ifndef MCVERSI_MCVERSI_HH
+#define MCVERSI_MCVERSI_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+#include "memconsistency/arch.hh"
+#include "memconsistency/checker.hh"
+#include "memconsistency/event.hh"
+#include "memconsistency/execwitness.hh"
+#include "memconsistency/graph.hh"
+#include "memconsistency/relation.hh"
+
+#include "sim/bugs.hh"
+#include "sim/config.hh"
+#include "sim/coverage.hh"
+#include "sim/fault.hh"
+#include "sim/system.hh"
+
+#include "gp/crossover.hh"
+#include "gp/fitness.hh"
+#include "gp/ga.hh"
+#include "gp/ndmetrics.hh"
+#include "gp/ops.hh"
+#include "gp/params.hh"
+#include "gp/randgen.hh"
+#include "gp/test.hh"
+
+#include "host/harness.hh"
+#include "host/interface.hh"
+#include "host/sources.hh"
+#include "host/workload.hh"
+
+#include "litmus/diy.hh"
+#include "litmus/litmus.hh"
+#include "litmus/runner.hh"
+#include "litmus/x86_suite.hh"
+
+#endif // MCVERSI_MCVERSI_HH

@@ -1,0 +1,9 @@
+#include "memconsistency/arch.hh"
+
+namespace mcversi::mc {
+
+// Out-of-line virtual destructor anchor lives implicitly via the vtable
+// of the concrete models; nothing further needed here. This translation
+// unit exists so arch.hh has a home for future shared helpers.
+
+} // namespace mcversi::mc

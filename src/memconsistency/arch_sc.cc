@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Sequential Consistency: every program-order pair is preserved, so the
+ * consecutive-event chain generates the full (transitive) po.
+ */
+
+#include "memconsistency/arch.hh"
+
+namespace mcversi::mc {
+namespace {
+
+class Sc : public Architecture
+{
+  public:
+    std::string name() const override { return "SC"; }
+
+    void
+    addProgramOrderEdges(const ExecWitness &ew,
+                         const std::vector<EventId> &thread,
+                         CycleGraph &g) const override
+    {
+        (void)ew;
+        for (std::size_t i = 1; i < thread.size(); ++i)
+            g.addEdge(thread[i - 1], thread[i]);
+    }
+
+    bool ghbIncludesRfi() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<Architecture>
+makeSc()
+{
+    return std::make_unique<Sc>();
+}
+
+} // namespace mcversi::mc

@@ -1,0 +1,156 @@
+#include "memconsistency/checker.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace mcversi::mc {
+
+const char *
+CheckResult::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Ok: return "ok";
+      case Kind::WitnessAnomaly: return "witness-anomaly";
+      case Kind::UniprocViolation: return "sc-per-location";
+      case Kind::AtomicityViolation: return "rmw-atomicity";
+      case Kind::GhbViolation: return "ghb";
+    }
+    return "?";
+}
+
+CheckResult
+Checker::cycleResult(CheckResult::Kind kind, const ExecWitness &ew,
+                     const std::vector<CycleGraph::Node> &cyc,
+                     const std::string &constraint)
+{
+    CheckResult res;
+    res.kind = kind;
+    std::ostringstream os;
+    os << constraint << " cycle:";
+    const auto num_events = static_cast<CycleGraph::Node>(ew.numEvents());
+    for (const auto node : cyc) {
+        if (node < num_events) {
+            res.cycle.push_back(node);
+            os << "\n  " << ew.event(node).toString();
+        } else {
+            os << "\n  <fence>";
+        }
+    }
+    res.message = os.str();
+    return res;
+}
+
+CheckResult
+Checker::check(ExecWitness &ew) const
+{
+    ew.finalize();
+    if (ew.anomaly() != WitnessAnomaly::None) {
+        CheckResult res;
+        res.kind = CheckResult::Kind::WitnessAnomaly;
+        res.message = ew.anomalyInfo();
+        return res;
+    }
+    if (auto res = checkUniproc(ew); !res.ok())
+        return res;
+    if (auto res = checkAtomicity(ew); !res.ok())
+        return res;
+    return checkGhb(ew);
+}
+
+CheckResult
+Checker::checkUniproc(const ExecWitness &ew) const
+{
+    CycleGraph g(ew.numEvents());
+
+    // po-loc: consecutive same-address events per thread (the per
+    // (thread, address) sequence is totally ordered, so the chain
+    // generates the full po-loc).
+    for (Pid pid : ew.threads()) {
+        std::unordered_map<Addr, EventId> last;
+        for (EventId id : ew.threadEvents(pid)) {
+            const Addr a = ew.event(id).addr;
+            if (auto it = last.find(a); it != last.end())
+                g.addEdge(it->second, id);
+            last[a] = id;
+        }
+    }
+    // Communication edges: rf (all), immediate co, immediate fr.
+    ew.rf().forEach([&](EventId from, const Relation::SuccSet &succs) {
+        for (EventId to : succs)
+            g.addEdge(from, to);
+    });
+    ew.co().forEach([&](EventId from, const Relation::SuccSet &succs) {
+        for (EventId to : succs)
+            g.addEdge(from, to);
+    });
+    const Relation fr = ew.computeFrImmediate();
+    fr.forEach([&](EventId from, const Relation::SuccSet &succs) {
+        for (EventId to : succs)
+            g.addEdge(from, to);
+    });
+
+    if (auto cyc = g.findCycle()) {
+        return cycleResult(CheckResult::Kind::UniprocViolation, ew, *cyc,
+                           "sc-per-location");
+    }
+    return {};
+}
+
+CheckResult
+Checker::checkAtomicity(const ExecWitness &ew) const
+{
+    for (const auto &[r, w] : ew.rmwPairs()) {
+        const EventId src = ew.rfSource(r);
+        if (src == kNoEvent)
+            continue; // Anomaly already reported.
+        if (ew.coPredecessor(w) != src) {
+            CheckResult res;
+            res.kind = CheckResult::Kind::AtomicityViolation;
+            std::ostringstream os;
+            os << "rmw atomicity violated: read " << ew.event(r).toString()
+               << " sourced from " << ew.event(src).toString()
+               << " but write " << ew.event(w).toString()
+               << " does not immediately co-follow it";
+            res.message = os.str();
+            return res;
+        }
+    }
+    return {};
+}
+
+CheckResult
+Checker::checkGhb(const ExecWitness &ew) const
+{
+    CycleGraph g(ew.numEvents());
+
+    for (Pid pid : ew.threads())
+        arch_->addProgramOrderEdges(ew, ew.threadEvents(pid), g);
+
+    const bool include_rfi = arch_->ghbIncludesRfi();
+    ew.rf().forEach([&](EventId from, const Relation::SuccSet &succs) {
+        const Event &w = ew.event(from);
+        for (EventId to : succs) {
+            if (include_rfi || w.isInit() ||
+                w.iiid.pid != ew.event(to).iiid.pid) {
+                g.addEdge(from, to);
+            }
+        }
+    });
+    ew.co().forEach([&](EventId from, const Relation::SuccSet &succs) {
+        for (EventId to : succs)
+            g.addEdge(from, to);
+    });
+    const Relation fr = ew.computeFrImmediate();
+    fr.forEach([&](EventId from, const Relation::SuccSet &succs) {
+        for (EventId to : succs)
+            g.addEdge(from, to);
+    });
+
+    if (auto cyc = g.findCycle()) {
+        return cycleResult(CheckResult::Kind::GhbViolation, ew, *cyc,
+                           "ghb(" + arch_->name() + ")");
+    }
+    return {};
+}
+
+} // namespace mcversi::mc

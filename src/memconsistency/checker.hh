@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Polynomial-time MCM checker over a recorded candidate execution (§4.1).
+ *
+ * With full conflict-order visibility (rf and co observed, fr derived),
+ * checking reduces to:
+ *
+ *   1. witness well-formedness (no unknown values, co total per address),
+ *   2. sc-per-location: acyclic(po-loc | rf | co | fr),
+ *   3. RMW atomicity: the write of an atomic pair immediately
+ *      co-follows the read's rf source,
+ *   4. global happens-before: acyclic(ppo | fences | rf[e] | co | fr),
+ *
+ * each a single DFS over generator edges.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_CHECKER_HH
+#define MCVERSI_MEMCONSISTENCY_CHECKER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memconsistency/arch.hh"
+#include "memconsistency/execwitness.hh"
+
+namespace mcversi::mc {
+
+/** Verdict of checking one candidate execution. */
+struct CheckResult
+{
+    enum class Kind : std::uint8_t {
+        Ok,
+        /** Witness ill-formed (unknown value / co fork): data-loss bug. */
+        WitnessAnomaly,
+        /** Per-location coherence violated. */
+        UniprocViolation,
+        /** Atomic RMW pair not atomic. */
+        AtomicityViolation,
+        /** Global happens-before cycle: the MCM proper is violated. */
+        GhbViolation,
+    };
+
+    Kind kind = Kind::Ok;
+    std::string message;
+    /** Events on the offending cycle (empty for non-cycle violations). */
+    std::vector<EventId> cycle;
+
+    bool ok() const { return kind == Kind::Ok; }
+    static const char *kindName(Kind k);
+};
+
+/** Checks executions against one architecture. */
+class Checker
+{
+  public:
+    explicit Checker(std::unique_ptr<Architecture> arch)
+        : arch_(std::move(arch))
+    {
+    }
+
+    /**
+     * Check one candidate execution; first violated constraint wins.
+     * Finalizes the witness (resolves conflict orders) if needed.
+     */
+    CheckResult check(ExecWitness &ew) const;
+
+    const Architecture &arch() const { return *arch_; }
+
+  private:
+    CheckResult checkUniproc(const ExecWitness &ew) const;
+    CheckResult checkAtomicity(const ExecWitness &ew) const;
+    CheckResult checkGhb(const ExecWitness &ew) const;
+
+    static CheckResult cycleResult(CheckResult::Kind kind,
+                                   const ExecWitness &ew,
+                                   const std::vector<CycleGraph::Node> &cyc,
+                                   const std::string &constraint);
+
+    std::unique_ptr<Architecture> arch_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_CHECKER_HH

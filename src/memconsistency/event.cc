@@ -1,0 +1,23 @@
+#include "memconsistency/event.hh"
+
+#include <sstream>
+
+namespace mcversi::mc {
+
+std::string
+Event::toString() const
+{
+    std::ostringstream os;
+    if (isInit()) {
+        os << "Init";
+    } else {
+        os << "P" << iiid.pid << ":" << iiid.poi;
+        if (rmw)
+            os << (sub == 0 ? "r" : "w");
+    }
+    os << " " << (isRead() ? "R" : "W") << " 0x" << std::hex << addr
+       << std::dec << " v=" << value;
+    return os.str();
+}
+
+} // namespace mcversi::mc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Memory events in the style of the "herding cats" axiomatic framework
+ * (Alglave, Maranget, Tautschnig; TOPLAS 2014), which the paper bases its
+ * checker on (§4.1).
+ *
+ * An event is a dynamic memory operation (read or write) associated with
+ * a concrete instruction of a concrete thread. Most instructions map to
+ * one event; read-modify-write instructions map to two (a read and a
+ * write that form an atomic pair).
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_EVENT_HH
+#define MCVERSI_MEMCONSISTENCY_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcversi::mc {
+
+/** Dense identifier of an event within one ExecWitness. */
+using EventId = std::int32_t;
+
+inline constexpr EventId kNoEvent = -1;
+
+/** Kind of a memory event. */
+enum class EventType : std::uint8_t {
+    Read,
+    Write,
+};
+
+/**
+ * Instruction identifier: thread id plus program-order index, following
+ * the iiid ("instruction instance id") of the herding cats framework.
+ *
+ * For RMW instructions, the read and write event share the same poi and
+ * are distinguished by Event::sub.
+ */
+struct Iiid
+{
+    Pid pid = kInitPid;
+    /** Program-order index of the instruction within its thread. */
+    std::int32_t poi = -1;
+
+    friend bool operator==(const Iiid &, const Iiid &) = default;
+    friend auto operator<=>(const Iiid &, const Iiid &) = default;
+};
+
+/**
+ * A single memory event.
+ *
+ * Initial writes (the value a location holds before any store) are
+ * modelled as events with pid == kInitPid; they are ordered co-before
+ * every other write to the same address and carry value kInitVal.
+ */
+struct Event
+{
+    Iiid iiid{};
+    EventType type = EventType::Read;
+    Addr addr = kNoAddr;
+    /** Value read (for reads) or written (for writes). */
+    WriteVal value = kInitVal;
+    /** Sub-index within an instruction: 0 = read part, 1 = write part. */
+    std::uint8_t sub = 0;
+    /** True if this event belongs to an atomic read-modify-write pair. */
+    bool rmw = false;
+
+    bool isRead() const { return type == EventType::Read; }
+    bool isWrite() const { return type == EventType::Write; }
+    bool isInit() const { return iiid.pid == kInitPid; }
+
+    /** Human-readable rendering, e.g. "P2:14 W a=0x40 v=17". */
+    std::string toString() const;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_EVENT_HH

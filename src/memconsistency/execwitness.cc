@@ -1,0 +1,272 @@
+#include "memconsistency/execwitness.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace mcversi::mc {
+
+const std::vector<EventId> ExecWitness::emptyThread_{};
+
+EventId
+ExecWitness::addEvent(Event ev)
+{
+    const EventId id = static_cast<EventId>(events_.size());
+    events_.push_back(ev);
+    if (!ev.isInit()) {
+        // Keep per-thread events sorted by program order. Events may be
+        // recorded out of order (stores are recorded when they serialize,
+        // which can be after younger loads retired), so insert in place;
+        // the common case is an append.
+        auto &vec = perThread_[ev.iiid.pid];
+        auto key = [this](EventId e) {
+            const Event &x = events_[static_cast<std::size_t>(e)];
+            return std::make_pair(x.iiid.poi, x.sub);
+        };
+        const auto my_key = std::make_pair(ev.iiid.poi, ev.sub);
+        auto pos = vec.end();
+        while (pos != vec.begin() && key(*(pos - 1)) > my_key)
+            --pos;
+        vec.insert(pos, id);
+    }
+    return id;
+}
+
+EventId
+ExecWitness::getOrCreateInit(Addr addr)
+{
+    auto it = initEvents_.find(addr);
+    if (it != initEvents_.end())
+        return it->second;
+    Event ev;
+    ev.iiid = Iiid{kInitPid, -1};
+    ev.type = EventType::Write;
+    ev.addr = addr;
+    ev.value = kInitVal;
+    const EventId id = addEvent(ev);
+    initEvents_.emplace(addr, id);
+    return id;
+}
+
+void
+ExecWitness::flagAnomaly(WitnessAnomaly kind, std::string info)
+{
+    // Keep the first anomaly; later ones are usually fallout.
+    if (anomaly_ == WitnessAnomaly::None) {
+        anomaly_ = kind;
+        anomalyInfo_ = std::move(info);
+    }
+}
+
+EventId
+ExecWitness::recordRead(Pid pid, std::int32_t poi, Addr addr,
+                        WriteVal value, bool rmw)
+{
+    assert(!finalized_ && "witness already finalized");
+    Event ev;
+    ev.iiid = Iiid{pid, poi};
+    ev.type = EventType::Read;
+    ev.addr = addr;
+    ev.value = value;
+    ev.rmw = rmw;
+    ev.sub = 0;
+    const EventId id = addEvent(ev);
+    if (rmw)
+        pendingRmwReads_[{pid, poi}] = id;
+    return id;
+}
+
+EventId
+ExecWitness::recordWrite(Pid pid, std::int32_t poi, Addr addr,
+                         WriteVal value, WriteVal overwritten, bool rmw)
+{
+    assert(!finalized_ && "witness already finalized");
+    Event ev;
+    ev.iiid = Iiid{pid, poi};
+    ev.type = EventType::Write;
+    ev.addr = addr;
+    ev.value = value;
+    ev.rmw = rmw;
+    ev.sub = 1;
+    const EventId id = addEvent(ev);
+    valueToWriter_[value] = id;
+    overwrittenBy_.emplace_back(id, overwritten);
+
+    if (rmw) {
+        auto it = pendingRmwReads_.find({pid, poi});
+        if (it != pendingRmwReads_.end()) {
+            rmwPairs_.emplace_back(it->second, id);
+            pendingRmwReads_.erase(it);
+        }
+    }
+    return id;
+}
+
+EventId
+ExecWitness::resolveWriter(Addr addr, WriteVal value, bool &unknown)
+{
+    unknown = false;
+    if (value == kInitVal)
+        return getOrCreateInit(addr);
+    auto it = valueToWriter_.find(value);
+    if (it == valueToWriter_.end()) {
+        unknown = true;
+        return kNoEvent;
+    }
+    return it->second;
+}
+
+void
+ExecWitness::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    // Resolve read-from. All writes are recorded by now (the system is
+    // quiescent when the host verifies), so an unknown value is a real
+    // anomaly (data fabrication / corruption), not a race with
+    // recording.
+    const std::size_t num_events = events_.size();
+    for (std::size_t i = 0; i < num_events; ++i) {
+        const Event &ev = events_[i];
+        if (!ev.isRead())
+            continue;
+        bool unknown = false;
+        const EventId writer = resolveWriter(ev.addr, ev.value, unknown);
+        if (unknown) {
+            std::ostringstream os;
+            os << "read of unknown value: " << ev.toString();
+            flagAnomaly(WitnessAnomaly::UnknownValue, os.str());
+            continue;
+        }
+        rf_.insert(writer, static_cast<EventId>(i));
+        rfSrc_[static_cast<EventId>(i)] = writer;
+    }
+
+    // Resolve immediate coherence edges from overwritten values.
+    for (const auto &[w, overwritten] : overwrittenBy_) {
+        const Event &ev = events_[static_cast<std::size_t>(w)];
+        bool unknown = false;
+        const EventId prev = resolveWriter(ev.addr, overwritten, unknown);
+        if (unknown) {
+            std::ostringstream os;
+            os << "write overwrote unknown value " << overwritten << ": "
+               << ev.toString();
+            flagAnomaly(WitnessAnomaly::UnknownValue, os.str());
+            continue;
+        }
+        if (auto it = coSucc_.find(prev); it != coSucc_.end()) {
+            std::ostringstream os;
+            os << "co fork: " << ev.toString() << " and "
+               << events_[static_cast<std::size_t>(it->second)].toString()
+               << " both overwrite "
+               << events_[static_cast<std::size_t>(prev)].toString();
+            flagAnomaly(WitnessAnomaly::CoFork, os.str());
+        } else {
+            coSucc_[prev] = w;
+        }
+        co_.insert(prev, w);
+        coPred_[w] = prev;
+    }
+}
+
+const std::vector<EventId> &
+ExecWitness::threadEvents(Pid pid) const
+{
+    auto it = perThread_.find(pid);
+    return it == perThread_.end() ? emptyThread_ : it->second;
+}
+
+std::vector<Pid>
+ExecWitness::threads() const
+{
+    std::vector<Pid> out;
+    out.reserve(perThread_.size());
+    for (const auto &[pid, evs] : perThread_) {
+        (void)evs;
+        out.push_back(pid);
+    }
+    return out;
+}
+
+EventId
+ExecWitness::coSuccessor(EventId w) const
+{
+    assert(finalized_);
+    auto it = coSucc_.find(w);
+    return it == coSucc_.end() ? kNoEvent : it->second;
+}
+
+EventId
+ExecWitness::coPredecessor(EventId w) const
+{
+    assert(finalized_);
+    auto it = coPred_.find(w);
+    return it == coPred_.end() ? kNoEvent : it->second;
+}
+
+EventId
+ExecWitness::rfSource(EventId r) const
+{
+    assert(finalized_);
+    auto it = rfSrc_.find(r);
+    return it == rfSrc_.end() ? kNoEvent : it->second;
+}
+
+Relation
+ExecWitness::computeFrImmediate() const
+{
+    Relation fr;
+    for (const auto &[r, w] : rfSrc_) {
+        if (!events_[static_cast<std::size_t>(r)].isRead())
+            continue;
+        const EventId succ = coSuccessor(w);
+        if (succ != kNoEvent)
+            fr.insert(r, succ);
+    }
+    return fr;
+}
+
+Relation
+ExecWitness::computeFr() const
+{
+    Relation fr;
+    for (const auto &[r, w] : rfSrc_) {
+        if (!events_[static_cast<std::size_t>(r)].isRead())
+            continue;
+        for (EventId succ = coSuccessor(w); succ != kNoEvent;
+             succ = coSuccessor(succ)) {
+            fr.insert(r, succ);
+        }
+    }
+    return fr;
+}
+
+EventId
+ExecWitness::initEvent(Addr addr) const
+{
+    auto it = initEvents_.find(addr);
+    return it == initEvents_.end() ? kNoEvent : it->second;
+}
+
+void
+ExecWitness::reset()
+{
+    events_.clear();
+    perThread_.clear();
+    valueToWriter_.clear();
+    initEvents_.clear();
+    rf_.clear();
+    co_.clear();
+    coSucc_.clear();
+    coPred_.clear();
+    rfSrc_.clear();
+    overwrittenBy_.clear();
+    pendingRmwReads_.clear();
+    rmwPairs_.clear();
+    anomaly_ = WitnessAnomaly::None;
+    anomalyInfo_.clear();
+    finalized_ = false;
+}
+
+} // namespace mcversi::mc

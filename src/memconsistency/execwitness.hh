@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The candidate execution object (§4.1).
+ *
+ * A pre-silicon environment can observe all conflict orders directly, so
+ * the witness records exact rf (read-from) and co (coherence order)
+ * during execution, without enumeration or approximation:
+ *
+ *  - every dynamic store writes a globally unique value (its "write ID"),
+ *    so the value a read returns identifies the producing write;
+ *  - every store also reports the value it overwrote, which identifies
+ *    its immediate co-predecessor.
+ *
+ * Initial memory contents (value kInitVal) map to per-address init write
+ * events created on first use.
+ *
+ * Recording also performs two well-formedness checks that catch data-loss
+ * bugs directly: a read of a value that was never written, and two stores
+ * claiming to overwrite the same value (a fork in what must be a total
+ * per-address coherence chain, e.g. after a lost writeback).
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
+#define MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memconsistency/event.hh"
+#include "memconsistency/relation.hh"
+
+namespace mcversi::mc {
+
+/** Kinds of recording-time anomaly. */
+enum class WitnessAnomaly : std::uint8_t {
+    None,
+    /** A read returned a value no write ever produced. */
+    UnknownValue,
+    /** Two writes overwrote the same value: co is not a total order. */
+    CoFork,
+};
+
+/** One candidate execution: events plus observed po / rf / co. */
+class ExecWitness
+{
+  public:
+    /**
+     * Record a committed read.
+     *
+     * @param pid   issuing thread
+     * @param poi   program-order index of the instruction in its thread
+     * @param addr  address read
+     * @param value value observed
+     * @param rmw   true if part of an atomic RMW pair
+     * @return id of the new event
+     */
+    EventId recordRead(Pid pid, std::int32_t poi, Addr addr, WriteVal value,
+                       bool rmw = false);
+
+    /**
+     * Record a committed (serialized) write.
+     *
+     * @param value       unique value written (never kInitVal)
+     * @param overwritten value the write replaced in memory order
+     */
+    EventId recordWrite(Pid pid, std::int32_t poi, Addr addr, WriteVal value,
+                        WriteVal overwritten, bool rmw = false);
+
+    /**
+     * Resolve conflict orders from the recorded values. Must be called
+     * once recording is complete (at quiescence: a store-forwarded read
+     * can be recorded before its producing write serializes, so
+     * resolution cannot happen at record time). Idempotent.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    const Event &event(EventId id) const { return events_[id]; }
+    const std::vector<Event> &events() const { return events_; }
+    std::size_t numEvents() const { return events_.size(); }
+
+    /** Per-thread events in program order (recording order). */
+    const std::vector<EventId> &threadEvents(Pid pid) const;
+
+    /** All thread ids with at least one event, ascending. */
+    std::vector<Pid> threads() const;
+
+    /** rf: producing write -> read. */
+    const Relation &rf() const { return rf_; }
+
+    /** Immediate co edges: write -> next write to same address. */
+    const Relation &co() const { return co_; }
+
+    /** Immediate co successor of write @p w, or kNoEvent. */
+    EventId coSuccessor(EventId w) const;
+
+    /** Immediate co predecessor of write @p w, or kNoEvent. */
+    EventId coPredecessor(EventId w) const;
+
+    /** Producing write of read @p r, or kNoEvent. */
+    EventId rfSource(EventId r) const;
+
+    /**
+     * fr (from-read) as immediate edges: read -> first co-successor of
+     * its rf source. Together with the co chain this generates full fr
+     * transitively.
+     */
+    Relation computeFrImmediate() const;
+
+    /** Full fr: read -> every co-successor of its rf source. */
+    Relation computeFr() const;
+
+    /** Init event for @p addr, or kNoEvent if never referenced. */
+    EventId initEvent(Addr addr) const;
+
+    WitnessAnomaly anomaly() const { return anomaly_; }
+    const std::string &anomalyInfo() const { return anomalyInfo_; }
+
+    /** All events that form atomic RMW pairs: (read, write). */
+    const std::vector<std::pair<EventId, EventId>> &rmwPairs() const
+    {
+        return rmwPairs_;
+    }
+
+    /** Clear all recorded state (events and conflict orders). */
+    void reset();
+
+  private:
+    EventId addEvent(Event ev);
+    /** Resolve @p value at @p addr to its producing write event. */
+    EventId resolveWriter(Addr addr, WriteVal value, bool &unknown);
+    EventId getOrCreateInit(Addr addr);
+    void flagAnomaly(WitnessAnomaly kind, std::string info);
+
+    std::vector<Event> events_;
+    std::map<Pid, std::vector<EventId>> perThread_;
+    std::unordered_map<WriteVal, EventId> valueToWriter_;
+    std::unordered_map<Addr, EventId> initEvents_;
+    Relation rf_;
+    Relation co_;
+    std::unordered_map<EventId, EventId> coSucc_;
+    std::unordered_map<EventId, EventId> coPred_;
+    std::unordered_map<EventId, EventId> rfSrc_;
+    /** (write event, value it overwrote), resolved at finalize(). */
+    std::vector<std::pair<EventId, WriteVal>> overwrittenBy_;
+    bool finalized_ = false;
+    /** Pending read halves of RMW pairs, keyed by (pid, poi). */
+    std::map<std::pair<Pid, std::int32_t>, EventId> pendingRmwReads_;
+    std::vector<std::pair<EventId, EventId>> rmwPairs_;
+    WitnessAnomaly anomaly_ = WitnessAnomaly::None;
+    std::string anomalyInfo_;
+
+    static const std::vector<EventId> emptyThread_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH

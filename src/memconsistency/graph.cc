@@ -1,0 +1,60 @@
+#include "memconsistency/graph.hh"
+
+#include <algorithm>
+
+namespace mcversi::mc {
+
+std::optional<std::vector<CycleGraph::Node>>
+CycleGraph::findCycle() const
+{
+    enum class Color : std::uint8_t { White, Grey, Black };
+    std::vector<Color> color(adj_.size(), Color::White);
+
+    // Iterative DFS with an explicit stack of (node, next edge index);
+    // the stack spine is the current path, so a back edge to a Grey node
+    // lets us cut the cycle straight out of it.
+    struct Frame
+    {
+        Node node;
+        std::size_t edge = 0;
+    };
+
+    for (std::size_t root = 0; root < adj_.size(); ++root) {
+        if (color[root] != Color::White)
+            continue;
+        std::vector<Frame> stack;
+        stack.push_back({static_cast<Node>(root)});
+        color[root] = Color::Grey;
+        while (!stack.empty()) {
+            Frame &fr = stack.back();
+            const auto &succs = adj_[static_cast<std::size_t>(fr.node)];
+            if (fr.edge >= succs.size()) {
+                color[static_cast<std::size_t>(fr.node)] = Color::Black;
+                stack.pop_back();
+                continue;
+            }
+            const Node nxt = succs[fr.edge++];
+            switch (color[static_cast<std::size_t>(nxt)]) {
+              case Color::Grey: {
+                std::vector<Node> cycle;
+                auto it = std::find_if(stack.begin(), stack.end(),
+                                       [nxt](const Frame &f) {
+                                           return f.node == nxt;
+                                       });
+                for (; it != stack.end(); ++it)
+                    cycle.push_back(it->node);
+                return cycle;
+              }
+              case Color::White:
+                color[static_cast<std::size_t>(nxt)] = Color::Grey;
+                stack.push_back({nxt});
+                break;
+              case Color::Black:
+                break;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace mcversi::mc

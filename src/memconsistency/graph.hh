@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cycle-detection graph used by the checker.
+ *
+ * The checker builds one graph per consistency constraint (uniproc, ghb)
+ * out of generator edges -- a small set of edges whose transitive closure
+ * equals the closure of the full (quadratic) relation union -- and runs a
+ * single DFS (§2.1: "At the core of an axiomatic model checker ... is a
+ * graph-search algorithm").
+ *
+ * Nodes 0..numEvents-1 are events; additional nodes (virtual fence
+ * points) may be appended by architectures.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_GRAPH_HH
+#define MCVERSI_MEMCONSISTENCY_GRAPH_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memconsistency/event.hh"
+
+namespace mcversi::mc {
+
+/** Directed graph over dense int node ids, supporting cycle search. */
+class CycleGraph
+{
+  public:
+    using Node = std::int32_t;
+
+    explicit CycleGraph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+    /** Append an extra (non-event) node; returns its id. */
+    Node
+    addNode()
+    {
+        adj_.emplace_back();
+        return static_cast<Node>(adj_.size() - 1);
+    }
+
+    void
+    addEdge(Node from, Node to)
+    {
+        adj_[static_cast<std::size_t>(from)].push_back(to);
+    }
+
+    std::size_t numNodes() const { return adj_.size(); }
+
+    /**
+     * Find any cycle.
+     *
+     * @return the node sequence of one cycle (first node repeated at the
+     *         end is omitted), or std::nullopt if the graph is acyclic.
+     */
+    std::optional<std::vector<Node>> findCycle() const;
+
+    /** Convenience: true if no cycle exists. */
+    bool acyclic() const { return !findCycle().has_value(); }
+
+  private:
+    std::vector<std::vector<Node>> adj_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_GRAPH_HH

@@ -1,0 +1,152 @@
+#include "memconsistency/relation.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace mcversi::mc {
+
+const Relation::SuccSet Relation::emptySet_{};
+
+bool
+Relation::insert(EventId from, EventId to)
+{
+    auto [it, fresh] = adj_[from].insert(to);
+    (void)it;
+    if (fresh)
+        ++numPairs_;
+    return fresh;
+}
+
+bool
+Relation::contains(EventId from, EventId to) const
+{
+    auto it = adj_.find(from);
+    return it != adj_.end() && it->second.count(to) > 0;
+}
+
+void
+Relation::clear()
+{
+    adj_.clear();
+    numPairs_ = 0;
+}
+
+const Relation::SuccSet &
+Relation::successors(EventId from) const
+{
+    auto it = adj_.find(from);
+    return it == adj_.end() ? emptySet_ : it->second;
+}
+
+void
+Relation::unionWith(const Relation &other)
+{
+    other.forEach([this](EventId from, const SuccSet &succs) {
+        for (EventId to : succs)
+            insert(from, to);
+    });
+}
+
+std::vector<std::pair<EventId, EventId>>
+Relation::pairs() const
+{
+    std::vector<std::pair<EventId, EventId>> out;
+    out.reserve(numPairs_);
+    for (const auto &[from, succs] : adj_)
+        for (EventId to : succs)
+            out.emplace_back(from, to);
+    return out;
+}
+
+std::unordered_map<EventId, std::size_t>
+Relation::inDegrees() const
+{
+    std::unordered_map<EventId, std::size_t> in;
+    for (const auto &[from, succs] : adj_) {
+        (void)from;
+        for (EventId to : succs)
+            ++in[to];
+    }
+    return in;
+}
+
+Relation
+Relation::transitiveClosure() const
+{
+    Relation out;
+    // For each source node, DFS to find all reachable nodes.
+    for (const auto &[src, succs] : adj_) {
+        (void)succs;
+        std::vector<EventId> stack{src};
+        std::unordered_set<EventId> seen;
+        while (!stack.empty()) {
+            EventId cur = stack.back();
+            stack.pop_back();
+            for (EventId nxt : successors(cur)) {
+                if (seen.insert(nxt).second) {
+                    out.insert(src, nxt);
+                    stack.push_back(nxt);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool
+Relation::acyclic() const
+{
+    // Iterative three-color DFS.
+    enum class Color : std::uint8_t { White, Grey, Black };
+    std::unordered_map<EventId, Color> color;
+    auto colorOf = [&](EventId e) {
+        auto it = color.find(e);
+        return it == color.end() ? Color::White : it->second;
+    };
+
+    for (const auto &[root, succs] : adj_) {
+        (void)succs;
+        if (colorOf(root) != Color::White)
+            continue;
+        // Stack of (node, next-successor iterator position).
+        std::vector<std::pair<EventId, std::vector<EventId>>> stack;
+        auto push = [&](EventId e) {
+            color[e] = Color::Grey;
+            const auto &s = successors(e);
+            stack.emplace_back(e,
+                               std::vector<EventId>(s.begin(), s.end()));
+        };
+        push(root);
+        while (!stack.empty()) {
+            auto &[node, rest] = stack.back();
+            if (rest.empty()) {
+                color[node] = Color::Black;
+                stack.pop_back();
+                continue;
+            }
+            EventId nxt = rest.back();
+            rest.pop_back();
+            switch (colorOf(nxt)) {
+              case Color::Grey:
+                return false;
+              case Color::White:
+                push(nxt);
+                break;
+              case Color::Black:
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Relation::irreflexive() const
+{
+    for (const auto &[from, succs] : adj_)
+        if (succs.count(from))
+            return false;
+    return true;
+}
+
+} // namespace mcversi::mc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A binary relation over events, with the small algebra the checker and
+ * the GP non-determinism metrics need (union, composition-lite queries,
+ * transitive closure, acyclicity via Graph).
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_RELATION_HH
+#define MCVERSI_MEMCONSISTENCY_RELATION_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "memconsistency/event.hh"
+
+namespace mcversi::mc {
+
+/**
+ * Binary relation over EventIds, stored as an adjacency map of successor
+ * sets. Insertion is idempotent; size() counts distinct ordered pairs.
+ */
+class Relation
+{
+  public:
+    using SuccSet = std::unordered_set<EventId>;
+
+    /** Insert the ordered pair (from, to). Returns true if it was new. */
+    bool insert(EventId from, EventId to);
+
+    /** True if (from, to) is in the relation. */
+    bool contains(EventId from, EventId to) const;
+
+    /** Number of distinct ordered pairs. */
+    std::size_t size() const { return numPairs_; }
+
+    bool empty() const { return numPairs_ == 0; }
+
+    /** Remove all pairs. */
+    void clear();
+
+    /** Successors of @p from (empty set if none). */
+    const SuccSet &successors(EventId from) const;
+
+    /** Union @p other into this relation. */
+    void unionWith(const Relation &other);
+
+    /** All ordered pairs, in unspecified order. */
+    std::vector<std::pair<EventId, EventId>> pairs() const;
+
+    /** In-degree of each event mentioned as a target. */
+    std::unordered_map<EventId, std::size_t> inDegrees() const;
+
+    /**
+     * Transitive closure (Warshall-style over reachable sets). Intended
+     * for tests and small relations; the checker itself uses generator
+     * edges plus DFS and never materializes closures.
+     */
+    Relation transitiveClosure() const;
+
+    /** True if the relation, viewed as a digraph, has no cycle. */
+    bool acyclic() const;
+
+    /** True if no (x, x) pair is present. */
+    bool irreflexive() const;
+
+    /** Iterate adjacency: f(from, const SuccSet&). */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const auto &[from, succs] : adj_)
+            f(from, succs);
+    }
+
+  private:
+    std::unordered_map<EventId, SuccSet> adj_;
+    std::size_t numPairs_ = 0;
+
+    static const SuccSet emptySet_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_RELATION_HH

@@ -1,0 +1,72 @@
+#include "sim/bugs.hh"
+
+namespace mcversi::sim {
+
+const std::vector<BugInfo> &
+allBugs()
+{
+    static const std::vector<BugInfo> bugs = {
+        {BugId::MesiLqIsInv, "MESI,LQ+IS,Inv", ProtocolKind::Mesi, true,
+         "Coherence protocol fails to forward an invalidation to the LQ "
+         "after sinking an Inv in the IS transient state; data consumed "
+         "in IS_I is not flagged, so speculative reads are not retried."},
+        {BugId::MesiLqSmInv, "MESI,LQ+SM,Inv", ProtocolKind::Mesi, true,
+         "Coherence protocol fails to forward an invalidation to the "
+         "LSQ in the SM transient state upon receiving an Inv."},
+        {BugId::MesiLqEInv, "MESI,LQ+E,Inv", ProtocolKind::Mesi, false,
+         "Coherence protocol fails to forward an invalidation to the LQ "
+         "in the E state upon receiving a recall-invalidation."},
+        {BugId::MesiLqMInv, "MESI,LQ+M,Inv", ProtocolKind::Mesi, false,
+         "Coherence protocol fails to forward an invalidation to the LQ "
+         "in the M state upon receiving a recall-invalidation."},
+        {BugId::MesiLqSReplacement, "MESI,LQ+S,Replacement",
+         ProtocolKind::Mesi, false,
+         "Coherence protocol fails to forward an invalidation to the LQ "
+         "upon replacement in the S state."},
+        {BugId::MesiPutxRace, "MESI+PUTX-Race", ProtocolKind::Mesi, true,
+         "Protocol race condition and subsequent invalid transition: L2 "
+         "lacks the transition for a PUTX from a former owner racing "
+         "with a new ownership grant (Komuravelli et al.)."},
+        {BugId::MesiReplaceRace, "MESI+Replace-Race", ProtocolKind::Mesi,
+         false,
+         "L1 replacement in M racing an L2 replacement of a previously "
+         "clean block in MT; the L2 does not expect modified data and "
+         "fails to write the block back to memory."},
+        {BugId::TsoccNoEpochIds, "TSO-CC+no-epoch-ids",
+         ProtocolKind::Tsocc, false,
+         "Timestamp resets race read/write requests without epoch-ids; "
+         "self-invalidation is missed after a reset."},
+        {BugId::TsoccCompare, "TSO-CC+compare", ProtocolKind::Tsocc,
+         false,
+         "Self-invalidation condition uses 'larger' instead of 'larger "
+         "or equal' on timestamp-group comparison."},
+        {BugId::LqNoTso, "LQ+no-TSO", ProtocolKind::Any, true,
+         "LQ does not squash subsequent reads after an incoming "
+         "forwarded invalidation from the coherence protocol."},
+        {BugId::SqNoFifo, "SQ+no-FIFO", ProtocolKind::Any, false,
+         "SQ writes back out of order instead of FIFO."},
+    };
+    return bugs;
+}
+
+const BugInfo &
+bugInfo(BugId id)
+{
+    static const BugInfo none{BugId::None, "none", ProtocolKind::Any,
+                              false, "no bug injected"};
+    for (const BugInfo &b : allBugs())
+        if (b.id == id)
+            return b;
+    return none;
+}
+
+BugId
+bugByName(const std::string &name)
+{
+    for (const BugInfo &b : allBugs())
+        if (name == b.name)
+            return b.id;
+    return BugId::None;
+}
+
+} // namespace mcversi::sim

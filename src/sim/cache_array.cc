@@ -1,0 +1,87 @@
+#include "sim/cache_array.hh"
+
+namespace mcversi::sim {
+
+CacheArray::CacheArray(int sets, int ways)
+    : sets_(sets), ways_(ways),
+      entries_(static_cast<std::size_t>(sets) *
+               static_cast<std::size_t>(ways))
+{
+}
+
+std::size_t
+CacheArray::setIndex(Addr line) const
+{
+    return static_cast<std::size_t>((line / kLineBytes) %
+                                    static_cast<Addr>(sets_));
+}
+
+CacheEntry *
+CacheArray::find(Addr line)
+{
+    const std::size_t base = setIndex(line) *
+                             static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        CacheEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid() && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+CacheEntry *
+CacheArray::allocate(Addr line)
+{
+    const std::size_t base = setIndex(line) *
+                             static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        CacheEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (!e.valid()) {
+            e = CacheEntry{};
+            e.line = line;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+CacheEntry *
+CacheArray::victim(Addr line,
+                   const std::function<bool(const CacheEntry &)>
+                       &evictable)
+{
+    const std::size_t base = setIndex(line) *
+                             static_cast<std::size_t>(ways_);
+    CacheEntry *best = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        CacheEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (!e.valid() || !evictable(e))
+            continue;
+        if (!best || e.lastUse < best->lastUse)
+            best = &e;
+    }
+    return best;
+}
+
+void
+CacheArray::free(CacheEntry &entry)
+{
+    entry = CacheEntry{};
+}
+
+void
+CacheArray::reset()
+{
+    for (CacheEntry &e : entries_)
+        e = CacheEntry{};
+}
+
+void
+CacheArray::forEachValid(const std::function<void(CacheEntry &)> &fn)
+{
+    for (CacheEntry &e : entries_)
+        if (e.valid())
+            fn(e);
+}
+
+} // namespace mcversi::sim

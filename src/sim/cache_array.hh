@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Set-associative cache array with LRU replacement.
+ *
+ * Shared by both protocols' L1 and L2 controllers. An entry holds the
+ * protocol state (as an opaque small integer), functional line data, and
+ * the metadata fields either protocol needs. Transient (in-flight)
+ * entries occupy ways and are never victimized; eviction-in-progress
+ * state lives in the controllers' side buffers instead, freeing the way
+ * immediately (TBE-style).
+ */
+
+#ifndef MCVERSI_SIM_CACHE_ARRAY_HH
+#define MCVERSI_SIM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/message.hh"
+
+namespace mcversi::sim {
+
+/** One cache line entry; meta fields are protocol-specific. */
+struct CacheEntry
+{
+    Addr line = kNoAddr;
+    std::uint8_t state = 0;
+    LineData data{};
+    Tick lastUse = 0;
+
+    // MESI L2 metadata.
+    std::uint32_t sharers = 0; ///< bitmask of sharer cores
+    Pid owner = kInitPid;
+    bool dirty = false;
+    bool grantedClean = false;
+    Pid pendingRequester = kInitPid;
+    bool gotOwnerData = false;
+    bool gotUnblock = false;
+
+    // L1 ack counting (IM/SM).
+    int acksOutstanding = 0;
+    bool dataReceived = false;
+    /** Fill must be consumed as invalidated-in-flight (stale). */
+    bool consumeFlagged = false;
+
+    // TSO-CC metadata.
+    TsMeta meta{};
+    int accessesLeft = 0;
+
+    bool valid() const { return line != kNoAddr; }
+
+    /** Reset all fields except the tag. */
+    void
+    clearMeta()
+    {
+        sharers = 0;
+        owner = kInitPid;
+        dirty = false;
+        grantedClean = false;
+        pendingRequester = kInitPid;
+        gotOwnerData = false;
+        gotUnblock = false;
+        acksOutstanding = 0;
+        dataReceived = false;
+        consumeFlagged = false;
+        meta = TsMeta{};
+        accessesLeft = 0;
+    }
+};
+
+/** Set-associative array of CacheEntry with LRU victimization. */
+class CacheArray
+{
+  public:
+    CacheArray(int sets, int ways);
+
+    /** Find the entry caching @p line, or nullptr. */
+    CacheEntry *find(Addr line);
+
+    /**
+     * Allocate a way for @p line in its set.
+     *
+     * @return the fresh entry, or nullptr if no way is free (caller
+     *         must evict a victim or retry later)
+     */
+    CacheEntry *allocate(Addr line);
+
+    /**
+     * LRU victim among entries of @p line's set satisfying
+     * @p evictable; nullptr if none.
+     */
+    CacheEntry *victim(Addr line,
+                       const std::function<bool(const CacheEntry &)>
+                           &evictable);
+
+    /** Invalidate (free) one entry. */
+    void free(CacheEntry &entry);
+
+    /** Drop all entries (host-assisted reset between tests). */
+    void reset();
+
+    /** Visit every valid entry. */
+    void forEachValid(const std::function<void(CacheEntry &)> &fn);
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+
+    /** Touch for LRU. */
+    void
+    touch(CacheEntry &entry, Tick now)
+    {
+        entry.lastUse = now;
+    }
+
+  private:
+    std::size_t setIndex(Addr line) const;
+
+    int sets_;
+    int ways_;
+    std::vector<CacheEntry> entries_;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_CACHE_ARRAY_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * System configuration (Table 2 of the paper).
+ *
+ * Defaults mirror the paper's evaluation platform: 8 out-of-order cores,
+ * 32KB 4-way private L1s, 8 x 128KB 4-way shared NUCA L2 tiles, 64B
+ * lines, a 2-row 2D mesh, and 120-230 cycle memory.
+ */
+
+#ifndef MCVERSI_SIM_CONFIG_HH
+#define MCVERSI_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/bugs.hh"
+
+namespace mcversi::sim {
+
+/** Coherence protocol selection. */
+enum class Protocol : std::uint8_t {
+    Mesi,
+    Tsocc,
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    int numCores = 8;
+    Protocol protocol = Protocol::Mesi;
+    BugId bug = BugId::None;
+    std::uint64_t seed = 1;
+
+    // L1: 32KB, 64B lines, 4-way => 128 sets (Table 2).
+    int l1Sets = 128;
+    int l1Ways = 4;
+    Tick l1HitLatency = 3;
+
+    // L2: 128KB x 8 tiles, 64B lines, 4-way => 512 sets/tile (Table 2).
+    int l2SetsPerTile = 512;
+    int l2Ways = 4;
+    Tick l2AccessLatency = 20;
+
+    // Core (Table 2: LSQ 32 entries, ROB 40 entries).
+    int robSize = 40;
+    int lqSize = 16;
+    int sqSize = 16;
+    /** Max jitter added to a load's issue-ready time (OoO modelling). */
+    Tick issueJitter = 6;
+
+    // Memory (Table 2: 120 to 230 cycles).
+    Tick memMinLatency = 120;
+    Tick memMaxLatency = 230;
+
+    // Network (Table 2: 2D mesh, 2 rows).
+    int meshCols = 4;
+    int meshRows = 2;
+    Tick netBaseLatency = 2;
+    Tick netPerHop = 3;
+    Tick netMaxJitter = 5;
+
+    // TSO-CC parameters. Small limits force frequent timestamp-group
+    // rollover and resets so the epoch machinery is exercised.
+    int tsoccMaxAccesses = 16; ///< shared-line accesses before refetch
+    int tsoccGroupSize = 4;    ///< writes sharing one timestamp
+    std::uint32_t tsoccMaxTs = 31; ///< timestamp reset threshold
+
+    int
+    numL2Tiles() const
+    {
+        return numCores;
+    }
+
+    /** Home L2 tile of a line address. */
+    int
+    homeTile(Addr line) const
+    {
+        return static_cast<int>((line / kLineBytes) %
+                                static_cast<Addr>(numL2Tiles()));
+    }
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "sim/coverage.hh"
+
+namespace mcversi::sim {
+
+std::uint32_t
+TransitionCoverage::registerTransition(const std::string &controller,
+                                       const std::string &state,
+                                       const std::string &event)
+{
+    const std::string key = controller + "/" + state + "/" + event;
+    auto it = byName_.find(key);
+    if (it != byName_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    byName_.emplace(key, id);
+    names_.push_back(key);
+    counts_.push_back(0);
+    return id;
+}
+
+double
+TransitionCoverage::totalCoverage() const
+{
+    if (counts_.empty())
+        return 0.0;
+    std::size_t hit = 0;
+    for (const auto c : counts_)
+        if (c > 0)
+            ++hit;
+    return static_cast<double>(hit) /
+           static_cast<double>(counts_.size());
+}
+
+double
+TransitionCoverage::totalCoverage(const std::string &prefix) const
+{
+    std::size_t total = 0;
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (names_[i].rfind(prefix, 0) != 0)
+            continue;
+        ++total;
+        if (counts_[i] > 0)
+            ++hit;
+    }
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hit) / static_cast<double>(total);
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structural (protocol transition) coverage (§3.2).
+ *
+ * Coverage is over the coherence protocol's possible state transitions;
+ * identical controllers are not distinguished -- their transitions sum
+ * into shared counters. Counters accumulate over the whole simulation
+ * (the simulation runs continuously, loading tests on-the-fly), and the
+ * harness snapshots per-test-run deltas for the adaptive fitness.
+ */
+
+#ifndef MCVERSI_SIM_COVERAGE_HH
+#define MCVERSI_SIM_COVERAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcversi::sim {
+
+/** Global transition coverage registry and counters. */
+class TransitionCoverage
+{
+  public:
+    /**
+     * Register a transition; idempotent by (controller, state, event)
+     * name triple. Returns a dense transition id.
+     */
+    std::uint32_t registerTransition(const std::string &controller,
+                                     const std::string &state,
+                                     const std::string &event);
+
+    /** Record one occurrence of a registered transition. */
+    void
+    record(std::uint32_t id)
+    {
+        ++counts_[id];
+        if (runActive_)
+            runCovered_.insert(id);
+    }
+
+    /** Begin collecting the per-run covered set. */
+    void
+    beginRun()
+    {
+        runActive_ = true;
+        runCovered_.clear();
+        preCounts_ = counts_;
+    }
+
+    /** End the run; returns the ids covered during it. */
+    std::vector<std::uint32_t>
+    endRun()
+    {
+        runActive_ = false;
+        return {runCovered_.begin(), runCovered_.end()};
+    }
+
+    /** Global counts as of beginRun() (for adaptive fitness). */
+    const std::vector<std::uint64_t> &preRunCounts() const
+    {
+        return preCounts_;
+    }
+
+    std::size_t numTransitions() const { return counts_.size(); }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Fraction of registered transitions observed at least once. */
+    double totalCoverage() const;
+
+    /** Fraction restricted to one controller name prefix. */
+    double totalCoverage(const std::string &controller_prefix) const;
+
+    /** Human-readable name of a transition id. */
+    const std::string &name(std::uint32_t id) const
+    {
+        return names_[id];
+    }
+
+  private:
+    std::unordered_map<std::string, std::uint32_t> byName_;
+    std::vector<std::string> names_;
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::uint64_t> preCounts_;
+    std::unordered_set<std::uint32_t> runCovered_;
+    bool runActive_ = false;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_COVERAGE_HH

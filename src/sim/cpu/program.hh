@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Executable test representation for the simulated cores.
+ *
+ * The host "emits code on-the-fly" (§4) by translating each thread of a
+ * generated test into a Program: a straight-line sequence of memory
+ * instructions with physical addresses resolved. Address-dependent
+ * loads compute their effective address from the value of the nearest
+ * preceding load at run time, through the host-provided logical-to-
+ * physical mapping.
+ */
+
+#ifndef MCVERSI_SIM_CPU_PROGRAM_HH
+#define MCVERSI_SIM_CPU_PROGRAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcversi::sim {
+
+/** Instruction kinds executed by the simulated core. */
+enum class InstrKind : std::uint8_t {
+    Load,
+    LoadAddrDep, ///< load whose address depends on a prior load's value
+    Store,
+    Rmw,
+    Flush,
+    Delay,
+};
+
+/** One instruction of a thread program. */
+struct ProgInstr
+{
+    InstrKind kind = InstrKind::Delay;
+    /** Physical address (memory instructions; base for LoadAddrDep). */
+    Addr addr = 0;
+    /** Logical test-memory offset (base for LoadAddrDep arithmetic). */
+    Addr logical = 0;
+    /** Delay in cycles (Delay instructions). */
+    std::uint32_t delay = 8;
+};
+
+/** One thread's program plus the address-mapping context. */
+struct Program
+{
+    std::vector<ProgInstr> instrs;
+    /** Maps a logical test-memory offset to a physical address. */
+    std::function<Addr(Addr)> mapLogical;
+    /** Logical test-memory size (for LoadAddrDep wrap-around). */
+    Addr memSize = 0;
+    /** Address stride (LoadAddrDep results are stride-aligned). */
+    Addr stride = 16;
+
+    /**
+     * Effective address of a LoadAddrDep given the dependency value,
+     * scrambled so distinct values spread over the region.
+     */
+    Addr
+    depAddr(const ProgInstr &instr, WriteVal dep_value) const
+    {
+        if (memSize == 0 || !mapLogical)
+            return instr.addr;
+        const std::uint64_t mix =
+            (dep_value * 0x9e3779b97f4a7c15ull) >> 32;
+        const Addr slots = memSize / stride;
+        const Addr slot = (instr.logical / stride + mix) % slots;
+        return mapLogical(slot * stride);
+    }
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_CPU_PROGRAM_HH

@@ -1,0 +1,51 @@
+#include "sim/eventq.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcversi::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        when = now_;
+    queue_.push(Item{when, seq_++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::runUntilQuiescent(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        if (++n > max_events) {
+            throw std::runtime_error(
+                "EventQueue: exceeded max events; likely protocol "
+                "deadlock/livelock");
+        }
+        // priority_queue::top() is const; move out via const_cast is the
+        // standard idiom-free alternative: copy the callback.
+        Item item = queue_.top();
+        queue_.pop();
+        now_ = item.when;
+        ++processed_;
+        item.cb();
+    }
+    return n;
+}
+
+void
+EventQueue::reset()
+{
+    clearPending();
+    now_ = 0;
+}
+
+void
+EventQueue::clearPending()
+{
+    while (!queue_.empty())
+        queue_.pop();
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global event queue orders callbacks by (tick, insertion
+ * sequence). Components schedule future work; the queue runs until
+ * quiescent (no pending events), which is also how the harness detects
+ * the end of a test iteration -- the simulated system has no periodic
+ * background activity.
+ */
+
+#ifndef MCVERSI_SIM_EVENTQ_HH
+#define MCVERSI_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcversi::sim {
+
+/** Global simulation event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute tick @p when (>= now()). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Run until no events remain.
+     *
+     * @param max_events safety valve against runaway simulations
+     *        (deadlock/livelock in a protocol under test); exceeded
+     *        throws ProtocolError-like std::runtime_error
+     * @return number of events processed
+     */
+    std::uint64_t runUntilQuiescent(std::uint64_t max_events = 5000000);
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t processed() const { return processed_; }
+
+    /** Drop all pending events and reset time to 0. */
+    void reset();
+
+    /** Drop all pending events, keeping the current time. */
+    void clearPending();
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_EVENTQ_HH

@@ -1,0 +1,58 @@
+#include "sim/memory.hh"
+
+#include <stdexcept>
+
+#include "sim/network.hh"
+
+namespace mcversi::sim {
+
+const LineData &
+MainMemory::line(Addr line_addr)
+{
+    return lines_[lineAddr(line_addr)];
+}
+
+void
+MainMemory::setWord(Addr addr, WriteVal value)
+{
+    lines_[lineAddr(addr)].setWord(addr, value);
+}
+
+WriteVal
+MainMemory::word(Addr addr)
+{
+    return lines_[lineAddr(addr)].word(addr);
+}
+
+void
+MainMemory::handleMsg(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::MemRead: {
+        ++reads_;
+        const Tick lat = params_.minLatency +
+                         rng_.below(params_.maxLatency -
+                                    params_.minLatency + 1);
+        Msg resp;
+        resp.type = MsgType::MemData;
+        resp.line = msg.line;
+        resp.src = kMemNode;
+        resp.dst = msg.src;
+        resp.vnet = Vnet::Mem;
+        resp.data = lines_[msg.line];
+        resp.hasData = true;
+        // Model access latency by delaying injection into the network.
+        eq_.scheduleIn(lat, [this, resp]() { net_.send(resp); });
+        break;
+      }
+      case MsgType::MemWrite:
+        ++writes_;
+        lines_[msg.line] = msg.data;
+        break;
+      default:
+        throw std::runtime_error("MainMemory: unexpected message " +
+                                 msg.toString());
+    }
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,655 @@
+#include "sim/mesi/mesi_l1.hh"
+
+#include <cassert>
+
+namespace mcversi::sim {
+
+namespace {
+
+const std::vector<std::string> kStateNames = {
+    "I", "S", "E", "M", "IS", "IS_I", "IM", "SM", "MI", "II",
+};
+
+const std::vector<std::string> kEventNames = {
+    "Load",   "Store",  "Rmw",     "Flush",   "Replacement",
+    "DataS",  "DataE",  "AckCount", "InvAck", "Inv",
+    "Recall", "FwdGETS", "FwdGETX", "WbAck",  "WbNack",
+};
+
+} // namespace
+
+MesiL1::MesiL1(Pid pid, const SystemConfig &cfg, EventQueue &eq,
+               Network &net, TransitionCoverage &cov, Rng rng)
+    : pid_(pid), cfg_(cfg), eq_(eq), net_(net),
+      table_(cov, "MESI-L1", kStateNames, kEventNames), rng_(rng),
+      array_(cfg.l1Sets, cfg.l1Ways)
+{
+    buildTable();
+}
+
+void
+MesiL1::buildTable()
+{
+    auto def = [this](State s, Event e) { table_.define(s, e); };
+
+    def(StI, EvLoad);
+    def(StI, EvStore);
+    def(StI, EvRmw);
+    def(StI, EvFlush);
+    def(StI, EvInv);
+
+    def(StS, EvLoad);
+    def(StS, EvStore);
+    def(StS, EvRmw);
+    def(StS, EvFlush);
+    def(StS, EvReplacement);
+    def(StS, EvInv);
+
+    for (State s : {StE, StM}) {
+        def(s, EvLoad);
+        def(s, EvStore);
+        def(s, EvRmw);
+        def(s, EvFlush);
+        def(s, EvReplacement);
+        def(s, EvRecall);
+        def(s, EvFwdGETS);
+        def(s, EvFwdGETX);
+    }
+
+    def(StIS, EvDataShared);
+    def(StIS, EvDataExclusive);
+    def(StIS, EvInv);
+
+    def(StIS_I, EvDataShared);
+    def(StIS_I, EvDataExclusive);
+    def(StIS_I, EvInv);
+
+    def(StIM, EvDataExclusive);
+    def(StIM, EvInvAckIn);
+    def(StIM, EvInv);
+
+    def(StSM, EvLoad);
+    def(StSM, EvAckCount);
+    def(StSM, EvInvAckIn);
+    def(StSM, EvInv);
+
+    def(StMI, EvFwdGETS);
+    def(StMI, EvFwdGETX);
+    def(StMI, EvRecall);
+    def(StMI, EvWbAck);
+    def(StMI, EvWbNack);
+    def(StMI, EvInv);
+
+    def(StII, EvWbAck);
+    def(StII, EvWbNack);
+    def(StII, EvInv);
+}
+
+NodeId
+MesiL1::home(Addr line) const
+{
+    return l2Node(cfg_.homeTile(line));
+}
+
+void
+MesiL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
+             const std::function<void(Msg &)> &fill)
+{
+    Msg msg;
+    msg.type = t;
+    msg.line = line;
+    msg.src = coreNode(pid_);
+    msg.dst = dst;
+    msg.vnet = vnet;
+    msg.requester = pid_;
+    if (fill)
+        fill(msg);
+    net_.send(msg);
+}
+
+void
+MesiL1::respond(ReqId id, WriteVal value, WriteVal overwritten,
+                bool inv_in_flight, Tick latency)
+{
+    CacheResp resp{id, value, overwritten, inv_in_flight};
+    eq_.scheduleIn(latency, [this, resp]() { hooks_.respond(resp); });
+}
+
+void
+MesiL1::notifyLq(Addr line)
+{
+    if (hooks_.addressInvalidated)
+        hooks_.addressInvalidated(line);
+}
+
+MesiL1::State
+MesiL1::lineState(Addr line)
+{
+    if (auto it = evict_.find(line); it != evict_.end())
+        return it->second.state;
+    if (CacheEntry *e = array_.find(line))
+        return static_cast<State>(e->state);
+    return StI;
+}
+
+// ---------------------------------------------------------------------
+// Core interface: all requests funnel through the per-line queue and
+// processPending, which acts on the head against the current state.
+// ---------------------------------------------------------------------
+
+void
+MesiL1::coreLoad(ReqId id, Addr addr)
+{
+    enqueue({PendingReq::Kind::Load, id, addr, 0}, false);
+    processPending(lineAddr(addr));
+}
+
+void
+MesiL1::coreStore(ReqId id, Addr addr, WriteVal value)
+{
+    enqueue({PendingReq::Kind::Store, id, addr, value}, false);
+    processPending(lineAddr(addr));
+}
+
+void
+MesiL1::coreRmw(ReqId id, Addr addr, WriteVal value)
+{
+    enqueue({PendingReq::Kind::Rmw, id, addr, value}, false);
+    processPending(lineAddr(addr));
+}
+
+void
+MesiL1::coreFlush(ReqId id, Addr addr)
+{
+    enqueue({PendingReq::Kind::Flush, id, addr, 0}, false);
+    processPending(lineAddr(addr));
+}
+
+void
+MesiL1::enqueue(const PendingReq &req, bool front)
+{
+    auto &q = pending_[lineAddr(req.addr)];
+    if (front)
+        q.push_front(req);
+    else
+        q.push_back(req);
+}
+
+void
+MesiL1::applyStore(CacheEntry &entry, const PendingReq &req)
+{
+    const WriteVal old = entry.data.word(req.addr);
+    entry.data.setWord(req.addr, req.value);
+    if (req.kind == PendingReq::Kind::Rmw) {
+        respond(req.id, old, old, false, cfg_.l1HitLatency);
+    } else {
+        respond(req.id, 0, old, false, cfg_.l1HitLatency);
+    }
+}
+
+bool
+MesiL1::startMiss(Addr line, bool exclusive)
+{
+    CacheEntry *entry = array_.allocate(line);
+    if (!entry) {
+        if (!evictVictim(line))
+            return false;
+        entry = array_.allocate(line);
+        assert(entry);
+    }
+    entry->state = exclusive ? StIM : StIS;
+    array_.touch(*entry, eq_.now());
+    send(exclusive ? MsgType::GETX : MsgType::GETS, line, home(line),
+         Vnet::Request);
+    return true;
+}
+
+bool
+MesiL1::evictVictim(Addr line)
+{
+    CacheEntry *victim = array_.victim(line, [](const CacheEntry &e) {
+        return e.state == StS || e.state == StE || e.state == StM;
+    });
+    if (!victim)
+        return false;
+    doReplacement(*victim);
+    return true;
+}
+
+void
+MesiL1::doReplacement(CacheEntry &entry)
+{
+    const Addr line = entry.line;
+    const auto st = static_cast<State>(entry.state);
+    table_.record(st, EvReplacement);
+    switch (st) {
+      case StS:
+        send(MsgType::PUTS, line, home(line), Vnet::Request);
+        if (cfg_.bug != BugId::MesiLqSReplacement)
+            notifyLq(line);
+        break;
+      case StE:
+      case StM: {
+        EvictBuf buf;
+        buf.state = StMI;
+        buf.data = entry.data;
+        buf.dirty = (st == StM);
+        evict_[line] = buf;
+        send(MsgType::PUTX, line, home(line), Vnet::Request,
+             [&](Msg &m) {
+                 m.data = entry.data;
+                 m.hasData = true;
+                 m.dirty = (st == StM);
+             });
+        notifyLq(line);
+        break;
+      }
+      default:
+        assert(false && "victim must be stable");
+    }
+    array_.free(entry);
+}
+
+void
+MesiL1::processPending(Addr line)
+{
+    auto it = pending_.find(line);
+    if (it == pending_.end())
+        return;
+    auto &q = it->second;
+
+    while (!q.empty()) {
+        // A line parked in the writeback buffer blocks everything.
+        if (evict_.count(line))
+            return;
+
+        const PendingReq req = q.front();
+        CacheEntry *entry = array_.find(line);
+        const State st = entry ? static_cast<State>(entry->state) : StI;
+
+        switch (st) {
+          case StI:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                table_.record(StI, EvLoad);
+                if (!startMiss(line, false)) {
+                    eq_.scheduleIn(16,
+                                   [this, line]() {
+                                       processPending(line);
+                                   });
+                    return;
+                }
+                return; // Wait for data.
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw:
+                table_.record(StI, req.kind == PendingReq::Kind::Rmw
+                                       ? EvRmw
+                                       : EvStore);
+                if (!startMiss(line, true)) {
+                    eq_.scheduleIn(16,
+                                   [this, line]() {
+                                       processPending(line);
+                                   });
+                    return;
+                }
+                return;
+              case PendingReq::Kind::Flush:
+                table_.record(StI, EvFlush);
+                respond(req.id, 0, 0, false, 1);
+                q.pop_front();
+                continue;
+            }
+            break;
+
+          case StS:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                table_.record(StS, EvLoad);
+                array_.touch(*entry, eq_.now());
+                respond(req.id, entry->data.word(req.addr), 0, false,
+                        cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw:
+                table_.record(StS, req.kind == PendingReq::Kind::Rmw
+                                       ? EvRmw
+                                       : EvStore);
+                entry->state = StSM;
+                entry->acksOutstanding = 0;
+                entry->dataReceived = false;
+                send(MsgType::UPGRADE, line, home(line), Vnet::Request);
+                return; // Wait for acks.
+              case PendingReq::Kind::Flush:
+                table_.record(StS, EvFlush);
+                send(MsgType::PUTS, line, home(line), Vnet::Request);
+                notifyLq(line);
+                array_.free(*entry);
+                respond(req.id, 0, 0, false, 1);
+                q.pop_front();
+                continue;
+            }
+            break;
+
+          case StE:
+          case StM:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                table_.record(st, EvLoad);
+                array_.touch(*entry, eq_.now());
+                respond(req.id, entry->data.word(req.addr), 0, false,
+                        cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw:
+                table_.record(st, req.kind == PendingReq::Kind::Rmw
+                                      ? EvRmw
+                                      : EvStore);
+                entry->state = StM;
+                array_.touch(*entry, eq_.now());
+                applyStore(*entry, req);
+                q.pop_front();
+                continue;
+              case PendingReq::Kind::Flush: {
+                table_.record(st, EvFlush);
+                EvictBuf buf;
+                buf.state = StMI;
+                buf.data = entry->data;
+                buf.dirty = (st == StM);
+                buf.flushPending = true;
+                buf.flushReq = req.id;
+                evict_[line] = buf;
+                send(MsgType::PUTX, line, home(line), Vnet::Request,
+                     [&](Msg &m) {
+                         m.data = entry->data;
+                         m.hasData = true;
+                         m.dirty = (st == StM);
+                     });
+                notifyLq(line);
+                array_.free(*entry);
+                q.pop_front();
+                return; // Buffer blocks the line until WbAck.
+              }
+            }
+            break;
+
+          case StSM:
+            if (req.kind == PendingReq::Kind::Load) {
+                // SM retains valid, readable data.
+                table_.record(StSM, EvLoad);
+                respond(req.id, entry->data.word(req.addr), 0, false,
+                        cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+            }
+            return; // Stores/flushes wait for M.
+
+          case StIS:
+          case StIS_I:
+          case StIM:
+            return; // Wait for data.
+
+          default:
+            return;
+        }
+    }
+    if (q.empty())
+        pending_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Network message handling.
+// ---------------------------------------------------------------------
+
+void
+MesiL1::enterM(CacheEntry &entry)
+{
+    entry.state = StM;
+    send(MsgType::Unblock, entry.line, home(entry.line), Vnet::Request);
+    processPending(entry.line);
+}
+
+void
+MesiL1::handleMsg(const Msg &msg)
+{
+    const Addr line = msg.line;
+
+    // Writeback buffer states first (the array way is already free).
+    if (auto it = evict_.find(line); it != evict_.end()) {
+        EvictBuf &buf = it->second;
+        const State st = buf.state;
+        switch (msg.type) {
+          case MsgType::FwdGETS:
+            table_.record(st, EvFwdGETS);
+            send(MsgType::Data, line, coreNode(msg.requester),
+                 Vnet::Response, [&](Msg &m) {
+                     m.data = buf.data;
+                     m.hasData = true;
+                 });
+            send(MsgType::WbDataToL2, line, home(line), Vnet::Response,
+                 [&](Msg &m) {
+                     m.data = buf.data;
+                     m.hasData = true;
+                     m.dirty = buf.dirty;
+                 });
+            buf.state = StII;
+            return;
+          case MsgType::FwdGETX:
+            table_.record(st, EvFwdGETX);
+            send(MsgType::Data, line, coreNode(msg.requester),
+                 Vnet::Response, [&](Msg &m) {
+                     m.data = buf.data;
+                     m.hasData = true;
+                     m.exclusive = true;
+                 });
+            buf.state = StII;
+            return;
+          case MsgType::Recall:
+            table_.record(st, EvRecall);
+            send(MsgType::RecallAckNoData, line, home(line),
+                 Vnet::Response);
+            buf.state = StII;
+            return;
+          case MsgType::WbAck:
+          case MsgType::WbNack: {
+            table_.record(st, msg.type == MsgType::WbAck ? EvWbAck
+                                                         : EvWbNack);
+            const bool flush_pending = buf.flushPending;
+            const ReqId flush_req = buf.flushReq;
+            evict_.erase(it);
+            if (flush_pending)
+                respond(flush_req, 0, 0, false, 1);
+            processPending(line);
+            return;
+          }
+          case MsgType::Inv:
+            table_.record(st, EvInv);
+            send(MsgType::InvAck, line, msg.ackTarget, Vnet::Response);
+            return;
+          default:
+            table_.record(st, EvDataShared); // Will throw (undefined).
+            return;
+        }
+    }
+
+    CacheEntry *entry = array_.find(line);
+    const State st = entry ? static_cast<State>(entry->state) : StI;
+
+    switch (msg.type) {
+      case MsgType::Inv:
+        table_.record(st, EvInv);
+        send(MsgType::InvAck, line, msg.ackTarget, Vnet::Response);
+        switch (st) {
+          case StI:
+          case StIS_I:
+          case StIM:
+            break; // Stale invalidation; ack only.
+          case StS:
+            notifyLq(line);
+            array_.free(*entry);
+            break;
+          case StIS:
+            entry->state = StIS_I;
+            break;
+          case StSM:
+            // Lost the upgrade race: the line's data is gone and our
+            // queued UPGRADE will be served as a full GETX.
+            if (cfg_.bug != BugId::MesiLqSmInv)
+                notifyLq(line);
+            entry->state = StIM;
+            entry->dataReceived = false;
+            break;
+          default:
+            break;
+        }
+        return;
+
+      case MsgType::Recall:
+        table_.record(st, EvRecall);
+        switch (st) {
+          case StE:
+            send(MsgType::RecallData, line, home(line), Vnet::Response,
+                 [&](Msg &m) {
+                     m.data = entry->data;
+                     m.hasData = true;
+                     m.dirty = false;
+                 });
+            if (cfg_.bug != BugId::MesiLqEInv)
+                notifyLq(line);
+            array_.free(*entry);
+            break;
+          case StM:
+            send(MsgType::RecallData, line, home(line), Vnet::Response,
+                 [&](Msg &m) {
+                     m.data = entry->data;
+                     m.hasData = true;
+                     m.dirty = true;
+                 });
+            if (cfg_.bug != BugId::MesiLqMInv)
+                notifyLq(line);
+            array_.free(*entry);
+            break;
+          default:
+            break; // table_.record already threw for undefined pairs
+        }
+        processPending(line);
+        return;
+
+      case MsgType::FwdGETS:
+        table_.record(st, EvFwdGETS);
+        // E or M: supply the requester and the L2, drop to S.
+        send(MsgType::Data, line, coreNode(msg.requester), Vnet::Response,
+             [&](Msg &m) {
+                 m.data = entry->data;
+                 m.hasData = true;
+             });
+        send(MsgType::WbDataToL2, line, home(line), Vnet::Response,
+             [&](Msg &m) {
+                 m.data = entry->data;
+                 m.hasData = true;
+                 m.dirty = (st == StM);
+             });
+        entry->state = StS;
+        return;
+
+      case MsgType::FwdGETX:
+        table_.record(st, EvFwdGETX);
+        send(MsgType::Data, line, coreNode(msg.requester), Vnet::Response,
+             [&](Msg &m) {
+                 m.data = entry->data;
+                 m.hasData = true;
+                 m.exclusive = true;
+             });
+        notifyLq(line);
+        array_.free(*entry);
+        processPending(line);
+        return;
+
+      case MsgType::Data: {
+        const Event ev = msg.exclusive ? EvDataExclusive : EvDataShared;
+        table_.record(st, ev);
+        switch (st) {
+          case StIS:
+            entry->data = msg.data;
+            if (msg.exclusive) {
+                entry->state = StE;
+                send(MsgType::Unblock, line, home(line), Vnet::Request);
+            } else {
+                entry->state = StS;
+            }
+            processPending(line);
+            break;
+          case StIS_I: {
+            // Consume the data once; the LQ must treat the consuming
+            // loads as invalidated-at-consume-time ("Peekaboo").
+            // BUG MESI,LQ+IS,Inv: the flag is never set.
+            const bool flag = (cfg_.bug != BugId::MesiLqIsInv);
+            auto pit = pending_.find(line);
+            if (pit != pending_.end()) {
+                auto &q = pit->second;
+                for (auto qit = q.begin(); qit != q.end();) {
+                    if (qit->kind == PendingReq::Kind::Load) {
+                        respond(qit->id, msg.data.word(qit->addr), 0,
+                                flag, 1);
+                        qit = q.erase(qit);
+                    } else {
+                        ++qit;
+                    }
+                }
+            }
+            if (msg.exclusive) {
+                // The sunk Inv was stale; the grant is authoritative.
+                entry->data = msg.data;
+                entry->state = StE;
+                send(MsgType::Unblock, line, home(line), Vnet::Request);
+            } else {
+                array_.free(*entry);
+            }
+            processPending(line);
+            break;
+          }
+          case StIM:
+            entry->data = msg.data;
+            entry->dataReceived = true;
+            entry->acksOutstanding += msg.ackCount;
+            if (entry->acksOutstanding == 0)
+                enterM(*entry);
+            break;
+          default:
+            break;
+        }
+        return;
+      }
+
+      case MsgType::AckCount:
+        table_.record(st, EvAckCount);
+        // SM: upgrade grant without data.
+        entry->dataReceived = true;
+        entry->acksOutstanding += msg.ackCount;
+        if (entry->acksOutstanding == 0)
+            enterM(*entry);
+        return;
+
+      case MsgType::InvAck:
+        table_.record(st, EvInvAckIn);
+        entry->acksOutstanding -= 1;
+        if (entry->dataReceived && entry->acksOutstanding == 0)
+            enterM(*entry);
+        return;
+
+      default:
+        throw ProtocolError("MESI-L1", kStateNames[st],
+                            msgTypeName(msg.type));
+    }
+}
+
+void
+MesiL1::resetAll()
+{
+    array_.reset();
+    evict_.clear();
+    pending_.clear();
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Coherence messages and node addressing.
+ *
+ * Message types cover both protocols (two-level MESI and TSO-CC). Each
+ * message travels on a virtual network (vnet); the network preserves
+ * point-to-point FIFO order *within* a vnet but freely reorders across
+ * vnets. In particular invalidations (vnet Fwd) can overtake data
+ * responses (vnet Resp), which is what makes the IS_I ("Peekaboo")
+ * window reachable.
+ */
+
+#ifndef MCVERSI_SIM_MESSAGE_HH
+#define MCVERSI_SIM_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mcversi::sim {
+
+/** Flat node id: cores/L1s, L2 tiles, memory controller. */
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kMemNode = 200;
+
+constexpr NodeId
+coreNode(Pid pid)
+{
+    return static_cast<NodeId>(pid);
+}
+
+constexpr NodeId
+l2Node(int tile)
+{
+    return 100 + tile;
+}
+
+constexpr bool
+isL2Node(NodeId n)
+{
+    return n >= 100 && n < 200;
+}
+
+constexpr int
+l2Tile(NodeId n)
+{
+    return n - 100;
+}
+
+/** Virtual networks. */
+enum class Vnet : std::uint8_t {
+    Request = 0,  ///< L1 -> L2 requests, Unblock
+    Response = 1, ///< data and ack responses
+    Fwd = 2,      ///< L2 -> L1 invalidations/forwards/wb-acks
+    Mem = 3,      ///< L2 <-> memory
+};
+
+inline constexpr int kNumVnets = 4;
+
+/** Functional contents of one cache line. */
+struct LineData
+{
+    std::array<WriteVal, kLineBytes / kWordBytes> words{};
+
+    WriteVal
+    word(Addr addr) const
+    {
+        return words[wordInLine(addr)];
+    }
+
+    void
+    setWord(Addr addr, WriteVal v)
+    {
+        words[wordInLine(addr)] = v;
+    }
+
+    friend bool operator==(const LineData &, const LineData &) = default;
+};
+
+/** Message types across both protocols. */
+enum class MsgType : std::uint8_t {
+    // L1 -> L2 requests (Request vnet).
+    GETS,
+    GETX,
+    UPGRADE,
+    PUTS,
+    PUTX,
+    Unblock,
+
+    // Data/ack responses (Response vnet). Data flows L2->L1 or L1->L1.
+    Data,
+    AckCount,
+    InvAck,
+    WbDataToL2,
+    RecallData,
+    RecallAckNoData,
+
+    // L2 -> L1 forwards/invalidations (Fwd vnet).
+    Inv,
+    Recall,
+    FwdGETS,
+    FwdGETX,
+    WbAck,
+    WbNack,
+    TsReset,
+
+    // L2 <-> memory (Mem vnet).
+    MemRead,
+    MemWrite,
+    MemData,
+};
+
+const char *msgTypeName(MsgType t);
+
+/** TSO-CC per-line timestamp metadata. */
+struct TsMeta
+{
+    Pid writer = kInitPid; ///< kInitPid: no metadata (conservative)
+    std::uint32_t ts = 0;
+    std::uint32_t epoch = 0;
+
+    bool valid() const { return writer != kInitPid; }
+};
+
+/** One coherence / memory message. */
+struct Msg
+{
+    MsgType type = MsgType::GETS;
+    Addr line = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Vnet vnet = Vnet::Request;
+
+    /** Original requesting core (forwards, data grants). */
+    Pid requester = kInitPid;
+    /** Where invalidation acks must be sent. */
+    NodeId ackTarget = 0;
+
+    LineData data{};
+    bool hasData = false;
+    bool dirty = false;
+    bool exclusive = false;
+    /** Invalidation acks the requester must collect. */
+    int ackCount = 0;
+
+    TsMeta meta{};
+
+    std::string toString() const;
+};
+
+/** Anything that can receive messages from the network. */
+class MsgHandler
+{
+  public:
+    virtual ~MsgHandler() = default;
+    virtual void handleMsg(const Msg &msg) = 0;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_MESSAGE_HH

@@ -1,0 +1,98 @@
+#include "sim/network.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcversi::sim {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GETS: return "GETS";
+      case MsgType::GETX: return "GETX";
+      case MsgType::UPGRADE: return "UPGRADE";
+      case MsgType::PUTS: return "PUTS";
+      case MsgType::PUTX: return "PUTX";
+      case MsgType::Unblock: return "Unblock";
+      case MsgType::Data: return "Data";
+      case MsgType::AckCount: return "AckCount";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::WbDataToL2: return "WbDataToL2";
+      case MsgType::RecallData: return "RecallData";
+      case MsgType::RecallAckNoData: return "RecallAckNoData";
+      case MsgType::Inv: return "Inv";
+      case MsgType::Recall: return "Recall";
+      case MsgType::FwdGETS: return "FwdGETS";
+      case MsgType::FwdGETX: return "FwdGETX";
+      case MsgType::WbAck: return "WbAck";
+      case MsgType::WbNack: return "WbNack";
+      case MsgType::TsReset: return "TsReset";
+      case MsgType::MemRead: return "MemRead";
+      case MsgType::MemWrite: return "MemWrite";
+      case MsgType::MemData: return "MemData";
+    }
+    return "?";
+}
+
+std::string
+Msg::toString() const
+{
+    std::string s = msgTypeName(type);
+    s += " line=0x";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(line));
+    s += buf;
+    s += " src=" + std::to_string(src) + " dst=" + std::to_string(dst);
+    return s;
+}
+
+Network::XY
+Network::position(NodeId node) const
+{
+    if (node == kMemNode)
+        return {params_.cols, 0}; // east edge
+    int idx = isL2Node(node) ? l2Tile(node) : node;
+    return {idx % params_.cols, idx / params_.cols};
+}
+
+int
+Network::hops(NodeId a, NodeId b) const
+{
+    const XY pa = position(a);
+    const XY pb = position(b);
+    int h = std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y);
+    // Colocated core/L2 pairs still traverse the local router.
+    return h + 1;
+}
+
+void
+Network::send(Msg msg)
+{
+    auto it = handlers_.find(msg.dst);
+    if (it == handlers_.end())
+        throw std::runtime_error("Network: no handler for node " +
+                                 std::to_string(msg.dst));
+    MsgHandler *handler = it->second;
+
+    const Tick lat = params_.baseLatency +
+                     params_.perHop * static_cast<Tick>(
+                                          hops(msg.src, msg.dst)) +
+                     rng_.below(params_.maxJitter + 1);
+    Tick when = eq_.now() + lat;
+
+    const auto key = std::make_tuple(msg.src, msg.dst,
+                                     static_cast<int>(msg.vnet));
+    auto &last = lastDelivery_[key];
+    if (when <= last)
+        when = last + 1;
+    last = when;
+
+    ++sent_;
+    eq_.schedule(when, [handler, m = std::move(msg)]() mutable {
+        handler->handleMsg(m);
+    });
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * On-chip interconnect model.
+ *
+ * A 2D mesh (Table 2: 2 rows) connecting cores/L1s, L2 tiles (one per
+ * core, colocated) and a memory controller at the east edge. Latency is
+ * base + hops * perHop + uniform jitter, with point-to-point FIFO
+ * ordering preserved per (src, dst, vnet) and no ordering across vnets.
+ * The jitter, together with per-core issue jitter, is the timing
+ * non-determinism that perturbs each test execution differently (§5.1).
+ */
+
+#ifndef MCVERSI_SIM_NETWORK_HH
+#define MCVERSI_SIM_NETWORK_HH
+
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "sim/eventq.hh"
+#include "sim/message.hh"
+
+namespace mcversi::sim {
+
+/** Mesh interconnect with per-vnet point-to-point ordering. */
+class Network
+{
+  public:
+    struct Params
+    {
+        int cols = 4;
+        int rows = 2;
+        Tick baseLatency = 2;
+        Tick perHop = 3;
+        Tick maxJitter = 5; ///< uniform in [0, maxJitter]
+    };
+
+    Network(EventQueue &eq, Rng rng, Params params)
+        : eq_(eq), rng_(rng), params_(params)
+    {
+    }
+
+    Network(EventQueue &eq, Rng rng) : Network(eq, rng, Params{}) {}
+
+    /** Register the handler for a node id. */
+    void
+    registerNode(NodeId node, MsgHandler *handler)
+    {
+        handlers_[node] = handler;
+    }
+
+    /** Inject a message; delivery is scheduled on the event queue. */
+    void send(Msg msg);
+
+    /** Manhattan hop count between two nodes. */
+    int hops(NodeId a, NodeId b) const;
+
+    std::uint64_t messagesSent() const { return sent_; }
+
+    /** Forget FIFO ordering state (safe only at quiescence). */
+    void resetOrdering() { lastDelivery_.clear(); }
+
+  private:
+    struct XY
+    {
+        int x;
+        int y;
+    };
+    XY position(NodeId node) const;
+
+    EventQueue &eq_;
+    Rng rng_;
+    Params params_;
+    std::unordered_map<NodeId, MsgHandler *> handlers_;
+    /** Last scheduled delivery per (src, dst, vnet), for FIFO order. */
+    std::map<std::tuple<NodeId, NodeId, int>, Tick> lastDelivery_;
+    std::uint64_t sent_ = 0;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_NETWORK_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Core <-> L1 cache interfaces.
+ *
+ * The L1 controllers implement L1Cache; the core supplies CoreHooks.
+ * Responses carry functional values: the value read (loads / RMW read
+ * part) and the value overwritten (stores / RMW write part), which the
+ * core records into the candidate execution witness, plus the
+ * invalidated-in-flight flag for data consumed from an IS_I line (the
+ * "Peekaboo" case the LQ must treat as an invalidation at consume time).
+ */
+
+#ifndef MCVERSI_SIM_PORTS_HH
+#define MCVERSI_SIM_PORTS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace mcversi::sim {
+
+/** Core-assigned identifier of an outstanding cache request. */
+using ReqId = std::uint64_t;
+
+/** Response to a core request. */
+struct CacheResp
+{
+    ReqId id = 0;
+    /** Value read (loads, RMW read part). */
+    WriteVal value = kInitVal;
+    /** Value overwritten (stores, RMW). */
+    WriteVal overwritten = kInitVal;
+    /**
+     * True if the data was consumed from a line invalidated while the
+     * fill was in flight (IS_I); the LQ must treat this as an
+     * invalidation of the consuming load at consume time.
+     */
+    bool invalidatedInFlight = false;
+};
+
+/** Callbacks from the L1 into the core. */
+struct CoreHooks
+{
+    /** Deliver a response for an outstanding request. */
+    std::function<void(const CacheResp &)> respond;
+    /**
+     * Forwarded invalidation: the line was invalidated / lost (Inv,
+     * recall, replacement, flush, self-invalidation). The LQ reacts by
+     * squashing speculative performed loads to the line.
+     */
+    std::function<void(Addr line)> addressInvalidated;
+};
+
+/** Abstract L1 data cache as seen by a core. */
+class L1Cache
+{
+  public:
+    virtual ~L1Cache() = default;
+
+    virtual void coreLoad(ReqId id, Addr addr) = 0;
+    virtual void coreStore(ReqId id, Addr addr, WriteVal value) = 0;
+    /** Atomic read-modify-write: reads old value, writes @p value. */
+    virtual void coreRmw(ReqId id, Addr addr, WriteVal value) = 0;
+    /** Write back (if dirty) and invalidate one line. */
+    virtual void coreFlush(ReqId id, Addr addr) = 0;
+
+    virtual void setHooks(CoreHooks hooks) = 0;
+
+    /** Host-assisted reset: drop all cached state (quiescence only). */
+    virtual void resetAll() = 0;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_PORTS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Explicit protocol transition tables (SLICC-style).
+ *
+ * Each controller declares its defined (state, event) pairs up front,
+ * which (a) registers them with the coverage tracker so the denominator
+ * of structural coverage is the full table, and (b) makes undefined
+ * combinations fail loudly as ProtocolError -- exactly how Ruby reports
+ * "invalid transition", which is how MESI+PUTX-Race is caught (§5.3).
+ */
+
+#ifndef MCVERSI_SIM_TRANSITION_TABLE_HH
+#define MCVERSI_SIM_TRANSITION_TABLE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/coverage.hh"
+#include "sim/fault.hh"
+
+namespace mcversi::sim {
+
+/** Registry of one controller type's defined transitions. */
+class TransitionTable
+{
+  public:
+    TransitionTable(TransitionCoverage &cov, std::string controller,
+                    std::vector<std::string> state_names,
+                    std::vector<std::string> event_names)
+        : cov_(cov), controller_(std::move(controller)),
+          stateNames_(std::move(state_names)),
+          eventNames_(std::move(event_names))
+    {
+    }
+
+    /** Declare (state, event) as a legal transition. */
+    void
+    define(int state, int event)
+    {
+        const std::uint32_t id = cov_.registerTransition(
+            controller_, stateNames_[static_cast<std::size_t>(state)],
+            eventNames_[static_cast<std::size_t>(event)]);
+        ids_[key(state, event)] = id;
+    }
+
+    bool
+    defined(int state, int event) const
+    {
+        return ids_.count(key(state, event)) > 0;
+    }
+
+    /**
+     * Record the transition with the coverage tracker; throws
+     * ProtocolError if the pair was never defined.
+     */
+    void
+    record(int state, int event)
+    {
+        auto it = ids_.find(key(state, event));
+        if (it == ids_.end()) {
+            throw ProtocolError(
+                controller_,
+                stateNames_[static_cast<std::size_t>(state)],
+                eventNames_[static_cast<std::size_t>(event)]);
+        }
+        cov_.record(it->second);
+    }
+
+    const std::string &controller() const { return controller_; }
+
+  private:
+    static int
+    key(int state, int event)
+    {
+        return state * 64 + event;
+    }
+
+    TransitionCoverage &cov_;
+    std::string controller_;
+    std::vector<std::string> stateNames_;
+    std::vector<std::string> eventNames_;
+    std::unordered_map<int, std::uint32_t> ids_;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_TRANSITION_TABLE_HH

@@ -1,0 +1,615 @@
+#include "sim/tsocc/tsocc_l1.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace mcversi::sim {
+
+namespace {
+
+const std::vector<std::string> kStateNames = {
+    "I", "S", "M", "IS", "IM", "MI", "II", "Ctrl",
+};
+
+const std::vector<std::string> kEventNames = {
+    "Load", "LoadExpired", "Store",  "Rmw",    "Flush",   "Replacement",
+    "Data", "Recall",      "WbAck",  "WbNack", "TsReset", "SelfInv",
+};
+
+} // namespace
+
+TsoccL1::TsoccL1(Pid pid, const SystemConfig &cfg, EventQueue &eq,
+                 Network &net, TransitionCoverage &cov, Rng rng)
+    : pid_(pid), cfg_(cfg), eq_(eq), net_(net),
+      table_(cov, "TSOCC-L1", kStateNames, kEventNames), rng_(rng),
+      array_(cfg.l1Sets, cfg.l1Ways),
+      lastSeen_(static_cast<std::size_t>(cfg.numCores))
+{
+    buildTable();
+}
+
+void
+TsoccL1::buildTable()
+{
+    auto def = [this](State s, Event e) { table_.define(s, e); };
+
+    def(StI, EvLoad);
+    def(StI, EvStore);
+    def(StI, EvRmw);
+    def(StI, EvFlush);
+
+    def(StS, EvLoad);
+    def(StS, EvLoadExpired);
+    def(StS, EvStore);
+    def(StS, EvRmw);
+    def(StS, EvFlush);
+    def(StS, EvReplacement);
+    def(StS, EvSelfInvalidate);
+
+    def(StM, EvLoad);
+    def(StM, EvStore);
+    def(StM, EvRmw);
+    def(StM, EvFlush);
+    def(StM, EvReplacement);
+    def(StM, EvRecall);
+
+    def(StIS, EvData);
+    def(StIM, EvData);
+
+    def(StMI, EvRecall);
+    def(StMI, EvWbAck);
+    def(StMI, EvWbNack);
+    def(StII, EvWbAck);
+    def(StII, EvWbNack);
+
+    def(StCtrl, EvTsReset);
+}
+
+NodeId
+TsoccL1::home(Addr line) const
+{
+    return l2Node(cfg_.homeTile(line));
+}
+
+void
+TsoccL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
+              const std::function<void(Msg &)> &fill)
+{
+    Msg msg;
+    msg.type = t;
+    msg.line = line;
+    msg.src = coreNode(pid_);
+    msg.dst = dst;
+    msg.vnet = vnet;
+    msg.requester = pid_;
+    if (fill)
+        fill(msg);
+    net_.send(msg);
+}
+
+void
+TsoccL1::respond(ReqId id, WriteVal value, WriteVal overwritten,
+                 Tick latency)
+{
+    CacheResp resp{id, value, overwritten, false};
+    eq_.scheduleIn(latency, [this, resp]() { hooks_.respond(resp); });
+}
+
+void
+TsoccL1::notifyLq(Addr line)
+{
+    if (hooks_.addressInvalidated)
+        hooks_.addressInvalidated(line);
+}
+
+TsoccL1::State
+TsoccL1::lineState(Addr line)
+{
+    if (auto it = evict_.find(line); it != evict_.end())
+        return it->second.state;
+    if (CacheEntry *e = array_.find(line))
+        return static_cast<State>(e->state);
+    return StI;
+}
+
+std::string
+TsoccL1::debugSummary()
+{
+    std::ostringstream os;
+    os << "TsoccL1[" << pid_ << "] pendingLines=" << pending_.size();
+    for (const auto &[line, q] : pending_) {
+        os << " 0x" << std::hex << line << std::dec << "(q=" << q.size()
+           << ",st=" << static_cast<int>(lineState(line)) << ")";
+    }
+    os << " evict=" << evict_.size();
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Timestamp machinery.
+// ---------------------------------------------------------------------
+
+void
+TsoccL1::stampWrite(CacheEntry &entry)
+{
+    entry.meta.writer = pid_;
+    entry.meta.ts = curTs_;
+    entry.meta.epoch = curEpoch_;
+    if (++writesInGroup_ >= cfg_.tsoccGroupSize) {
+        writesInGroup_ = 0;
+        if (++curTs_ > cfg_.tsoccMaxTs) {
+            // Timestamp reset. With epoch-ids, the new epoch is
+            // broadcast so other cores treat in-flight old-epoch
+            // metadata conservatively.
+            // BUG TSO-CC+no-epoch-ids: the reset happens silently.
+            curTs_ = 1;
+            curEpoch_ += 1;
+            if (cfg_.bug != BugId::TsoccNoEpochIds) {
+                for (Pid p = 0; p < static_cast<Pid>(cfg_.numCores);
+                     ++p) {
+                    if (p == pid_)
+                        continue;
+                    send(MsgType::TsReset, 0, coreNode(p), Vnet::Fwd,
+                         [&](Msg &m) { m.meta.epoch = curEpoch_; });
+                }
+            }
+        }
+    }
+}
+
+void
+TsoccL1::applySelfInvRule(const TsMeta &meta, Addr except_line)
+{
+    if (meta.valid() && meta.writer == pid_)
+        return; // Own writes need no self-invalidation.
+
+    bool newer;
+    bool strictly_newer = false;
+    if (!meta.valid()) {
+        // No metadata means the line has never been written (the L2's
+        // directory store persists metadata across evictions), so the
+        // read observes only the initial value and imposes no
+        // ordering: no self-invalidation needed. This also keeps cold
+        // fills from sweeping, which would flag every concurrent
+        // in-flight fill and livelock the replay machinery.
+        newer = false;
+    } else {
+        Seen &seen = lastSeen_[static_cast<std::size_t>(meta.writer)];
+        // BUG TSO-CC+compare: 'larger' instead of 'larger or equal'.
+        const bool ts_newer = (cfg_.bug == BugId::TsoccCompare)
+                                  ? (meta.ts > seen.ts)
+                                  : (meta.ts >= seen.ts);
+        if (cfg_.bug == BugId::TsoccNoEpochIds) {
+            newer = !seen.valid || ts_newer;
+            strictly_newer = !seen.valid || meta.ts > seen.ts;
+        } else {
+            newer = !seen.valid || meta.epoch != seen.epoch || ts_newer;
+            strictly_newer = !seen.valid || meta.epoch != seen.epoch ||
+                             meta.ts > seen.ts;
+        }
+        // Update the last-seen table.
+        if (!seen.valid || meta.epoch != seen.epoch) {
+            if (cfg_.bug == BugId::TsoccNoEpochIds) {
+                // Epochs ignored: only ever move the timestamp up.
+                if (!seen.valid || meta.ts > seen.ts)
+                    seen.ts = meta.ts;
+                seen.valid = true;
+            } else {
+                seen = Seen{true, meta.epoch, meta.ts};
+            }
+        } else if (meta.ts > seen.ts) {
+            seen.ts = meta.ts;
+        }
+    }
+    (void)strictly_newer;
+    if (newer) {
+        // In-flight fills are always flagged: an equality-triggered
+        // sweep (timestamp groups) can still cross a fill whose data
+        // predates a same-group write. The replay storms this can
+        // cause under extreme conflict are bounded by the workload's
+        // livelock watchdog.
+        selfInvalidateShared(except_line, true);
+    }
+}
+
+void
+TsoccL1::selfInvalidateShared(Addr except_line, bool flag_in_flight)
+{
+    std::vector<Addr> doomed;
+    array_.forEachValid([&](CacheEntry &e) {
+        if (e.state == StS && e.line != except_line)
+            doomed.push_back(e.line);
+        // A read fill in flight was served before this acquire point:
+        // its data may be stale relative to what triggered the sweep,
+        // so it must be consumed as invalidated-in-flight (the TSO-CC
+        // analogue of MESI's IS_I).
+        if (flag_in_flight && e.state == StIS && e.line != except_line)
+            e.consumeFlagged = true;
+    });
+    for (Addr line : doomed) {
+        table_.record(StS, EvSelfInvalidate);
+        CacheEntry *e = array_.find(line);
+        array_.free(*e);
+        notifyLq(line);
+        ++selfInvs_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Core interface.
+// ---------------------------------------------------------------------
+
+void
+TsoccL1::coreLoad(ReqId id, Addr addr)
+{
+    enqueue({PendingReq::Kind::Load, id, addr, 0});
+    processPending(lineAddr(addr));
+}
+
+void
+TsoccL1::coreStore(ReqId id, Addr addr, WriteVal value)
+{
+    enqueue({PendingReq::Kind::Store, id, addr, value});
+    processPending(lineAddr(addr));
+}
+
+void
+TsoccL1::coreRmw(ReqId id, Addr addr, WriteVal value)
+{
+    enqueue({PendingReq::Kind::Rmw, id, addr, value});
+    processPending(lineAddr(addr));
+}
+
+void
+TsoccL1::coreFlush(ReqId id, Addr addr)
+{
+    enqueue({PendingReq::Kind::Flush, id, addr, 0});
+    processPending(lineAddr(addr));
+}
+
+void
+TsoccL1::enqueue(const PendingReq &req)
+{
+    pending_[lineAddr(req.addr)].push_back(req);
+}
+
+bool
+TsoccL1::startMiss(Addr line, bool exclusive)
+{
+    CacheEntry *entry = array_.allocate(line);
+    if (!entry) {
+        if (!evictVictim(line))
+            return false;
+        entry = array_.allocate(line);
+        assert(entry);
+    }
+    entry->state = exclusive ? StIM : StIS;
+    array_.touch(*entry, eq_.now());
+    send(exclusive ? MsgType::GETX : MsgType::GETS, line, home(line),
+         Vnet::Request);
+    return true;
+}
+
+bool
+TsoccL1::evictVictim(Addr line)
+{
+    CacheEntry *victim = array_.victim(line, [](const CacheEntry &e) {
+        return e.state == StS || e.state == StM;
+    });
+    if (!victim)
+        return false;
+    doReplacement(*victim);
+    return true;
+}
+
+void
+TsoccL1::doReplacement(CacheEntry &entry)
+{
+    const Addr line = entry.line;
+    const auto st = static_cast<State>(entry.state);
+    table_.record(st, EvReplacement);
+    if (st == StS) {
+        // Sharers are untracked: silent drop.
+        notifyLq(line);
+        array_.free(entry);
+        return;
+    }
+    assert(st == StM);
+    EvictBuf buf;
+    buf.state = StMI;
+    evict_[line] = buf;
+    send(MsgType::PUTX, line, home(line), Vnet::Request, [&](Msg &m) {
+        m.data = entry.data;
+        m.hasData = true;
+        m.dirty = true;
+        m.meta = entry.meta;
+    });
+    notifyLq(line);
+    array_.free(entry);
+}
+
+void
+TsoccL1::processPending(Addr line)
+{
+    auto it = pending_.find(line);
+    if (it == pending_.end())
+        return;
+    auto &q = it->second;
+
+    while (!q.empty()) {
+        if (evict_.count(line))
+            return;
+
+        const PendingReq req = q.front();
+        CacheEntry *entry = array_.find(line);
+        const State st = entry ? static_cast<State>(entry->state) : StI;
+
+        switch (st) {
+          case StI:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                table_.record(StI, EvLoad);
+                if (!startMiss(line, false)) {
+                    eq_.scheduleIn(16, [this, line]() {
+                        processPending(line);
+                    });
+                    return;
+                }
+                return;
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw:
+                table_.record(StI, req.kind == PendingReq::Kind::Rmw
+                                       ? EvRmw
+                                       : EvStore);
+                if (!startMiss(line, true)) {
+                    eq_.scheduleIn(16, [this, line]() {
+                        processPending(line);
+                    });
+                    return;
+                }
+                return;
+              case PendingReq::Kind::Flush:
+                table_.record(StI, EvFlush);
+                respond(req.id, 0, 0, 1);
+                q.pop_front();
+                continue;
+            }
+            break;
+
+          case StS:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                if (entry->accessesLeft <= 0) {
+                    // Max-accesses exhausted: revalidate from L2. The
+                    // local copy is dropped, so speculative consumers
+                    // must be squashed.
+                    table_.record(StS, EvLoadExpired);
+                    notifyLq(line);
+                    array_.free(*entry);
+                    continue; // Re-dispatch as a miss.
+                }
+                table_.record(StS, EvLoad);
+                entry->accessesLeft -= 1;
+                array_.touch(*entry, eq_.now());
+                respond(req.id, entry->data.word(req.addr), 0,
+                        cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw:
+                table_.record(StS, req.kind == PendingReq::Kind::Rmw
+                                       ? EvRmw
+                                       : EvStore);
+                // Drop the shared copy and fetch with ownership. The
+                // drop invalidates data a speculative load to another
+                // word of this line may already have consumed, so the
+                // LQ must be notified like for any invalidation.
+                notifyLq(line);
+                array_.free(*entry);
+                continue; // Re-dispatch: StI + Store -> GETX.
+              case PendingReq::Kind::Flush:
+                table_.record(StS, EvFlush);
+                notifyLq(line);
+                array_.free(*entry);
+                respond(req.id, 0, 0, 1);
+                q.pop_front();
+                continue;
+            }
+            break;
+
+          case StM:
+            switch (req.kind) {
+              case PendingReq::Kind::Load:
+                table_.record(StM, EvLoad);
+                array_.touch(*entry, eq_.now());
+                respond(req.id, entry->data.word(req.addr), 0,
+                        cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+              case PendingReq::Kind::Store:
+              case PendingReq::Kind::Rmw: {
+                table_.record(StM, req.kind == PendingReq::Kind::Rmw
+                                       ? EvRmw
+                                       : EvStore);
+                array_.touch(*entry, eq_.now());
+                if (req.kind == PendingReq::Kind::Rmw) {
+                    // Atomic RMWs are full fences (acquire points):
+                    // without sharer invalidations, TSO across a fence
+                    // is only preserved if all Shared lines are
+                    // self-invalidated here. Fences are rare, so
+                    // flagging in-flight fills cannot self-sustain.
+                    selfInvalidateShared(line, true);
+                }
+                const WriteVal old = entry->data.word(req.addr);
+                entry->data.setWord(req.addr, req.value);
+                stampWrite(*entry);
+                if (req.kind == PendingReq::Kind::Rmw)
+                    respond(req.id, old, old, cfg_.l1HitLatency);
+                else
+                    respond(req.id, 0, old, cfg_.l1HitLatency);
+                q.pop_front();
+                continue;
+              }
+              case PendingReq::Kind::Flush: {
+                table_.record(StM, EvFlush);
+                EvictBuf buf;
+                buf.state = StMI;
+                buf.flushPending = true;
+                buf.flushReq = req.id;
+                evict_[line] = buf;
+                send(MsgType::PUTX, line, home(line), Vnet::Request,
+                     [&](Msg &m) {
+                         m.data = entry->data;
+                         m.hasData = true;
+                         m.dirty = true;
+                         m.meta = entry->meta;
+                     });
+                notifyLq(line);
+                array_.free(*entry);
+                q.pop_front();
+                return;
+              }
+            }
+            break;
+
+          case StIS:
+          case StIM:
+            return; // Wait for data.
+
+          default:
+            return;
+        }
+    }
+    if (q.empty())
+        pending_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Message handling.
+// ---------------------------------------------------------------------
+
+void
+TsoccL1::handleMsg(const Msg &msg)
+{
+    const Addr line = msg.line;
+
+    if (msg.type == MsgType::TsReset) {
+        table_.record(StCtrl, EvTsReset);
+        // A writer reset its timestamp: anything we later see from it
+        // in the new epoch must be treated as unseen.
+        Seen &seen = lastSeen_[static_cast<std::size_t>(msg.requester)];
+        seen.valid = true;
+        seen.epoch = msg.meta.epoch;
+        seen.ts = 0;
+        return;
+    }
+
+    if (auto it = evict_.find(line); it != evict_.end()) {
+        EvictBuf &buf = it->second;
+        const State st = buf.state;
+        switch (msg.type) {
+          case MsgType::Recall:
+            table_.record(st, EvRecall);
+            send(MsgType::RecallAckNoData, line, home(line),
+                 Vnet::Response);
+            buf.state = StII;
+            return;
+          case MsgType::WbAck:
+          case MsgType::WbNack: {
+            table_.record(st, msg.type == MsgType::WbAck ? EvWbAck
+                                                         : EvWbNack);
+            const bool flush_pending = buf.flushPending;
+            const ReqId flush_req = buf.flushReq;
+            evict_.erase(it);
+            if (flush_pending)
+                respond(flush_req, 0, 0, 1);
+            processPending(line);
+            return;
+          }
+          default:
+            table_.record(st, EvData); // Undefined: throws.
+            return;
+        }
+    }
+
+    CacheEntry *entry = array_.find(line);
+    const State st = entry ? static_cast<State>(entry->state) : StI;
+
+    switch (msg.type) {
+      case MsgType::Data:
+        table_.record(st, EvData);
+        if (st == StIS) {
+            if (entry->consumeFlagged) {
+                // Stale fill (self-invalidation crossed it): consume
+                // once, flagged, and do not install.
+                auto pit = pending_.find(line);
+                if (pit != pending_.end()) {
+                    auto &q = pit->second;
+                    for (auto qit = q.begin(); qit != q.end();) {
+                        if (qit->kind == PendingReq::Kind::Load) {
+                            CacheResp resp{qit->id,
+                                           msg.data.word(qit->addr), 0,
+                                           true};
+                            eq_.scheduleIn(1, [this, resp]() {
+                                hooks_.respond(resp);
+                            });
+                            qit = q.erase(qit);
+                        } else {
+                            ++qit;
+                        }
+                    }
+                }
+                array_.free(*entry);
+                processPending(line);
+                return;
+            }
+            entry->data = msg.data;
+            entry->meta = msg.meta;
+            entry->state = StS;
+            entry->accessesLeft = cfg_.tsoccMaxAccesses;
+            applySelfInvRule(msg.meta, line);
+            processPending(line);
+        } else { // StIM
+            entry->data = msg.data;
+            entry->meta = msg.meta;
+            entry->state = StM;
+            applySelfInvRule(msg.meta, line);
+            send(MsgType::Unblock, line, home(line), Vnet::Request);
+            processPending(line);
+        }
+        return;
+
+      case MsgType::Recall:
+        table_.record(st, EvRecall); // Only StM defined.
+        send(MsgType::RecallData, line, home(line), Vnet::Response,
+             [&](Msg &m) {
+                 m.data = entry->data;
+                 m.hasData = true;
+                 m.dirty = true;
+                 m.meta = entry->meta;
+             });
+        notifyLq(line);
+        array_.free(*entry);
+        processPending(line);
+        return;
+
+      default:
+        throw ProtocolError("TSOCC-L1", kStateNames[st],
+                            msgTypeName(msg.type));
+    }
+}
+
+void
+TsoccL1::resetAll()
+{
+    array_.reset();
+    evict_.clear();
+    pending_.clear();
+    for (Seen &seen : lastSeen_)
+        seen = Seen{};
+    // Keep curTs_/curEpoch_: timestamps are global machine state, not
+    // per-test state (the paper resets only test-related state).
+    writesInGroup_ = 0;
+}
+
+} // namespace mcversi::sim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * TSO-CC-style lazy consistency-directed coherence: private L1.
+ *
+ * Following Elver & Nagarajan (HPCA 2014), the protocol keeps TSO
+ * without tracking sharers: Shared lines are read without registration
+ * and readers self-invalidate instead of being invalidated.
+ *
+ *  - Shared lines may be read at most maxAccesses times before being
+ *    re-fetched (bounded staleness).
+ *  - Writers stamp lines with (writer, timestamp, epoch); timestamps
+ *    advance every groupSize writes (timestamp groups).
+ *  - When a fetch returns a line whose timestamp is *larger or equal*
+ *    than the last-seen timestamp from that writer (or whose epoch is
+ *    unknown/mismatched, or that has no metadata), the reader
+ *    self-invalidates all its Shared lines.
+ *  - When a writer's timestamp overflows it resets and broadcasts a new
+ *    epoch-id, which avoids races between resets and in-flight requests.
+ *
+ * Bug injections (§5.3):
+ *  - TSO-CC+no-epoch-ids: resets happen silently; comparisons use raw
+ *    timestamps only.
+ *  - TSO-CC+compare: 'larger' instead of 'larger or equal'.
+ *
+ * Ownership (writes) remains directory-tracked at the L2, exactly one
+ * owner at a time, so SWMR is violated only for reads.
+ */
+
+#ifndef MCVERSI_SIM_TSOCC_TSOCC_L1_HH
+#define MCVERSI_SIM_TSOCC_TSOCC_L1_HH
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/cache_array.hh"
+#include "sim/config.hh"
+#include "sim/eventq.hh"
+#include "sim/network.hh"
+#include "sim/ports.hh"
+#include "sim/transition_table.hh"
+
+namespace mcversi::sim {
+
+/** Private L1 controller for the TSO-CC protocol. */
+class TsoccL1 : public L1Cache, public MsgHandler
+{
+  public:
+    enum State : std::uint8_t {
+        StI,
+        StS,
+        StM,
+        StIS,
+        StIM,
+        StMI,  ///< side buffer: PUTX outstanding
+        StII,  ///< side buffer: recall acked while MI
+        StCtrl, ///< pseudo-state for controller-wide events
+        NumStates,
+    };
+
+    enum Event : std::uint8_t {
+        EvLoad,
+        EvLoadExpired,
+        EvStore,
+        EvRmw,
+        EvFlush,
+        EvReplacement,
+        EvData,
+        EvRecall,
+        EvWbAck,
+        EvWbNack,
+        EvTsReset,
+        EvSelfInvalidate,
+        NumEvents,
+    };
+
+    TsoccL1(Pid pid, const SystemConfig &cfg, EventQueue &eq, Network &net,
+            TransitionCoverage &cov, Rng rng);
+
+    void setHooks(CoreHooks hooks) override { hooks_ = std::move(hooks); }
+
+    void coreLoad(ReqId id, Addr addr) override;
+    void coreStore(ReqId id, Addr addr, WriteVal value) override;
+    void coreRmw(ReqId id, Addr addr, WriteVal value) override;
+    void coreFlush(ReqId id, Addr addr) override;
+
+    void handleMsg(const Msg &msg) override;
+    void resetAll() override;
+
+    State lineState(Addr line);
+
+    /** One-line state summary for deadlock diagnosis. */
+    std::string debugSummary();
+
+    /** Tests: last-seen timestamp table entry for a writer. */
+    struct Seen
+    {
+        bool valid = false;
+        std::uint32_t epoch = 0;
+        std::uint32_t ts = 0;
+    };
+    const Seen &lastSeen(Pid writer) const { return lastSeen_[writer]; }
+    std::uint32_t currentTs() const { return curTs_; }
+    std::uint32_t currentEpoch() const { return curEpoch_; }
+    std::uint64_t selfInvalidations() const { return selfInvs_; }
+
+  private:
+    struct PendingReq
+    {
+        enum class Kind { Load, Store, Rmw, Flush } kind;
+        ReqId id;
+        Addr addr;
+        WriteVal value;
+    };
+
+    struct EvictBuf
+    {
+        State state = StMI;
+        bool flushPending = false;
+        ReqId flushReq = 0;
+    };
+
+    void buildTable();
+    NodeId home(Addr line) const;
+    void send(MsgType t, Addr line, NodeId dst, Vnet vnet,
+              const std::function<void(Msg &)> &fill = {});
+    void respond(ReqId id, WriteVal value, WriteVal overwritten,
+                 Tick latency);
+    void notifyLq(Addr line);
+
+    void enqueue(const PendingReq &req);
+    void processPending(Addr line);
+    bool startMiss(Addr line, bool exclusive);
+    bool evictVictim(Addr line);
+    void doReplacement(CacheEntry &entry);
+
+    /** Advance the write timestamp machinery after one store. */
+    void stampWrite(CacheEntry &entry);
+    /** Apply the self-invalidation rule for incoming metadata. */
+    void applySelfInvRule(const TsMeta &meta, Addr except_line);
+    /**
+     * Sweep all Shared lines.
+     *
+     * @param flag_in_flight also mark in-flight read fills to be
+     *        consumed as invalidated (replayed): their data was served
+     *        before the acquire point this sweep represents. Always
+     *        set by the protocol; the replay storms this conservatism
+     *        can cause under extreme conflict are bounded by the
+     *        workload-level livelock watchdog.
+     */
+    void selfInvalidateShared(Addr except_line, bool flag_in_flight);
+
+    Pid pid_;
+    const SystemConfig &cfg_;
+    EventQueue &eq_;
+    Network &net_;
+    TransitionTable table_;
+    Rng rng_;
+    CoreHooks hooks_;
+
+    CacheArray array_;
+    std::unordered_map<Addr, EvictBuf> evict_;
+    std::unordered_map<Addr, std::deque<PendingReq>> pending_;
+
+    std::vector<Seen> lastSeen_;
+    std::uint32_t curTs_ = 1;
+    std::uint32_t curEpoch_ = 0;
+    int writesInGroup_ = 0;
+    std::uint64_t selfInvs_ = 0;
+};
+
+} // namespace mcversi::sim
+
+#endif // MCVERSI_SIM_TSOCC_TSOCC_L1_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Algorithm 1 (selective crossover + mutation) property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/crossover.hh"
+
+namespace gp = mcversi::gp;
+using namespace mcversi::gp;
+using mcversi::Addr;
+using mcversi::Rng;
+
+namespace {
+
+GenParams
+genParams()
+{
+    GenParams p;
+    p.testSize = 200;
+    p.numThreads = 4;
+    p.memSize = 1024;
+    p.stride = 16;
+    return p;
+}
+
+gp::Test
+taggedTest(const GenParams &p, Rng &rng, Addr special, double frac)
+{
+    RandomTestGen gen(p);
+    gp::Test t = gen.randomTest(rng);
+    // Force a fraction of memory ops onto the special address.
+    std::size_t count = static_cast<std::size_t>(
+        static_cast<double>(t.size()) * frac);
+    for (std::size_t i = 0; i < t.size() && count > 0; ++i) {
+        if (t.node(i).op.isMem()) {
+            t.node(i).op.addr = special;
+            --count;
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(Crossover, FitaddrFraction)
+{
+    GenParams p = genParams();
+    Rng rng(1);
+    gp::Test t = taggedTest(p, rng, 0x40, 0.25);
+    std::unordered_set<Addr> fit{0x40};
+    const double frac = fitaddrFraction(t, fit);
+    EXPECT_GT(frac, 0.15);
+    EXPECT_LT(frac, 0.40);
+    EXPECT_DOUBLE_EQ(fitaddrFraction(t, {}), 0.0);
+}
+
+TEST(Crossover, ChildHasParentLength)
+{
+    GenParams p = genParams();
+    GaParams ga;
+    RandomTestGen gen(p);
+    Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        gp::Test t1 = gen.randomTest(rng);
+        gp::Test t2 = gen.randomTest(rng);
+        gp::Test child = crossoverMutate(t1, {}, t2, {}, gen, ga, rng);
+        EXPECT_EQ(child.size(), t1.size());
+    }
+}
+
+TEST(Crossover, FitAddrOpsAlwaysInherited)
+{
+    // Memory ops whose address is in parent-1's fitaddrs are always
+    // selected from parent 1 (unconditional selection).
+    GenParams p = genParams();
+    GaParams ga;
+    ga.pMut = 0.0; // isolate selection behaviour
+    RandomTestGen gen(p);
+    Rng rng(3);
+    const Addr special = 0x80;
+    gp::Test t1 = taggedTest(p, rng, special, 0.3);
+    gp::Test t2 = gen.randomTest(rng);
+    NdInfo nd1;
+    nd1.fitaddrs = {special};
+    for (int trial = 0; trial < 10; ++trial) {
+        gp::Test child = crossoverMutate(t1, nd1, t2, {}, gen, ga, rng);
+        for (std::size_t i = 0; i < child.size(); ++i) {
+            if (t1.node(i).op.isMem() &&
+                t1.node(i).op.addr == special) {
+                EXPECT_EQ(child.node(i), t1.node(i))
+                    << "slot " << i << " must retain the fit node";
+            }
+        }
+    }
+}
+
+TEST(Crossover, SlotPositionsPreserved)
+{
+    // Every child slot comes from the same slot of a parent or is a
+    // fresh random node -- relative scheduling positions never move.
+    GenParams p = genParams();
+    GaParams ga;
+    RandomTestGen gen(p);
+    Rng rng(4);
+    gp::Test t1 = gen.randomTest(rng);
+    gp::Test t2 = gen.randomTest(rng);
+    gp::Test child = crossoverMutate(t1, {}, t2, {}, gen, ga, rng);
+    std::size_t from_parent = 0;
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        if (child.node(i) == t1.node(i) || child.node(i) == t2.node(i))
+            ++from_parent;
+    }
+    // With PUSEL=0.2 most slots are mutations only when unselected by
+    // both (0.8*0.8 = 64% mutation for non-fit mem ops). Just require
+    // a sane mix.
+    EXPECT_GT(from_parent, child.size() / 10);
+}
+
+TEST(Crossover, PbfaBiasesMutationTowardsFitUnion)
+{
+    GenParams p = genParams();
+    GaParams ga;
+    ga.pUsel = 0.0; // nothing unconditionally selected
+    ga.pBfa = 1.0;  // all mutations draw from the fit union
+    RandomTestGen gen(p);
+    Rng rng(5);
+    gp::Test t1 = gen.randomTest(rng);
+    gp::Test t2 = gen.randomTest(rng);
+    NdInfo nd1;
+    nd1.fitaddrs = {0x40};
+    NdInfo nd2;
+    nd2.fitaddrs = {0x80};
+    gp::Test child = crossoverMutate(t1, nd1, t2, nd2, gen, ga, rng);
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        const Op &op = child.node(i).op;
+        // Non-fit mem ops of t1 were never selected; all mem-op slots
+        // mutated into the union or inherited as fit.
+        if (op.isMem() && !(child.node(i) == t1.node(i)) &&
+            !(child.node(i) == t2.node(i))) {
+            EXPECT_TRUE(op.addr == 0x40 || op.addr == 0x80);
+        }
+    }
+}
+
+TEST(Crossover, SinglePointProducesPrefixSuffix)
+{
+    GenParams p = genParams();
+    GaParams ga;
+    ga.pMut = 0.0;
+    RandomTestGen gen(p);
+    Rng rng(6);
+    gp::Test t1 = gen.randomTest(rng);
+    gp::Test t2 = gen.randomTest(rng);
+    gp::Test child = singlePointCrossoverMutate(t1, t2, gen, ga, rng);
+    ASSERT_EQ(child.size(), t1.size());
+    // Find the crossover point: prefix from t1, suffix from t2.
+    std::size_t point = 0;
+    while (point < child.size() && child.node(point) == t1.node(point))
+        ++point;
+    for (std::size_t i = point; i < child.size(); ++i)
+        EXPECT_EQ(child.node(i), t2.node(i)) << "slot " << i;
+}
+
+TEST(Crossover, MutationTopUpRespectsRate)
+{
+    // With PUSEL = 1 everything is selected from t1; the implicit
+    // mutation count is 0 < PMUT so the top-up loop runs, mutating
+    // roughly PMUT of genes.
+    GenParams p = genParams();
+    p.testSize = 5000;
+    GaParams ga;
+    ga.pUsel = 1.0;
+    ga.pMut = 0.01;
+    RandomTestGen gen(p);
+    Rng rng(7);
+    gp::Test t1 = gen.randomTest(rng);
+    gp::Test t2 = gen.randomTest(rng);
+    gp::Test child = crossoverMutate(t1, {}, t2, {}, gen, ga, rng);
+    std::size_t mutated = 0;
+    for (std::size_t i = 0; i < child.size(); ++i)
+        if (!(child.node(i) == t1.node(i)))
+            ++mutated;
+    EXPECT_GT(mutated, 10u);
+    EXPECT_LT(mutated, 200u);
+}

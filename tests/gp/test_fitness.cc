@@ -1,0 +1,85 @@
+/** @file Adaptive coverage fitness (§3.2) unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "gp/fitness.hh"
+
+using namespace mcversi::gp;
+
+TEST(Fitness, BasicFraction)
+{
+    AdaptiveCoverageFitness fit({4, 0.02, 50});
+    // 4 transitions, all counts below cut-off, 2 covered => 0.5.
+    std::vector<std::uint64_t> pre{0, 1, 2, 3};
+    std::vector<std::uint32_t> covered{0, 2};
+    EXPECT_DOUBLE_EQ(fit.evaluate(pre, covered), 0.5);
+}
+
+TEST(Fitness, FrequentTransitionsExcluded)
+{
+    AdaptiveCoverageFitness fit({4, 0.02, 50});
+    // Counts >= cutoff are excluded from both numerator and
+    // denominator.
+    std::vector<std::uint64_t> pre{100, 200, 1, 0};
+    std::vector<std::uint32_t> covered{0, 1, 2};
+    EXPECT_DOUBLE_EQ(fit.evaluate(pre, covered), 0.5); // 1 of {2,3}
+}
+
+TEST(Fitness, AllFrequentGivesZero)
+{
+    AdaptiveCoverageFitness fit({2, 0.02, 50});
+    std::vector<std::uint64_t> pre{10, 10};
+    std::vector<std::uint32_t> covered{0, 1};
+    EXPECT_DOUBLE_EQ(fit.evaluate(pre, covered), 0.0);
+}
+
+TEST(Fitness, CutoffDoublesAfterStall)
+{
+    AdaptiveCoverageFitness::Params p;
+    p.initialCutoff = 4;
+    p.stallThreshold = 0.5;
+    p.stallWindow = 3;
+    AdaptiveCoverageFitness fit(p);
+    std::vector<std::uint64_t> pre{0, 0};
+    std::vector<std::uint32_t> none;
+    EXPECT_EQ(fit.cutoff(), 4u);
+    fit.evaluate(pre, none);
+    fit.evaluate(pre, none);
+    EXPECT_EQ(fit.cutoff(), 4u);
+    fit.evaluate(pre, none);
+    EXPECT_EQ(fit.cutoff(), 8u) << "exponential increase after window";
+    // Stall counter resets after doubling.
+    fit.evaluate(pre, none);
+    EXPECT_EQ(fit.cutoff(), 8u);
+}
+
+TEST(Fitness, GoodRunResetsStall)
+{
+    AdaptiveCoverageFitness::Params p;
+    p.initialCutoff = 4;
+    p.stallThreshold = 0.5;
+    p.stallWindow = 2;
+    AdaptiveCoverageFitness fit(p);
+    std::vector<std::uint64_t> pre{0, 0};
+    fit.evaluate(pre, {});
+    // High-fitness run resets the stall counter.
+    fit.evaluate(pre, {0, 1});
+    fit.evaluate(pre, {});
+    EXPECT_EQ(fit.cutoff(), 4u);
+    fit.evaluate(pre, {});
+    EXPECT_EQ(fit.cutoff(), 8u);
+}
+
+TEST(Fitness, EmptyTransitionTable)
+{
+    AdaptiveCoverageFitness fit;
+    EXPECT_DOUBLE_EQ(fit.evaluate({}, {}), 0.0);
+}
+
+TEST(Fitness, NormalizedNdtMonotone)
+{
+    EXPECT_DOUBLE_EQ(normalizedNdt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedNdt(1.0), 0.5);
+    EXPECT_GT(normalizedNdt(3.0), normalizedNdt(2.0));
+    EXPECT_LT(normalizedNdt(100.0), 1.0);
+}

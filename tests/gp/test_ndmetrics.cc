@@ -1,0 +1,123 @@
+/** @file NDT / NDe / fitaddrs (Definitions 1-3) unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "gp/ndmetrics.hh"
+
+using namespace mcversi::gp;
+using mcversi::Addr;
+
+TEST(NdMetrics, DeterministicRunHasNdtOne)
+{
+    // Every event always ordered after exactly one (init) producer.
+    NdAccumulator acc;
+    acc.beginRun(4);
+    for (int iter = 0; iter < 10; ++iter) {
+        for (int e = 0; e < 4; ++e)
+            acc.addEdge(initStaticEventId(static_cast<Addr>(e * 16)),
+                        staticEventId(static_cast<std::size_t>(e), 0));
+    }
+    EXPECT_DOUBLE_EQ(acc.ndt(), 1.0);
+    EXPECT_EQ(acc.distinctPairs(), 4u);
+}
+
+TEST(NdMetrics, EdgesAreDeduplicatedAcrossIterations)
+{
+    NdAccumulator acc;
+    acc.beginRun(2);
+    acc.addEdge(1, 2);
+    acc.addEdge(1, 2);
+    acc.addEdge(1, 2);
+    EXPECT_EQ(acc.distinctPairs(), 1u);
+}
+
+TEST(NdMetrics, NdePerEvent)
+{
+    NdAccumulator acc;
+    acc.beginRun(3);
+    const StaticEventId e0 = staticEventId(0, 0);
+    acc.addEdge(10, e0);
+    acc.addEdge(11, e0);
+    acc.addEdge(12, e0);
+    acc.addEdge(10, staticEventId(1, 0));
+    EXPECT_EQ(acc.nde(e0), 3u);
+    EXPECT_EQ(acc.nde(staticEventId(1, 0)), 1u);
+    EXPECT_EQ(acc.nde(staticEventId(2, 0)), 0u);
+}
+
+TEST(NdMetrics, FitaddrsSelectsAboveRoundedNdt)
+{
+    // 4 events; event 0 has 3 producers, others 1 => NDT = 6/4 = 1.5,
+    // rounded 2 => only events with NDe > 2 qualify.
+    NdAccumulator acc;
+    acc.beginRun(4);
+    const StaticEventId hot = staticEventId(0, 0);
+    acc.addEdge(100, hot);
+    acc.addEdge(101, hot);
+    acc.addEdge(102, hot);
+    for (std::size_t e = 1; e < 4; ++e)
+        acc.addEdge(100, staticEventId(e, 0));
+    acc.noteEventAddr(hot, 0x40);
+    for (std::size_t e = 1; e < 4; ++e)
+        acc.noteEventAddr(staticEventId(e, 0),
+                          static_cast<Addr>(0x100 + e * 16));
+
+    EXPECT_DOUBLE_EQ(acc.ndt(), 1.5);
+    auto fit = acc.fitaddrs();
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_TRUE(fit.count(0x40));
+}
+
+TEST(NdMetrics, HighNdtManyRaces)
+{
+    // Every event saw a different producer in each of 5 iterations.
+    NdAccumulator acc;
+    acc.beginRun(10);
+    for (int iter = 0; iter < 5; ++iter)
+        for (std::size_t e = 0; e < 10; ++e)
+            acc.addEdge(1000 + iter, staticEventId(e, 0));
+    EXPECT_DOUBLE_EQ(acc.ndt(), 5.0);
+}
+
+TEST(NdMetrics, BeginRunResets)
+{
+    NdAccumulator acc;
+    acc.beginRun(2);
+    acc.addEdge(1, 2);
+    acc.noteEventAddr(2, 0x40);
+    acc.beginRun(2);
+    EXPECT_EQ(acc.distinctPairs(), 0u);
+    EXPECT_TRUE(acc.fitaddrs().empty());
+}
+
+TEST(NdMetrics, InfoBundlesNdtAndFitaddrs)
+{
+    // Two events: one with 3 producers, one with 1. NDT = 4/2 = 2,
+    // so only NDe = 3 > round(2) qualifies as a fit address.
+    NdAccumulator acc;
+    acc.beginRun(2);
+    const StaticEventId e = staticEventId(0, 0);
+    acc.addEdge(7, e);
+    acc.addEdge(8, e);
+    acc.addEdge(9, e);
+    acc.addEdge(7, staticEventId(1, 0));
+    acc.noteEventAddr(e, 0x20);
+    acc.noteEventAddr(staticEventId(1, 0), 0x30);
+    NdInfo info = acc.info();
+    EXPECT_DOUBLE_EQ(info.ndt, 2.0);
+    EXPECT_TRUE(info.fitaddrs.count(0x20));
+    EXPECT_FALSE(info.fitaddrs.count(0x30));
+}
+
+TEST(NdMetrics, InitEventIdsDistinctPerAddress)
+{
+    EXPECT_NE(initStaticEventId(0x10), initStaticEventId(0x20));
+    EXPECT_LT(initStaticEventId(0x10), 0);
+}
+
+TEST(NdMetrics, ZeroEventsSafe)
+{
+    NdAccumulator acc;
+    acc.beginRun(0);
+    EXPECT_DOUBLE_EQ(acc.ndt(), 0.0);
+}

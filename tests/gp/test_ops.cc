@@ -1,0 +1,60 @@
+/** @file Unit tests for operation (gene) semantics. */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.hh"
+
+using namespace mcversi::gp;
+
+TEST(Ops, MemOpClassification)
+{
+    // Algorithm 1's is_memop: everything except Delay carries an
+    // address attribute (CacheFlush accesses an address even though it
+    // produces no events).
+    EXPECT_TRUE(Op{OpKind::Read}.isMem());
+    EXPECT_TRUE(Op{OpKind::ReadAddrDp}.isMem());
+    EXPECT_TRUE(Op{OpKind::Write}.isMem());
+    EXPECT_TRUE(Op{OpKind::ReadModifyWrite}.isMem());
+    EXPECT_TRUE(Op{OpKind::CacheFlush}.isMem());
+    EXPECT_FALSE(Op{OpKind::Delay}.isMem());
+}
+
+TEST(Ops, EventCounts)
+{
+    EXPECT_EQ(Op{OpKind::Read}.numEvents(), 1);
+    EXPECT_EQ(Op{OpKind::ReadAddrDp}.numEvents(), 1);
+    EXPECT_EQ(Op{OpKind::Write}.numEvents(), 1);
+    EXPECT_EQ(Op{OpKind::ReadModifyWrite}.numEvents(), 2);
+    EXPECT_EQ(Op{OpKind::CacheFlush}.numEvents(), 0);
+    EXPECT_EQ(Op{OpKind::Delay}.numEvents(), 0);
+}
+
+TEST(Ops, Names)
+{
+    EXPECT_STREQ(opKindName(OpKind::Read), "Read");
+    EXPECT_STREQ(opKindName(OpKind::ReadModifyWrite), "ReadModifyWrite");
+    EXPECT_STREQ(opKindName(OpKind::Delay), "Delay");
+}
+
+TEST(Ops, Equality)
+{
+    Op a{OpKind::Read, 0x40, 8};
+    Op b{OpKind::Read, 0x40, 8};
+    Op c{OpKind::Read, 0x80, 8};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    Node n1{2, a};
+    Node n2{2, b};
+    Node n3{3, a};
+    EXPECT_EQ(n1, n2);
+    EXPECT_NE(n1, n3);
+}
+
+TEST(Ops, ToStringContainsAddr)
+{
+    Op op{OpKind::Write, 0xf0, 0};
+    const std::string s = op.toString();
+    EXPECT_NE(s.find("Write"), std::string::npos);
+    EXPECT_NE(s.find("f0"), std::string::npos);
+    EXPECT_EQ(Op{OpKind::Delay}.toString(), "Delay");
+}

@@ -1,0 +1,88 @@
+/** @file Unit tests for the test (chromosome) representation. */
+
+#include <gtest/gtest.h>
+
+#include "gp/test.hh"
+
+namespace gp = mcversi::gp;
+using gp::Node;
+using gp::Op;
+using gp::OpKind;
+using gp::staticEventId;
+using gp::staticEventNode;
+using GpTest = gp::Test;
+
+namespace {
+
+GpTest
+makeTest()
+{
+    std::vector<Node> nodes;
+    nodes.push_back({0, Op{OpKind::Read, 0x10}});
+    nodes.push_back({1, Op{OpKind::Write, 0x20}});
+    nodes.push_back({0, Op{OpKind::Delay}});
+    nodes.push_back({1, Op{OpKind::ReadModifyWrite, 0x10}});
+    nodes.push_back({2, Op{OpKind::CacheFlush, 0x30}});
+    return GpTest(std::move(nodes));
+}
+
+} // namespace
+
+TEST(TestRepr, ThreadSlotsPreserveOrder)
+{
+    GpTest t = makeTest();
+    auto slots = t.threadSlots(4);
+    ASSERT_EQ(slots.size(), 4u);
+    EXPECT_EQ(slots[0], (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(slots[1], (std::vector<std::size_t>{1, 3}));
+    EXPECT_EQ(slots[2], (std::vector<std::size_t>{4}));
+    EXPECT_TRUE(slots[3].empty());
+}
+
+TEST(TestRepr, CountMemOps)
+{
+    EXPECT_EQ(makeTest().countMemOps(), 4u);
+}
+
+TEST(TestRepr, CountEvents)
+{
+    // Read 1 + Write 1 + RMW 2 = 4 (Delay and Flush produce none).
+    EXPECT_EQ(makeTest().countEvents(), 4u);
+}
+
+TEST(TestRepr, UsedAddrs)
+{
+    auto addrs = makeTest().usedAddrs();
+    EXPECT_EQ(addrs.size(), 3u);
+    EXPECT_TRUE(addrs.count(0x10));
+    EXPECT_TRUE(addrs.count(0x20));
+    EXPECT_TRUE(addrs.count(0x30));
+}
+
+TEST(TestRepr, FingerprintSensitivity)
+{
+    GpTest a = makeTest();
+    GpTest b = makeTest();
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.node(0).op.addr = 0x99;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    GpTest c = makeTest();
+    c.node(0).pid = 3;
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(TestRepr, StaticEventIdEncoding)
+{
+    EXPECT_EQ(staticEventId(5, 0), 10);
+    EXPECT_EQ(staticEventId(5, 1), 11);
+    EXPECT_EQ(staticEventNode(10), 5u);
+    EXPECT_EQ(staticEventNode(11), 5u);
+}
+
+TEST(TestRepr, EmptyTest)
+{
+    GpTest t;
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.countMemOps(), 0u);
+    EXPECT_TRUE(t.usedAddrs().empty());
+}

@@ -1,0 +1,125 @@
+/** @file Verification harness + test source tests. */
+
+#include <gtest/gtest.h>
+
+#include "host/harness.hh"
+
+using namespace mcversi;
+using namespace mcversi::host;
+
+namespace {
+
+VerificationHarness::Params
+smallParams(sim::BugId bug)
+{
+    VerificationHarness::Params p;
+    p.system.bug = bug;
+    p.system.seed = 5;
+    p.gen.testSize = 96;
+    p.gen.iterations = 3;
+    p.gen.memSize = 1024;
+    p.workload.iterations = 3;
+    return p;
+}
+
+gp::GaParams
+smallGa()
+{
+    gp::GaParams ga;
+    ga.population = 20;
+    return ga;
+}
+
+} // namespace
+
+TEST(Harness, BudgetByTestRunsRespected)
+{
+    auto params = smallParams(sim::BugId::None);
+    RandomSource source(params.gen, 1);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 5;
+    HarnessResult result = harness.run(budget);
+    EXPECT_FALSE(result.bugFound);
+    EXPECT_EQ(result.testRuns, 5u);
+    EXPECT_EQ(result.ndtHistory.size(), 5u);
+    EXPECT_GT(result.totalCoverage, 0.0);
+}
+
+TEST(Harness, FindsEasyBugAndStops)
+{
+    auto params = smallParams(sim::BugId::LqNoTso);
+    RandomSource source(params.gen, 2);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 400;
+    HarnessResult result = harness.run(budget);
+    EXPECT_TRUE(result.bugFound);
+    EXPECT_GT(result.testRunsToBug, 0u);
+    EXPECT_LE(result.testRunsToBug, result.testRuns);
+    EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(Harness, GaSourceImprovesOrMatchesAndTracksNdt)
+{
+    auto params = smallParams(sim::BugId::None);
+    GaSource source(smallGa(), params.gen, 3,
+                    gp::SteadyStateGa::XoMode::Selective);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 30;
+    HarnessResult result = harness.run(budget);
+    EXPECT_EQ(result.testRuns, 30u);
+    EXPECT_GT(source.ga().evaluated(), 0u);
+    EXPECT_GT(source.ga().meanNdt(), 0.0);
+}
+
+TEST(Harness, SourceNames)
+{
+    gp::GenParams gen;
+    RandomSource rnd(gen, 1);
+    EXPECT_EQ(rnd.name(), "McVerSi-RAND");
+    GaSource all(smallGa(), gen, 1, gp::SteadyStateGa::XoMode::Selective);
+    EXPECT_EQ(all.name(), "McVerSi-ALL");
+    GaSource xo(smallGa(), gen, 1,
+                gp::SteadyStateGa::XoMode::SinglePoint);
+    EXPECT_EQ(xo.name(), "McVerSi-Std.XO");
+}
+
+TEST(Harness, WallClockBudget)
+{
+    auto params = smallParams(sim::BugId::None);
+    RandomSource source(params.gen, 4);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxWallSeconds = 0.3;
+    HarnessResult result = harness.run(budget);
+    EXPECT_FALSE(result.bugFound);
+    EXPECT_GT(result.testRuns, 0u);
+    EXPECT_GE(result.wallSeconds, 0.3);
+}
+
+TEST(Harness, RunOneBuildingBlock)
+{
+    auto params = smallParams(sim::BugId::None);
+    RandomSource source(params.gen, 5);
+    VerificationHarness harness(params, source);
+    gp::RandomTestGen rtg(params.gen);
+    Rng rng(5);
+    RunResult r = harness.runOne(rtg.randomTest(rng));
+    EXPECT_FALSE(r.bugDetected());
+    EXPECT_EQ(r.iterationsRun, 3);
+}
+
+TEST(Harness, StatsAccumulate)
+{
+    auto params = smallParams(sim::BugId::None);
+    RandomSource source(params.gen, 6);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 3;
+    HarnessResult result = harness.run(budget);
+    EXPECT_GT(result.simTicks, 0u);
+    EXPECT_GT(result.eventsExecuted, 0u);
+    EXPECT_GT(result.checkSeconds, 0.0);
+}

@@ -1,0 +1,72 @@
+/** @file Test-memory layout (512B partitions, 1MB apart) tests. */
+
+#include <gtest/gtest.h>
+
+#include "host/interface.hh"
+
+using namespace mcversi::host;
+using mcversi::Addr;
+
+TEST(Layout, PartitionCount)
+{
+    EXPECT_EQ(TestMemLayout(1024, 16).numPartitions(), 2u);
+    EXPECT_EQ(TestMemLayout(8 * 1024, 16).numPartitions(), 16u);
+}
+
+TEST(Layout, MappingWithinPartitionIsContiguous)
+{
+    TestMemLayout layout(8 * 1024, 16);
+    const Addr base = layout.toPhys(0);
+    for (Addr off = 0; off < 512; off += 8)
+        EXPECT_EQ(layout.toPhys(off), base + off);
+}
+
+TEST(Layout, PartitionsAreSpacedOneMegabyte)
+{
+    TestMemLayout layout(8 * 1024, 16);
+    EXPECT_EQ(layout.toPhys(512) - layout.toPhys(0), 1024u * 1024u);
+    EXPECT_EQ(layout.toPhys(1024) - layout.toPhys(512), 1024u * 1024u);
+}
+
+TEST(Layout, RoundTrip)
+{
+    TestMemLayout layout(8 * 1024, 16);
+    for (Addr logical = 0; logical < 8 * 1024; logical += 8) {
+        const Addr phys = layout.toPhys(logical);
+        EXPECT_EQ(layout.toLogical(phys), logical);
+        EXPECT_TRUE(layout.contains(phys));
+    }
+}
+
+TEST(Layout, ContainsRejectsOutside)
+{
+    TestMemLayout layout(1024, 16);
+    EXPECT_FALSE(layout.contains(0));
+    EXPECT_FALSE(layout.contains(layout.toPhys(0) + 600))
+        << "between partitions";
+    EXPECT_FALSE(layout.contains(layout.toPhys(0) + 3 * 1024 * 1024));
+}
+
+TEST(Layout, WordAddrsCoverRegionExactly)
+{
+    TestMemLayout layout(1024, 16);
+    auto words = layout.wordAddrs();
+    EXPECT_EQ(words.size(), 1024u / 8u);
+    // All distinct and contained.
+    std::set<Addr> set(words.begin(), words.end());
+    EXPECT_EQ(set.size(), words.size());
+    for (Addr a : words)
+        EXPECT_TRUE(layout.contains(a));
+}
+
+TEST(Layout, PartitionsConflictInL1Sets)
+{
+    // The point of the layout: partition starts map to the same L1 set
+    // (128 sets x 64B lines = 8KB period; 1MB is a multiple), forcing
+    // capacity evictions with 8KB of test memory.
+    TestMemLayout layout(8 * 1024, 16);
+    auto set_of = [](Addr a) { return (a / 64) % 128; };
+    const auto s0 = set_of(layout.toPhys(0));
+    for (Addr p = 1; p < 16; ++p)
+        EXPECT_EQ(set_of(layout.toPhys(p * 512)), s0);
+}

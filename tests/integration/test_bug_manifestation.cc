@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Integration: every studied bug (§5.3) manifests and is detected by
+ * the McVerSi stack within a modest test-run budget. These are the
+ * repository's most important tests -- they establish that the
+ * substrate actually contains the bugs the paper studies and that the
+ * checker catches them.
+ *
+ * Parameterized over all 11 bugs. The budget per bug is sized from the
+ * observed difficulty ordering (replacement-dependent bugs need 8KB of
+ * test memory and more runs, mirroring Table 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/harness.hh"
+#include "sim/bugs.hh"
+
+using namespace mcversi;
+using namespace mcversi::host;
+
+namespace {
+
+struct BugCase
+{
+    sim::BugId bug;
+    /** Test-memory size (paper: some bugs need 8KB, 1KB suffices
+     * otherwise and is faster). */
+    Addr memSize;
+    std::uint64_t maxRuns;
+    /** Ops per test; race-window bugs need more concurrent pressure. */
+    std::size_t testSize = 192;
+};
+
+std::string
+caseName(const testing::TestParamInfo<BugCase> &info)
+{
+    std::string name = sim::bugInfo(info.param.bug).name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+class BugManifestation : public testing::TestWithParam<BugCase>
+{
+};
+
+} // namespace
+
+TEST_P(BugManifestation, FoundWithinBudget)
+{
+    const BugCase &bc = GetParam();
+    const sim::BugInfo &info = sim::bugInfo(bc.bug);
+
+    VerificationHarness::Params params;
+    params.system.bug = bc.bug;
+    params.system.seed = 20260611;
+    params.system.protocol = info.protocol == sim::ProtocolKind::Tsocc
+                                 ? sim::Protocol::Tsocc
+                                 : sim::Protocol::Mesi;
+    params.gen.testSize = bc.testSize;
+    params.gen.iterations = 4;
+    params.gen.memSize = bc.memSize;
+    params.workload.iterations = params.gen.iterations;
+
+    gp::GaParams ga;
+    ga.population = 40;
+    GaSource source(ga, params.gen, 1,
+                    gp::SteadyStateGa::XoMode::Selective);
+    VerificationHarness harness(params, source);
+
+    Budget budget;
+    budget.maxTestRuns = bc.maxRuns;
+    // No wall cap: under parallel ctest load a time cap flakes; the
+    // run budget bounds the test on its own.
+    HarnessResult result = harness.run(budget);
+
+    EXPECT_TRUE(result.bugFound)
+        << info.name << " not found in " << result.testRuns
+        << " test-runs";
+    if (result.bugFound) {
+        SCOPED_TRACE(result.detail);
+        EXPECT_FALSE(result.detail.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, BugManifestation,
+    testing::Values(
+        BugCase{sim::BugId::MesiLqIsInv, 1024, 3000},
+        BugCase{sim::BugId::MesiLqSmInv, 1024, 3000},
+        BugCase{sim::BugId::MesiLqEInv, 8192, 3000},
+        BugCase{sim::BugId::MesiLqMInv, 8192, 3000},
+        BugCase{sim::BugId::MesiLqSReplacement, 8192, 3000},
+        BugCase{sim::BugId::MesiPutxRace, 8192, 3000},
+        BugCase{sim::BugId::MesiReplaceRace, 8192, 4000, 256},
+        BugCase{sim::BugId::TsoccNoEpochIds, 1024, 3000},
+        BugCase{sim::BugId::TsoccCompare, 1024, 3000},
+        BugCase{sim::BugId::LqNoTso, 1024, 1500},
+        BugCase{sim::BugId::SqNoFifo, 1024, 1500}),
+    caseName);
+
+TEST(BugManifestationProperties, ReplacementBugsNeedLargeMemory)
+{
+    // Paper §6.1: with 1KB of test memory none of the replacement
+    // bugs are found (no capacity evictions). Verify the negative for
+    // MESI,LQ+S,Replacement with a small budget.
+    VerificationHarness::Params params;
+    params.system.bug = sim::BugId::MesiLqSReplacement;
+    params.system.seed = 7;
+    params.gen.testSize = 192;
+    params.gen.iterations = 4;
+    params.gen.memSize = 1024;
+    params.workload.iterations = 4;
+    RandomSource source(params.gen, 7);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 150;
+    HarnessResult result = harness.run(budget);
+    EXPECT_FALSE(result.bugFound)
+        << "1KB tests cannot trigger L1 capacity replacements";
+}

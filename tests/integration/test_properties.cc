@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Parameterized property tests across seeds:
+ *
+ *  - witnesses built from a sequentially-consistent interleaving (by
+ *    construction) must pass both the SC and TSO checkers;
+ *  - the (correct) TSO hardware must *fail* an SC check quickly -- the
+ *    W->R relaxation is real and the checker is sensitive to it;
+ *  - Algorithm 1 invariants hold for every seed;
+ *  - litmus unrolling preserves per-instance conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/harness.hh"
+#include "litmus/x86_suite.hh"
+
+using namespace mcversi;
+
+// ---------------------------------------------------------------------
+// SC-by-construction witnesses.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class ScWitnessProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+/** Simulate a random global interleaving over a flat memory. */
+mc::ExecWitness
+randomScWitness(std::uint64_t seed)
+{
+    Rng rng(seed);
+    mc::ExecWitness ew;
+    const Addr addrs[] = {0x0, 0x40, 0x80, 0xc0};
+    std::unordered_map<Addr, WriteVal> memory;
+    std::vector<std::int32_t> poi(4, 0);
+    WriteVal next = 1;
+    for (int step = 0; step < 200; ++step) {
+        const Pid p = static_cast<Pid>(rng.below(4));
+        const Addr a = addrs[rng.below(4)];
+        const bool is_write = rng.boolWithProb(0.5);
+        const bool is_rmw = !is_write && rng.boolWithProb(0.1);
+        if (is_write) {
+            const WriteVal old = memory.count(a) ? memory[a] : kInitVal;
+            const WriteVal v = next++;
+            ew.recordWrite(p, poi[static_cast<std::size_t>(p)]++, a, v,
+                           old);
+            memory[a] = v;
+        } else if (is_rmw) {
+            const WriteVal old = memory.count(a) ? memory[a] : kInitVal;
+            const WriteVal v = next++;
+            const auto i = poi[static_cast<std::size_t>(p)]++;
+            ew.recordRead(p, i, a, old, true);
+            ew.recordWrite(p, i, a, v, old, true);
+            memory[a] = v;
+        } else {
+            const WriteVal cur = memory.count(a) ? memory[a] : kInitVal;
+            ew.recordRead(p, poi[static_cast<std::size_t>(p)]++, a, cur);
+        }
+    }
+    return ew;
+}
+
+} // namespace
+
+TEST_P(ScWitnessProperty, PassesScAndTso)
+{
+    mc::ExecWitness ew = randomScWitness(GetParam());
+    mc::Checker sc(mc::makeSc());
+    mc::Checker tso(mc::makeTso());
+    const auto sc_res = sc.check(ew);
+    EXPECT_TRUE(sc_res.ok()) << sc_res.message;
+    const auto tso_res = tso.check(ew);
+    EXPECT_TRUE(tso_res.ok()) << tso_res.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScWitnessProperty,
+                         testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------
+// Checker sensitivity: real TSO hardware is not SC.
+// ---------------------------------------------------------------------
+
+TEST(CheckerSensitivity, TsoHardwareViolatesScQuickly)
+{
+    // Replace the harness's TSO checker with SC: the store-buffering
+    // relaxation of the correct hardware must show up as an "SC
+    // violation" within few runs. This proves the whole recording +
+    // checking path can actually see reorderings (i.e. the clean-runs
+    // passing TSO is not vacuous).
+    sim::SystemConfig cfg;
+    cfg.seed = 9;
+    sim::System system(cfg);
+    mc::Checker sc(mc::makeSc());
+
+    gp::GenParams gen;
+    gen.testSize = 128;
+    gen.iterations = 4;
+    gen.memSize = 1024;
+    host::Workload::Params wl;
+    wl.iterations = gen.iterations;
+    host::Workload workload(system, sc, host::layoutFor(gen), wl);
+    gp::RandomTestGen rtg(gen);
+    Rng rng(9);
+
+    bool violated = false;
+    for (int t = 0; t < 100 && !violated; ++t) {
+        host::RunResult r = workload.runTest(rtg.randomTest(rng));
+        if (r.violation) {
+            violated = true;
+            EXPECT_EQ(r.checkResult.kind,
+                      mc::CheckResult::Kind::GhbViolation);
+        }
+    }
+    EXPECT_TRUE(violated)
+        << "TSO hardware passed an SC check for 100 runs: the witness "
+           "or checker is too weak to see W->R reordering";
+}
+
+// ---------------------------------------------------------------------
+// Crossover invariants across seeds.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class CrossoverProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(CrossoverProperty, InvariantsHold)
+{
+    Rng rng(GetParam());
+    gp::GenParams gen;
+    gen.testSize = 120;
+    gp::GaParams ga;
+    gp::RandomTestGen rtg(gen);
+
+    gp::Test t1 = rtg.randomTest(rng);
+    gp::Test t2 = rtg.randomTest(rng);
+    gp::NdInfo nd1;
+    gp::NdInfo nd2;
+    for (int i = 0; i < 4; ++i) {
+        nd1.fitaddrs.insert(rtg.randomAddr(rng));
+        nd2.fitaddrs.insert(rtg.randomAddr(rng));
+    }
+    gp::Test child = gp::crossoverMutate(t1, nd1, t2, nd2, rtg, ga, rng);
+
+    // Constant length (bounded simulated execution time, §3.3).
+    ASSERT_EQ(child.size(), t1.size());
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        const gp::Node &c = child.node(i);
+        // Valid pid range regardless of provenance.
+        EXPECT_GE(c.pid, 0);
+        EXPECT_LT(c.pid, gen.numThreads);
+        // Memory ops stay inside the configured range and stride.
+        if (c.op.isMem()) {
+            EXPECT_LT(c.op.addr, gen.memSize);
+            EXPECT_EQ(c.op.addr % gen.stride, 0u);
+        }
+        // Fit nodes of parent 1 are always retained.
+        const gp::Node &n1 = t1.node(i);
+        if (n1.op.isMem() && nd1.fitaddrs.count(n1.op.addr)) {
+            EXPECT_EQ(c, n1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossoverProperty,
+                         testing::Range<std::uint64_t>(100, 140));
+
+// ---------------------------------------------------------------------
+// Litmus unrolling.
+// ---------------------------------------------------------------------
+
+TEST(LitmusUnroll, InstancesGetOwnVariablesAndConditions)
+{
+    litmus::LitmusTest mp = litmus::messagePassing();
+    litmus::LitmusTest unrolled = litmus::unroll(mp, 3, 0x1000);
+    EXPECT_EQ(unrolled.test.size(), 3 * mp.test.size());
+    EXPECT_EQ(unrolled.forbiddenAlternatives.size(), 3u);
+    EXPECT_EQ(unrolled.numAddrs, 3 * mp.numAddrs);
+
+    // Instance k's forbidden condition matches a witness where only
+    // instance k exhibits the outcome.
+    for (int k = 0; k < 3; ++k) {
+        mc::ExecWitness ew;
+        const Addr base = static_cast<Addr>(k) * 0x1000;
+        // Writer thread 0 executes all three instances in order; only
+        // instance k's reads observe the forbidden mix.
+        for (int inst = 0; inst < 3; ++inst) {
+            const Addr b = static_cast<Addr>(inst) * 0x1000;
+            ew.recordWrite(0, inst * 2 + 0, b + 0x0,
+                           static_cast<WriteVal>(100 + inst * 2), kInitVal);
+            ew.recordWrite(0, inst * 2 + 1, b + 0x40,
+                           static_cast<WriteVal>(101 + inst * 2), kInitVal);
+        }
+        for (int inst = 0; inst < 3; ++inst) {
+            const Addr b = static_cast<Addr>(inst) * 0x1000;
+            if (inst == k) {
+                // Forbidden: r(y) new, r(x) init.
+                ew.recordRead(1, inst * 2 + 0, b + 0x40,
+                              static_cast<WriteVal>(101 + inst * 2));
+                ew.recordRead(1, inst * 2 + 1, b + 0x0, kInitVal);
+            } else {
+                // Allowed: both new.
+                ew.recordRead(1, inst * 2 + 0, b + 0x40,
+                              static_cast<WriteVal>(101 + inst * 2));
+                ew.recordRead(1, inst * 2 + 1, b + 0x0,
+                              static_cast<WriteVal>(100 + inst * 2));
+            }
+        }
+        ew.finalize();
+        EXPECT_TRUE(litmus::evalForbidden(unrolled, ew))
+            << "instance " << k << " outcome must be detected";
+        (void)base;
+    }
+}
+
+TEST(LitmusUnroll, AllAllowedNotDetected)
+{
+    litmus::LitmusTest mp = litmus::messagePassing();
+    litmus::LitmusTest unrolled = litmus::unroll(mp, 2, 0x1000);
+    mc::ExecWitness ew;
+    for (int inst = 0; inst < 2; ++inst) {
+        const Addr b = static_cast<Addr>(inst) * 0x1000;
+        ew.recordWrite(0, inst * 2 + 0, b + 0x0,
+                       static_cast<WriteVal>(50 + inst * 2), kInitVal);
+        ew.recordWrite(0, inst * 2 + 1, b + 0x40,
+                       static_cast<WriteVal>(51 + inst * 2), kInitVal);
+        ew.recordRead(1, inst * 2 + 0, b + 0x40,
+                      static_cast<WriteVal>(51 + inst * 2));
+        ew.recordRead(1, inst * 2 + 1, b + 0x0,
+                      static_cast<WriteVal>(50 + inst * 2));
+    }
+    ew.finalize();
+    EXPECT_FALSE(litmus::evalForbidden(unrolled, ew));
+}

@@ -1,0 +1,133 @@
+/** @file Mini-diy cycle generator tests. */
+
+#include <gtest/gtest.h>
+
+#include "litmus/diy.hh"
+#include "litmus/x86_suite.hh"
+
+using namespace mcversi::litmus;
+using namespace mcversi;
+
+TEST(Diy, EdgeProperties)
+{
+    EXPECT_TRUE(isCommEdge(EdgeType::Rfe));
+    EXPECT_TRUE(isCommEdge(EdgeType::Fre));
+    EXPECT_TRUE(isCommEdge(EdgeType::Coe));
+    EXPECT_FALSE(isCommEdge(EdgeType::PodRR));
+    EXPECT_FALSE(isCommEdge(EdgeType::MFencedWR));
+
+    EXPECT_TRUE(edgeSrcIsWrite(EdgeType::Rfe));
+    EXPECT_FALSE(edgeDstIsWrite(EdgeType::Rfe));
+    EXPECT_FALSE(edgeSrcIsWrite(EdgeType::Fre));
+    EXPECT_TRUE(edgeDstIsWrite(EdgeType::Fre));
+    EXPECT_TRUE(edgeSrcIsWrite(EdgeType::MFencedWR));
+    EXPECT_FALSE(edgeDstIsWrite(EdgeType::MFencedWR));
+}
+
+TEST(Diy, MpBuilds)
+{
+    // MP: PodWW Rfe PodRR Fre.
+    auto test = buildTest({EdgeType::PodWW, EdgeType::Rfe,
+                           EdgeType::PodRR, EdgeType::Fre});
+    ASSERT_TRUE(test.has_value());
+    EXPECT_EQ(test->numThreads, 2);
+    EXPECT_EQ(test->numAddrs, 2);
+    EXPECT_EQ(test->test.size(), 4u);
+    EXPECT_EQ(test->forbidden.size(), 2u);
+    // Writer thread: two writes; reader thread: two reads.
+    auto slots = test->test.threadSlots(2);
+    ASSERT_EQ(slots[0].size(), 2u);
+    ASSERT_EQ(slots[1].size(), 2u);
+    EXPECT_EQ(test->test.node(slots[0][0]).op.kind, gp::OpKind::Write);
+    EXPECT_EQ(test->test.node(slots[1][0]).op.kind, gp::OpKind::Read);
+}
+
+TEST(Diy, InvalidSpecsRejected)
+{
+    // Adjacency violation: Rfe dst is a read, Coe src is a write.
+    EXPECT_FALSE(buildTest({EdgeType::Rfe, EdgeType::Coe,
+                            EdgeType::PodWW, EdgeType::Fre})
+                     .has_value());
+    // Last edge must be a communication edge.
+    EXPECT_FALSE(buildTest({EdgeType::Rfe, EdgeType::PodRR,
+                            EdgeType::Fre, EdgeType::PodWW})
+                     .has_value());
+    // Too few program-order edges.
+    EXPECT_FALSE(
+        buildTest({EdgeType::Rfe, EdgeType::Fre, EdgeType::Coe,
+                   EdgeType::Rfe, EdgeType::Fre, EdgeType::Coe})
+            .has_value());
+    // Too short.
+    EXPECT_FALSE(buildTest({EdgeType::PodWW, EdgeType::Coe}).has_value());
+}
+
+TEST(Diy, FencedEdgeInsertsRmw)
+{
+    auto test = buildTest({EdgeType::MFencedWR, EdgeType::Fre,
+                           EdgeType::MFencedWR, EdgeType::Fre});
+    ASSERT_TRUE(test.has_value());
+    int rmws = 0;
+    for (const gp::Node &n : test->test.nodes())
+        if (n.op.kind == gp::OpKind::ReadModifyWrite)
+            ++rmws;
+    EXPECT_EQ(rmws, 2);
+    // Scratch addresses must be distinct from test variables.
+    EXPECT_EQ(test->numAddrs, 4);
+}
+
+TEST(Diy, VariablesOnDistinctLines)
+{
+    auto test = buildTest({EdgeType::PodWW, EdgeType::Rfe,
+                           EdgeType::PodRR, EdgeType::Fre});
+    ASSERT_TRUE(test.has_value());
+    std::set<Addr> lines;
+    for (const gp::Node &n : test->test.nodes())
+        lines.insert(n.op.addr / kLineBytes);
+    EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Diy, EnumerationProducesCanonicalUniqueSpecs)
+{
+    auto specs = enumerateCycles(4, 1000);
+    EXPECT_GT(specs.size(), 3u);
+    std::set<std::string> names;
+    for (const CycleSpec &spec : specs) {
+        EXPECT_TRUE(buildTest(spec).has_value())
+            << "enumerated spec must build: " << cycleName(spec);
+        EXPECT_TRUE(names.insert(cycleName(spec)).second)
+            << "duplicate: " << cycleName(spec);
+    }
+}
+
+TEST(Diy, EnumerationRespectsLimit)
+{
+    auto specs = enumerateCycles(6, 10);
+    EXPECT_LE(specs.size(), 10u);
+}
+
+TEST(Diy, SuiteHas38Tests)
+{
+    auto suite = x86TsoSuite();
+    EXPECT_EQ(suite.size(), kX86SuiteSize);
+    std::set<std::string> names;
+    for (const LitmusTest &t : suite) {
+        EXPECT_FALSE(t.forbidden.empty());
+        EXPECT_GE(t.numThreads, 2);
+        names.insert(t.name);
+    }
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Diy, NamedClassicsBuild)
+{
+    EXPECT_EQ(messagePassing().numThreads, 2);
+    EXPECT_EQ(storeBufferingFenced().numThreads, 2);
+    EXPECT_EQ(loadBuffering().numThreads, 2);
+    EXPECT_EQ(twoPlusTwoW().numThreads, 2);
+    EXPECT_NE(messagePassing().name.find("MP"), std::string::npos);
+}
+
+TEST(Diy, CycleNameFormat)
+{
+    EXPECT_EQ(cycleName({EdgeType::Rfe, EdgeType::PodRR}), "Rfe PodRR");
+}

@@ -1,0 +1,96 @@
+/** @file Unit tests for the cycle-detection graph. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "memconsistency/graph.hh"
+
+using namespace mcversi::mc;
+
+TEST(CycleGraph, EmptyAcyclic)
+{
+    CycleGraph g(0);
+    EXPECT_TRUE(g.acyclic());
+    CycleGraph g2(5);
+    EXPECT_TRUE(g2.acyclic());
+}
+
+TEST(CycleGraph, SimpleCycleFound)
+{
+    CycleGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    auto cycle = g.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), 3u);
+}
+
+TEST(CycleGraph, SelfLoop)
+{
+    CycleGraph g(2);
+    g.addEdge(1, 1);
+    auto cycle = g.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), 1u);
+    EXPECT_EQ((*cycle)[0], 1);
+}
+
+TEST(CycleGraph, DagNoCycle)
+{
+    CycleGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.findCycle().has_value());
+}
+
+TEST(CycleGraph, CycleNodesAreOnCycle)
+{
+    // A tail leading into a cycle: returned nodes must be exactly the
+    // cycle, not the tail.
+    CycleGraph g(5);
+    g.addEdge(0, 1); // tail
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(4, 2); // cycle 2-3-4
+    auto cycle = g.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), 3u);
+    EXPECT_EQ(std::count(cycle->begin(), cycle->end(), 0), 0);
+    EXPECT_EQ(std::count(cycle->begin(), cycle->end(), 2), 1);
+}
+
+TEST(CycleGraph, AddNodeExtends)
+{
+    CycleGraph g(2);
+    const auto n = g.addNode();
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(g.numNodes(), 3u);
+    g.addEdge(0, n);
+    g.addEdge(n, 1);
+    g.addEdge(1, 0);
+    EXPECT_TRUE(g.findCycle().has_value());
+}
+
+TEST(CycleGraph, ParallelEdgesHarmless)
+{
+    CycleGraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_FALSE(g.findCycle().has_value());
+}
+
+TEST(CycleGraph, DeepChainIterative)
+{
+    const int n = 200000;
+    CycleGraph g(static_cast<std::size_t>(n));
+    for (int i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1);
+    EXPECT_FALSE(g.findCycle().has_value());
+    g.addEdge(n - 1, 0);
+    EXPECT_TRUE(g.findCycle().has_value());
+}

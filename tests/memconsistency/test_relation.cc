@@ -1,0 +1,144 @@
+/** @file Unit tests for the Relation algebra. */
+
+#include <gtest/gtest.h>
+
+#include "memconsistency/relation.hh"
+
+using namespace mcversi::mc;
+
+TEST(Relation, EmptyProperties)
+{
+    Relation r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_TRUE(r.acyclic());
+    EXPECT_TRUE(r.irreflexive());
+    EXPECT_FALSE(r.contains(0, 1));
+}
+
+TEST(Relation, InsertIsIdempotent)
+{
+    Relation r;
+    EXPECT_TRUE(r.insert(1, 2));
+    EXPECT_FALSE(r.insert(1, 2));
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_TRUE(r.contains(1, 2));
+    EXPECT_FALSE(r.contains(2, 1));
+}
+
+TEST(Relation, SuccessorsQuery)
+{
+    Relation r;
+    r.insert(1, 2);
+    r.insert(1, 3);
+    r.insert(2, 3);
+    EXPECT_EQ(r.successors(1).size(), 2u);
+    EXPECT_EQ(r.successors(2).size(), 1u);
+    EXPECT_TRUE(r.successors(9).empty());
+}
+
+TEST(Relation, UnionWith)
+{
+    Relation a;
+    a.insert(1, 2);
+    Relation b;
+    b.insert(2, 3);
+    b.insert(1, 2);
+    a.unionWith(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_TRUE(a.contains(2, 3));
+}
+
+TEST(Relation, PairsEnumeration)
+{
+    Relation r;
+    r.insert(5, 6);
+    r.insert(6, 7);
+    auto pairs = r.pairs();
+    EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(Relation, InDegrees)
+{
+    Relation r;
+    r.insert(1, 3);
+    r.insert(2, 3);
+    r.insert(3, 4);
+    auto in = r.inDegrees();
+    EXPECT_EQ(in[3], 2u);
+    EXPECT_EQ(in[4], 1u);
+    EXPECT_EQ(in.count(1), 0u);
+}
+
+TEST(Relation, TransitiveClosureChain)
+{
+    Relation r;
+    r.insert(1, 2);
+    r.insert(2, 3);
+    r.insert(3, 4);
+    Relation tc = r.transitiveClosure();
+    EXPECT_TRUE(tc.contains(1, 4));
+    EXPECT_TRUE(tc.contains(1, 3));
+    EXPECT_TRUE(tc.contains(2, 4));
+    EXPECT_FALSE(tc.contains(4, 1));
+    EXPECT_EQ(tc.size(), 6u);
+}
+
+TEST(Relation, TransitiveClosureOnCycleContainsSelfLoops)
+{
+    Relation r;
+    r.insert(1, 2);
+    r.insert(2, 1);
+    Relation tc = r.transitiveClosure();
+    EXPECT_TRUE(tc.contains(1, 1));
+    EXPECT_TRUE(tc.contains(2, 2));
+}
+
+TEST(Relation, AcyclicDetectsCycle)
+{
+    Relation r;
+    r.insert(1, 2);
+    r.insert(2, 3);
+    EXPECT_TRUE(r.acyclic());
+    r.insert(3, 1);
+    EXPECT_FALSE(r.acyclic());
+}
+
+TEST(Relation, AcyclicDetectsSelfLoop)
+{
+    Relation r;
+    r.insert(7, 7);
+    EXPECT_FALSE(r.acyclic());
+    EXPECT_FALSE(r.irreflexive());
+}
+
+TEST(Relation, AcyclicOnDag)
+{
+    // Diamond: acyclic despite shared nodes.
+    Relation r;
+    r.insert(1, 2);
+    r.insert(1, 3);
+    r.insert(2, 4);
+    r.insert(3, 4);
+    EXPECT_TRUE(r.acyclic());
+}
+
+TEST(Relation, ClearResets)
+{
+    Relation r;
+    r.insert(1, 2);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.contains(1, 2));
+}
+
+TEST(Relation, LargeChainAcyclicIterative)
+{
+    // Deep chain: the DFS must be iterative (no stack overflow).
+    Relation r;
+    for (EventId i = 0; i < 100000; ++i)
+        r.insert(i, i + 1);
+    EXPECT_TRUE(r.acyclic());
+    r.insert(100000, 0);
+    EXPECT_FALSE(r.acyclic());
+}

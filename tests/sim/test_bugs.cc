@@ -1,0 +1,73 @@
+/** @file Bug registry tests (the 11 studied bugs of §5.3). */
+
+#include <gtest/gtest.h>
+
+#include "sim/bugs.hh"
+
+using namespace mcversi::sim;
+
+TEST(Bugs, ExactlyElevenStudiedBugs)
+{
+    EXPECT_EQ(allBugs().size(), 11u);
+}
+
+TEST(Bugs, PaperNamesResolve)
+{
+    EXPECT_EQ(bugByName("MESI,LQ+IS,Inv"), BugId::MesiLqIsInv);
+    EXPECT_EQ(bugByName("MESI,LQ+SM,Inv"), BugId::MesiLqSmInv);
+    EXPECT_EQ(bugByName("MESI,LQ+E,Inv"), BugId::MesiLqEInv);
+    EXPECT_EQ(bugByName("MESI,LQ+M,Inv"), BugId::MesiLqMInv);
+    EXPECT_EQ(bugByName("MESI,LQ+S,Replacement"),
+              BugId::MesiLqSReplacement);
+    EXPECT_EQ(bugByName("MESI+PUTX-Race"), BugId::MesiPutxRace);
+    EXPECT_EQ(bugByName("MESI+Replace-Race"), BugId::MesiReplaceRace);
+    EXPECT_EQ(bugByName("TSO-CC+no-epoch-ids"), BugId::TsoccNoEpochIds);
+    EXPECT_EQ(bugByName("TSO-CC+compare"), BugId::TsoccCompare);
+    EXPECT_EQ(bugByName("LQ+no-TSO"), BugId::LqNoTso);
+    EXPECT_EQ(bugByName("SQ+no-FIFO"), BugId::SqNoFifo);
+    EXPECT_EQ(bugByName("bogus"), BugId::None);
+}
+
+TEST(Bugs, RealBugsMarked)
+{
+    // Bugs with "*" in the paper: IS, SM, PUTX-Race, LQ+no-TSO, and
+    // the two new Gem5 bugs among them.
+    EXPECT_TRUE(bugInfo(BugId::MesiLqIsInv).real);
+    EXPECT_TRUE(bugInfo(BugId::MesiLqSmInv).real);
+    EXPECT_TRUE(bugInfo(BugId::MesiPutxRace).real);
+    EXPECT_TRUE(bugInfo(BugId::LqNoTso).real);
+    EXPECT_FALSE(bugInfo(BugId::MesiLqEInv).real);
+    EXPECT_FALSE(bugInfo(BugId::SqNoFifo).real);
+}
+
+TEST(Bugs, ProtocolAssignment)
+{
+    int mesi = 0;
+    int tsocc = 0;
+    int any = 0;
+    for (const BugInfo &b : allBugs()) {
+        switch (b.protocol) {
+          case ProtocolKind::Mesi: ++mesi; break;
+          case ProtocolKind::Tsocc: ++tsocc; break;
+          case ProtocolKind::Any: ++any; break;
+        }
+    }
+    EXPECT_EQ(mesi, 7);
+    EXPECT_EQ(tsocc, 2);
+    EXPECT_EQ(any, 2);
+}
+
+TEST(Bugs, NoneHasMetadata)
+{
+    const BugInfo &info = bugInfo(BugId::None);
+    EXPECT_EQ(info.id, BugId::None);
+    EXPECT_STREQ(info.name, "none");
+}
+
+TEST(Bugs, DescriptionsNonEmpty)
+{
+    for (const BugInfo &b : allBugs()) {
+        EXPECT_NE(std::string(b.description), "");
+        EXPECT_NE(std::string(b.name), "");
+    }
+}

@@ -1,0 +1,86 @@
+/** @file Discrete-event kernel tests. */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/eventq.hh"
+
+using namespace mcversi::sim;
+using mcversi::Tick;
+
+TEST(EventQueue, OrdersByTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(2); });
+    eq.schedule(5, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(3); });
+    eq.runUntilQuiescent();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(7, [&order, i]() { order.push_back(i); });
+    eq.runUntilQuiescent();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.scheduleIn(5, [&]() { ++fired; });
+    });
+    EXPECT_EQ(eq.runUntilQuiescent(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 6u);
+}
+
+TEST(EventQueue, PastTickClampedToNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&]() {
+        eq.schedule(3, [&]() { seen = eq.now(); }); // in the past
+    });
+    eq.runUntilQuiescent();
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(EventQueue, MaxEventsGuard)
+{
+    EventQueue eq;
+    std::function<void()> loop = [&]() { eq.scheduleIn(1, loop); };
+    eq.schedule(0, loop);
+    EXPECT_THROW(eq.runUntilQuiescent(1000), std::runtime_error);
+}
+
+TEST(EventQueue, ResetClears)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&]() { ++fired; });
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    eq.runUntilQuiescent();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, ProcessedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i), []() {});
+    eq.runUntilQuiescent();
+    EXPECT_EQ(eq.processed(), 5u);
+}

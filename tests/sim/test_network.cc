@@ -1,0 +1,147 @@
+/** @file Mesh network tests: routing, ordering, reordering. */
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hh"
+
+using namespace mcversi::sim;
+using mcversi::Rng;
+using mcversi::Tick;
+
+namespace {
+
+class Sink : public MsgHandler
+{
+  public:
+    void handleMsg(const Msg &msg) override { received.push_back(msg); }
+    std::vector<Msg> received;
+};
+
+Msg
+makeMsg(MsgType t, NodeId src, NodeId dst, Vnet vnet)
+{
+    Msg m;
+    m.type = t;
+    m.src = src;
+    m.dst = dst;
+    m.vnet = vnet;
+    return m;
+}
+
+} // namespace
+
+TEST(Network, DeliversToRegisteredHandler)
+{
+    EventQueue eq;
+    Network net(eq, Rng(1));
+    Sink sink;
+    net.registerNode(5, &sink);
+    net.send(makeMsg(MsgType::GETS, 0, 5, Vnet::Request));
+    eq.runUntilQuiescent();
+    ASSERT_EQ(sink.received.size(), 1u);
+    EXPECT_EQ(sink.received[0].type, MsgType::GETS);
+    EXPECT_EQ(net.messagesSent(), 1u);
+}
+
+TEST(Network, UnknownNodeThrows)
+{
+    EventQueue eq;
+    Network net(eq, Rng(1));
+    EXPECT_THROW(net.send(makeMsg(MsgType::GETS, 0, 99, Vnet::Request)),
+                 std::runtime_error);
+}
+
+TEST(Network, HopsManhattan)
+{
+    EventQueue eq;
+    Network net(eq, Rng(1));
+    // 4x2 mesh: node 0 at (0,0), node 7 at (3,1); +1 local hop.
+    EXPECT_EQ(net.hops(0, 7), 5);
+    EXPECT_EQ(net.hops(0, 0), 1);
+    // L2 tile colocated with its core.
+    EXPECT_EQ(net.hops(0, l2Node(0)), 1);
+    EXPECT_EQ(net.hops(3, l2Node(0)), 4);
+    // Memory at the east edge.
+    EXPECT_GE(net.hops(0, kMemNode), 5);
+}
+
+TEST(Network, PointToPointFifoWithinVnet)
+{
+    EventQueue eq;
+    Rng rng(2);
+    Network net(eq, rng);
+    Sink sink;
+    net.registerNode(1, &sink);
+    for (int i = 0; i < 50; ++i) {
+        Msg m = makeMsg(MsgType::GETS, 0, 1, Vnet::Request);
+        m.ackCount = i; // payload marker
+        net.send(m);
+    }
+    eq.runUntilQuiescent();
+    ASSERT_EQ(sink.received.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sink.received[static_cast<std::size_t>(i)].ackCount, i)
+            << "vnet FIFO order violated";
+}
+
+TEST(Network, CrossVnetReorderingPossible)
+{
+    // Messages on different vnets between the same endpoints can be
+    // reordered: send many (Data@Response, Inv@Fwd) pairs and require
+    // at least one Inv to overtake its Data (the Peekaboo enabler).
+    EventQueue eq;
+    Rng rng(3);
+    Network net(eq, rng);
+    bool overtaken = false;
+    for (int trial = 0; trial < 200 && !overtaken; ++trial) {
+        Sink sink;
+        net.registerNode(1, &sink);
+        Msg data = makeMsg(MsgType::Data, 100, 1, Vnet::Response);
+        Msg inv = makeMsg(MsgType::Inv, 100, 1, Vnet::Fwd);
+        net.send(data);
+        net.send(inv);
+        eq.runUntilQuiescent();
+        ASSERT_EQ(sink.received.size(), 2u);
+        if (sink.received[0].type == MsgType::Inv)
+            overtaken = true;
+    }
+    EXPECT_TRUE(overtaken);
+}
+
+TEST(Network, LatencyGrowsWithDistance)
+{
+    EventQueue eq;
+    Network::Params params;
+    params.maxJitter = 0;
+    Network net(eq, Rng(4), params);
+    Sink near_sink;
+    Sink far_sink;
+    net.registerNode(1, &near_sink);
+    net.registerNode(7, &far_sink);
+
+    Tick near_tick = 0;
+    Tick far_tick = 0;
+    {
+        EventQueue eq2;
+        Network net2(eq2, Rng(4), params);
+        net2.registerNode(1, &near_sink);
+        net2.send(makeMsg(MsgType::GETS, 0, 1, Vnet::Request));
+        eq2.runUntilQuiescent();
+        near_tick = eq2.now();
+    }
+    {
+        EventQueue eq3;
+        Network net3(eq3, Rng(4), params);
+        net3.registerNode(7, &far_sink);
+        net3.send(makeMsg(MsgType::GETS, 0, 7, Vnet::Request));
+        eq3.runUntilQuiescent();
+        far_tick = eq3.now();
+    }
+    EXPECT_GT(far_tick, near_tick);
+}
+
+TEST(Network, MsgToStringMentionsType)
+{
+    Msg m = makeMsg(MsgType::FwdGETX, 0, 1, Vnet::Fwd);
+    EXPECT_NE(m.toString().find("FwdGETX"), std::string::npos);
+}

@@ -1,0 +1,99 @@
+/** @file Deterministic RNG tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using mcversi::Rng;
+
+TEST(Rng, DeterministicSequences)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(7), 7u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(4);
+    std::vector<int> hist(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++hist[r.below(5)];
+    for (int v : hist)
+        EXPECT_GT(v, 800);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.range(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        saw_lo |= (v == 10);
+        saw_hi |= (v == 12);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoolWithProbExtremes)
+{
+    Rng r(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.boolWithProb(0.0));
+        EXPECT_TRUE(r.boolWithProb(1.0));
+    }
+}
+
+TEST(Rng, BoolWithProbRoughRate)
+{
+    Rng r(7);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.boolWithProb(0.2) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.2, 0.02);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ForkIndependentStreams)
+{
+    Rng parent(9);
+    Rng child1 = parent.fork();
+    Rng child2 = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child1.next() == child2.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * White-box tests for the TSO-CC-style lazy protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "sim/network.hh"
+#include "sim/tsocc/tsocc_l1.hh"
+#include "sim/tsocc/tsocc_l2.hh"
+
+using namespace mcversi::sim;
+using mcversi::Addr;
+using mcversi::kLineBytes;
+using mcversi::Pid;
+using mcversi::Rng;
+
+namespace {
+
+constexpr Addr kLineA = 0;
+constexpr Addr kLineB = 8 * kLineBytes;
+constexpr Addr kLineC = 16 * kLineBytes;
+
+struct CoreStub
+{
+    std::vector<CacheResp> resps;
+    std::vector<Addr> invs;
+};
+
+struct TsoccFixture
+{
+    SystemConfig cfg;
+    EventQueue eq;
+    Network net{eq, Rng(8)};
+    MainMemory mem{eq, net, Rng(9)};
+    TransitionCoverage cov;
+    std::vector<std::unique_ptr<TsoccL2>> l2s;
+    std::vector<std::unique_ptr<TsoccL1>> l1s;
+    std::vector<CoreStub> stubs;
+
+    explicit TsoccFixture(BugId bug = BugId::None, int cores = 2)
+    {
+        cfg.numCores = cores;
+        cfg.protocol = Protocol::Tsocc;
+        cfg.bug = bug;
+        cfg.tsoccMaxAccesses = 4;
+        cfg.tsoccGroupSize = 2;
+        cfg.tsoccMaxTs = 6;
+        net.registerNode(kMemNode, &mem);
+        for (int t = 0; t < cfg.numL2Tiles(); ++t) {
+            l2s.push_back(std::make_unique<TsoccL2>(
+                t, cfg, eq, net, cov, Rng(100 + t)));
+            net.registerNode(l2Node(t), l2s.back().get());
+        }
+        stubs.resize(static_cast<std::size_t>(cores));
+        for (Pid p = 0; p < cores; ++p) {
+            l1s.push_back(std::make_unique<TsoccL1>(
+                p, cfg, eq, net, cov, Rng(200 + p)));
+            net.registerNode(coreNode(p), l1s.back().get());
+            CoreHooks hooks;
+            CoreStub *stub = &stubs[static_cast<std::size_t>(p)];
+            hooks.respond = [stub](const CacheResp &r) {
+                stub->resps.push_back(r);
+            };
+            hooks.addressInvalidated = [stub](Addr line) {
+                stub->invs.push_back(line);
+            };
+            l1s.back()->setHooks(std::move(hooks));
+        }
+    }
+
+    void run() { eq.runUntilQuiescent(); }
+
+    const CacheResp &
+    lastResp(Pid p)
+    {
+        return stubs[static_cast<std::size_t>(p)].resps.back();
+    }
+
+    bool
+    gotInv(Pid p, Addr line)
+    {
+        const auto &v = stubs[static_cast<std::size_t>(p)].invs;
+        return std::find(v.begin(), v.end(), line) != v.end();
+    }
+};
+
+} // namespace
+
+TEST(TsoccProtocol, ColdLoadInstallsShared)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 0u);
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StS);
+    EXPECT_EQ(f.l2s[0]->lineState(kLineA), TsoccL2::StU);
+}
+
+TEST(TsoccProtocol, StoreObtainsOwnership)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreStore(1, kLineA, 5);
+    f.run();
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StM);
+    EXPECT_EQ(f.l2s[0]->lineState(kLineA), TsoccL2::StO);
+}
+
+TEST(TsoccProtocol, RemoteReadRecallsFromOwner)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreStore(1, kLineA, 5);
+    f.run();
+    f.l1s[1]->coreLoad(2, kLineA);
+    f.run();
+    EXPECT_EQ(f.lastResp(1).value, 5u);
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StI)
+        << "owner is recalled and invalidated";
+    EXPECT_TRUE(f.gotInv(0, kLineA));
+}
+
+TEST(TsoccProtocol, SharersAreNotInvalidatedOnWrite)
+{
+    // The lazy part: a write does NOT invalidate stale shared copies.
+    TsoccFixture f;
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    f.l1s[1]->coreStore(2, kLineA, 9);
+    f.run();
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StS)
+        << "SWMR is explicitly violated for reads";
+    EXPECT_FALSE(f.gotInv(0, kLineA));
+}
+
+TEST(TsoccProtocol, MaxAccessesForcesRevalidation)
+{
+    TsoccFixture f;
+    // The fill itself consumes one access (maxAccesses = 4 =>
+    // 3 further hits).
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    for (int i = 0; i < 3; ++i) {
+        f.l1s[0]->coreLoad(static_cast<ReqId>(10 + i), kLineA);
+        f.run();
+    }
+    // Next load must miss (expiry), notifying the LQ.
+    f.stubs[0].invs.clear();
+    f.l1s[0]->coreLoad(20, kLineA);
+    f.run();
+    EXPECT_TRUE(f.gotInv(0, kLineA)) << "expiry must notify the LQ";
+    EXPECT_EQ(f.lastResp(0).value, 0u);
+}
+
+TEST(TsoccProtocol, StaleReadBoundedByMaxAccesses)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    f.l1s[1]->coreStore(2, kLineA, 9);
+    f.run();
+    // Stale reads allowed up to the access budget...
+    f.l1s[0]->coreLoad(3, kLineA);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 0u) << "bounded staleness";
+    // ...but after expiry the new value must be observed.
+    for (int i = 0; i < 5; ++i) {
+        f.l1s[0]->coreLoad(static_cast<ReqId>(10 + i), kLineA);
+        f.run();
+    }
+    EXPECT_EQ(f.lastResp(0).value, 9u);
+}
+
+TEST(TsoccProtocol, SelfInvalidationOnNewTimestamp)
+{
+    TsoccFixture f;
+    // Core 0 holds a stale shared copy of A.
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    // Core 1 writes A (now stale at core 0) and writes B.
+    f.l1s[1]->coreStore(2, kLineA, 9);
+    f.run();
+    f.l1s[1]->coreStore(3, kLineB, 8);
+    f.run();
+    // Core 0 reads B: the fill carries core 1's timestamp, which is
+    // newer than anything seen => all shared lines self-invalidate.
+    f.stubs[0].invs.clear();
+    f.l1s[0]->coreLoad(4, kLineB);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 8u);
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StI)
+        << "stale A must be self-invalidated";
+    EXPECT_TRUE(f.gotInv(0, kLineA));
+    EXPECT_GT(f.l1s[0]->selfInvalidations(), 0u);
+    // A re-read now sees the new value: TSO preserved.
+    f.l1s[0]->coreLoad(5, kLineA);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 9u);
+}
+
+TEST(TsoccProtocol, CompareBugMissesEqualTimestamp)
+{
+    // Two writes in the same timestamp group (groupSize = 2) have equal
+    // timestamps. Reading the first then the second must still
+    // self-invalidate ('larger or equal'); the compare bug ('larger')
+    // misses it.
+    auto run_case = [](BugId bug) {
+        TsoccFixture f(bug);
+        // Core 0 holds stale shared A.
+        f.l1s[0]->coreLoad(1, kLineA);
+        f.run();
+        // Core 1: writes A then B in one timestamp group, then C in...
+        f.l1s[1]->coreStore(2, kLineA, 9); // ts t, group slot 1
+        f.run();
+        f.l1s[1]->coreStore(3, kLineB, 8); // ts t, group slot 2
+        f.run();
+        // Core 0 reads B first (sets lastSeen[c1] = t)...
+        f.l1s[0]->coreLoad(4, kLineB);
+        f.run();
+        // A self-invalidated here already (first observation). Refetch
+        // a *stale-able* copy: core 1 re-writes A in the SAME group? The
+        // group advanced; instead reconstruct: core 0 re-reads A (fresh,
+        // value 9), then core 1 writes C at the same ts as some line
+        // core 0 still holds... Simplify: check the observable rule
+        // directly -- after reading B (ts t), reading A (also ts t)
+        // must self-invalidate other shared lines under >=, not
+        // under >.
+        f.l1s[0]->coreLoad(5, kLineC); // some unrelated shared line
+        f.run();
+        f.stubs[0].invs.clear();
+        f.l1s[0]->coreLoad(6, kLineA); // meta ts == lastSeen
+        f.run();
+        return f.gotInv(0, kLineC);
+    };
+    EXPECT_TRUE(run_case(BugId::None))
+        << "'>=' must self-invalidate on the equal case";
+    EXPECT_FALSE(run_case(BugId::TsoccCompare))
+        << "'>' must miss the equal case";
+}
+
+TEST(TsoccProtocol, TimestampResetBroadcastsEpoch)
+{
+    TsoccFixture f;
+    // groupSize=2, maxTs=6: 14 stores roll the timestamp over.
+    for (int i = 0; i < 14; ++i) {
+        f.l1s[1]->coreStore(static_cast<ReqId>(i + 1),
+                            kLineA + (i % 2) * 8,
+                            static_cast<mcversi::WriteVal>(i + 1));
+        f.run();
+    }
+    EXPECT_GT(f.l1s[1]->currentEpoch(), 0u) << "timestamp must reset";
+    // The other core learned the new epoch via broadcast.
+    EXPECT_EQ(f.l1s[0]->lastSeen(1).epoch, f.l1s[1]->currentEpoch());
+}
+
+TEST(TsoccProtocol, NoEpochBugSkipsBroadcast)
+{
+    TsoccFixture f(BugId::TsoccNoEpochIds);
+    for (int i = 0; i < 14; ++i) {
+        f.l1s[1]->coreStore(static_cast<ReqId>(i + 1), kLineA,
+                            static_cast<mcversi::WriteVal>(i + 1));
+        f.run();
+    }
+    EXPECT_GT(f.l1s[1]->currentEpoch(), 0u);
+    EXPECT_FALSE(f.l1s[0]->lastSeen(1).valid)
+        << "no broadcast, no observation: table never updated";
+}
+
+TEST(TsoccProtocol, RmwAtomicOnOwnedLine)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreStore(1, kLineA, 5);
+    f.run();
+    f.l1s[0]->coreRmw(2, kLineA, 6);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 5u);
+    EXPECT_EQ(f.lastResp(0).overwritten, 5u);
+}
+
+TEST(TsoccProtocol, OwnerWritebackKeepsDataAtL2)
+{
+    TsoccFixture f;
+    f.l1s[0]->coreStore(1, kLineA, 5);
+    f.run();
+    f.l1s[0]->coreFlush(2, kLineA);
+    f.run();
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StI);
+    f.l1s[1]->coreLoad(3, kLineA);
+    f.run();
+    EXPECT_EQ(f.lastResp(1).value, 5u);
+}
+
+TEST(TsoccProtocol, NeverWrittenFetchDoesNotSweep)
+{
+    // A never-written line carries no metadata; reading only the
+    // initial value imposes no ordering, so no self-invalidation.
+    TsoccFixture f;
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    f.stubs[0].invs.clear();
+    f.l1s[0]->coreLoad(2, kLineB); // cold, never written
+    f.run();
+    EXPECT_FALSE(f.gotInv(0, kLineA));
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StS);
+}
+
+TEST(TsoccProtocol, MetadataSurvivesL2EvictionViaDirectoryStore)
+{
+    // The L2 persists per-line timestamp metadata across evictions (as
+    // the TSO-CC paper's directory does), so a memory fetch of a
+    // previously-written line still carries the writer's timestamp and
+    // the self-invalidation rule keeps working.
+    TsoccFixture f;
+    // Core 0 holds a stale shared copy of A.
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    // Core 1 writes A, then writes B; flush both through the L2 so
+    // the data goes to memory, then force B's L2 entry out by filling
+    // its set (simplest: resetProtocol-free path -- directly evict via
+    // many conflicting lines homed at the same tile/set).
+    f.l1s[1]->coreStore(2, kLineA, 9);
+    f.run();
+    f.l1s[1]->coreStore(3, kLineB, 8);
+    f.run();
+    f.l1s[1]->coreFlush(4, kLineB);
+    f.run();
+    // Fill tile 1's set with conflicting lines to evict B from the L2
+    // (B is at tile (kLineB/64)%8 = 0; set stride = 8*512*64 bytes).
+    const Addr l2_set_stride = 8 * 512 * kLineBytes;
+    for (int i = 1; i <= 5; ++i) {
+        f.l1s[1]->coreLoad(static_cast<ReqId>(10 + i),
+                           kLineB + static_cast<Addr>(i) * l2_set_stride);
+        f.run();
+    }
+    // Core 0 reads B: even though B went through memory, metadata
+    // survives and core 1's timestamp triggers self-invalidation of
+    // the stale A copy.
+    f.stubs[0].invs.clear();
+    f.l1s[0]->coreLoad(20, kLineB);
+    f.run();
+    EXPECT_EQ(f.lastResp(0).value, 8u);
+    EXPECT_TRUE(f.gotInv(0, kLineA))
+        << "metadata must survive eviction so the rule still fires";
+}
+
+TEST(TsoccProtocol, RmwFenceSelfInvalidatesSharedLines)
+{
+    // An atomic RMW is a full fence: all Shared lines self-invalidate
+    // so no stale copy can be read after the fence (the SB+fences
+    // guarantee).
+    TsoccFixture f;
+    f.l1s[0]->coreLoad(1, kLineA);
+    f.run();
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StS);
+    f.stubs[0].invs.clear();
+    f.l1s[0]->coreRmw(2, kLineB, 77);
+    f.run();
+    EXPECT_EQ(f.l1s[0]->lineState(kLineA), TsoccL1::StI)
+        << "fence must drop shared lines";
+    EXPECT_TRUE(f.gotInv(0, kLineA));
+}
