@@ -1,0 +1,36 @@
+# Shared compile/link options for all McVerSi targets, carried by the
+# INTERFACE target mcversi_build_flags (aliased as mcversi::build_flags).
+
+add_library(mcversi_build_flags INTERFACE)
+add_library(mcversi::build_flags ALIAS mcversi_build_flags)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(mcversi_build_flags INTERFACE
+    -Wall -Wextra)
+  if(MCVERSI_WERROR)
+    target_compile_options(mcversi_build_flags INTERFACE -Werror)
+  endif()
+endif()
+
+if(MCVERSI_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "MCVERSI_SANITIZE requires GCC or Clang")
+  endif()
+  # Global (not per-target) so third-party code built via FetchContent
+  # (GoogleTest) is instrumented too; mixing instrumented and
+  # uninstrumented code across the gtest boundary triggers ASan
+  # container-overflow false positives.
+  add_compile_options(
+    -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  add_link_options(-fsanitize=address,undefined)
+endif()
+
+# Helper: define a McVerSi static library target <name> from the given
+# sources, rooted at src/ for includes, linked against the listed deps.
+function(mcversi_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SOURCES})
+  add_library(mcversi::${name} ALIAS ${name})
+  target_include_directories(${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(${name} PUBLIC mcversi::build_flags ${ARG_DEPS})
+endfunction()
