@@ -5,7 +5,9 @@
  * The paper reports that with 1k-op tests the checker generally uses
  * between 30%% and 40%% of the total wall-clock time. This bench runs
  * test-runs at the paper's full test size and reports the measured
- * fraction, plus absolute checking throughput (events/s).
+ * fraction, plus absolute checking throughput (events/s). A timing
+ * study must not share cores with other campaigns, so this is a
+ * single serial CampaignRunner::runOne.
  */
 
 #include "bench_common.hh"
@@ -16,22 +18,21 @@ int
 main()
 {
     const double scale = benchScale();
-    const auto runs = static_cast<std::uint64_t>(20 * scale);
 
-    host::VerificationHarness::Params params;
-    params.system.seed = 17;
-    params.gen.testSize = 1000; // Table 3: the paper's test size
-    params.gen.iterations = 10; // Table 3
-    params.gen.memSize = 8 * 1024;
-    params.workload.iterations = params.gen.iterations;
-    params.recordNdt = false;
+    campaign::CampaignSpec spec;
+    spec.generator = "McVerSi-RAND";
+    spec.seed = 17;
+    spec.testSize = 1000; // Table 3: the paper's test size
+    spec.iterations = 10; // Table 3
+    spec.maxTestRuns = static_cast<std::uint64_t>(20 * scale);
 
-    host::RandomSource source(params.gen, 17);
-    host::VerificationHarness harness(params, source);
-
-    host::Budget budget;
-    budget.maxTestRuns = runs;
-    const host::HarnessResult result = harness.run(budget);
+    const campaign::CampaignResult run =
+        campaign::CampaignRunner::runOne(spec);
+    if (!run.ok()) {
+        std::fprintf(stderr, "campaign error: %s\n", run.error.c_str());
+        return 1;
+    }
+    const host::HarnessResult &result = run.harness;
 
     const double frac = result.checkSeconds / result.wallSeconds;
     std::printf("checker cost at 1k-op tests, 10 iterations/run "

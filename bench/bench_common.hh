@@ -1,13 +1,18 @@
 /**
  * @file
- * Shared infrastructure for the paper-reproduction benches.
+ * Shared infrastructure for the paper-reproduction benches, built on
+ * the Campaign API: a bench declares its cell matrix as CampaignSpecs,
+ * runs them all on one parallel CampaignRunner, and aggregates cells
+ * from the deterministic summary.
  *
  * Absolute numbers from the paper (hours on the authors' Xeon host)
  * are meaningless here; budgets are expressed in test-runs and scaled
- * down so every bench finishes in minutes. Set MCVERSI_BENCH_SCALE to
- * scale all budgets (e.g. 4 for a longer, higher-confidence run), and
- * MCVERSI_BENCH_SAMPLES to override the per-cell sample count (paper:
- * 10).
+ * down so every bench finishes in minutes. Environment knobs:
+ *   MCVERSI_BENCH_SCALE    scale all budgets (e.g. 4 for longer runs)
+ *   MCVERSI_BENCH_SAMPLES  per-cell sample count (paper: 10)
+ *   MCVERSI_BENCH_THREADS  campaign worker threads (default: hardware)
+ *   MCVERSI_BENCH_JSON     write the campaign summary JSON to a file
+ *   MCVERSI_BENCH_CSV      write the campaign summary CSV to a file
  */
 
 #ifndef MCVERSI_BENCH_BENCH_COMMON_HH
@@ -15,6 +20,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,20 +30,44 @@ namespace mcvbench {
 
 using namespace mcversi;
 
+/**
+ * Parse a numeric environment variable once: unset, unparsable, or
+ * <= @p min_exclusive values fall back to @p dflt.
+ */
+inline double
+envNumber(const char *name, double dflt, double min_exclusive = 0.0)
+{
+    const char *s = std::getenv(name);
+    if (s == nullptr)
+        return dflt;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || v <= min_exclusive)
+        return dflt;
+    return v;
+}
+
 inline double
 benchScale()
 {
-    if (const char *s = std::getenv("MCVERSI_BENCH_SCALE"))
-        return std::atof(s) > 0 ? std::atof(s) : 1.0;
-    return 1.0;
+    return envNumber("MCVERSI_BENCH_SCALE", 1.0);
 }
 
 inline int
 benchSamples(int dflt)
 {
-    if (const char *s = std::getenv("MCVERSI_BENCH_SAMPLES"))
-        return std::atoi(s) > 0 ? std::atoi(s) : dflt;
-    return dflt;
+    // Fractional values would truncate to 0 samples; fall back instead.
+    const int samples = static_cast<int>(
+        envNumber("MCVERSI_BENCH_SAMPLES", dflt));
+    return samples > 0 ? samples : dflt;
+}
+
+/** Campaign worker threads; 0 lets the runner pick the hardware count. */
+inline int
+benchThreads()
+{
+    return static_cast<int>(
+        envNumber("MCVERSI_BENCH_THREADS", 0.0));
 }
 
 /** Generator configurations of §5.2 (Table 4 columns). */
@@ -72,6 +102,25 @@ isLitmus(GenConfig c)
     return c == GenConfig::DiyLitmus;
 }
 
+inline const char *
+generatorOf(GenConfig c)
+{
+    switch (c) {
+      case GenConfig::All1K:
+      case GenConfig::All8K:
+        return "McVerSi-ALL";
+      case GenConfig::StdXo1K:
+      case GenConfig::StdXo8K:
+        return "McVerSi-Std.XO";
+      case GenConfig::Rand1K:
+      case GenConfig::Rand8K:
+        return "McVerSi-RAND";
+      case GenConfig::DiyLitmus:
+        return "diy-litmus";
+    }
+    return "?";
+}
+
 inline Addr
 memSizeOf(GenConfig c)
 {
@@ -85,15 +134,36 @@ memSizeOf(GenConfig c)
     }
 }
 
-/** Scaled-down Table 3 generation parameters for bench budgets. */
-inline gp::GenParams
-benchGenParams(GenConfig c)
+/** Per-sample seed, stable across benches for comparability. */
+inline std::uint64_t
+cellSeed(int sample, sim::BugId bug, GenConfig config)
 {
-    gp::GenParams gen;
-    gen.testSize = 192; // paper: 1k ops; scaled for wall-clock budgets
-    gen.iterations = 4; // paper: 10
-    gen.memSize = memSizeOf(c);
-    return gen;
+    return 0xb5297a4dull * static_cast<std::uint64_t>(sample + 1) +
+           static_cast<std::uint64_t>(bug) * 97 +
+           static_cast<std::uint64_t>(config);
+}
+
+/**
+ * Scaled-down Table 3 campaign spec for one bench cell sample. Litmus
+ * runs are much cheaper per test-run, so that config gets 4x the
+ * test-run budget (mirroring the original bench setup).
+ */
+inline campaign::CampaignSpec
+benchSpec(GenConfig config, const std::string &bug, std::uint64_t seed,
+          std::uint64_t max_runs, double max_seconds)
+{
+    campaign::CampaignSpec spec;
+    spec.bug = bug;
+    spec.generator = generatorOf(config);
+    spec.seed = seed;
+    spec.testSize = 192; // paper: 1k ops; scaled for wall-clock budgets
+    spec.iterations = 4; // paper: 10
+    spec.memSize = memSizeOf(config);
+    spec.population = 40;
+    spec.maxTestRuns = isLitmus(config) ? max_runs * 4 : max_runs;
+    spec.maxWallSeconds = max_seconds;
+    spec.litmusIterations = 12;
+    return spec;
 }
 
 struct CellResult
@@ -105,100 +175,61 @@ struct CellResult
     std::vector<std::uint64_t> runsToBug;
 };
 
-/**
- * Run one generator/bug pair for several samples (different seeds),
- * mirroring §5.1's methodology with test-run budgets instead of a
- * 24-hour limit.
- */
+/** Aggregate one cell from its sample results (§5.1 methodology). */
 inline CellResult
-runCell(GenConfig config, sim::BugId bug, int samples,
-        std::uint64_t max_runs, double max_seconds)
+aggregateCell(const std::vector<campaign::CampaignResult> &results,
+              std::size_t begin, std::size_t count)
 {
     CellResult cell;
-    cell.samples = samples;
+    cell.samples = static_cast<int>(count);
     double total_runs = 0.0;
     double total_secs = 0.0;
-
-    for (int s = 0; s < samples; ++s) {
-        const std::uint64_t seed =
-            0xb5297a4dull * static_cast<std::uint64_t>(s + 1) +
-            static_cast<std::uint64_t>(bug) * 97 +
-            static_cast<std::uint64_t>(config);
-
-        host::Budget budget;
-        budget.maxTestRuns = max_runs;
-        budget.maxWallSeconds = max_seconds;
-
-        host::HarnessResult result;
-        const sim::BugInfo &info = sim::bugInfo(bug);
-        const sim::Protocol protocol =
-            info.protocol == sim::ProtocolKind::Tsocc
-                ? sim::Protocol::Tsocc
-                : sim::Protocol::Mesi;
-
-        if (isLitmus(config)) {
-            litmus::LitmusRunner::Params params;
-            params.system.bug = bug;
-            params.system.seed = seed;
-            params.system.protocol = protocol;
-            params.iterationsPerRun = 12;
-            litmus::LitmusRunner runner(params, litmus::x86TsoSuite());
-            // Litmus runs are much cheaper per test-run.
-            host::Budget lb = budget;
-            lb.maxTestRuns = max_runs * 4;
-            result = runner.run(lb);
-        } else {
-            host::VerificationHarness::Params params;
-            params.system.bug = bug;
-            params.system.seed = seed;
-            params.system.protocol = protocol;
-            params.gen = benchGenParams(config);
-            params.workload.iterations = params.gen.iterations;
-            params.recordNdt = false;
-
-            gp::GaParams ga;
-            ga.population = 40;
-
-            switch (config) {
-              case GenConfig::All1K:
-              case GenConfig::All8K: {
-                host::GaSource source(
-                    ga, params.gen, seed,
-                    gp::SteadyStateGa::XoMode::Selective);
-                host::VerificationHarness harness(params, source);
-                result = harness.run(budget);
-                break;
-              }
-              case GenConfig::StdXo1K:
-              case GenConfig::StdXo8K: {
-                host::GaSource source(
-                    ga, params.gen, seed,
-                    gp::SteadyStateGa::XoMode::SinglePoint);
-                host::VerificationHarness harness(params, source);
-                result = harness.run(budget);
-                break;
-              }
-              default: {
-                host::RandomSource source(params.gen, seed);
-                host::VerificationHarness harness(params, source);
-                result = harness.run(budget);
-                break;
-              }
-            }
-        }
-
-        if (result.bugFound) {
-            ++cell.found;
-            total_runs += static_cast<double>(result.testRunsToBug);
-            total_secs += result.wallSecondsToBug;
-            cell.runsToBug.push_back(result.testRunsToBug);
-        }
+    for (std::size_t i = begin; i < begin + count; ++i) {
+        const campaign::CampaignResult &r = results[i];
+        if (!r.ok() || !r.harness.bugFound)
+            continue;
+        ++cell.found;
+        total_runs += static_cast<double>(r.harness.testRunsToBug);
+        total_secs += r.harness.wallSecondsToBug;
+        cell.runsToBug.push_back(r.harness.testRunsToBug);
     }
     if (cell.found > 0) {
         cell.meanRunsToBug = total_runs / cell.found;
         cell.meanSecondsToBug = total_secs / cell.found;
     }
     return cell;
+}
+
+/**
+ * Run a bench matrix on the shared parallel runner, with a progress
+ * tick per completed campaign on stderr.
+ */
+inline campaign::CampaignSummary
+runBenchCampaigns(const std::vector<campaign::CampaignSpec> &specs)
+{
+    campaign::CampaignRunner::Options options;
+    options.threads = benchThreads();
+    options.onResult = [](const campaign::CampaignResult &r,
+                          std::size_t done, std::size_t total) {
+        if (!r.ok()) {
+            std::fprintf(stderr, "\ncampaign error: %s\n",
+                         r.error.c_str());
+        }
+        std::fprintf(stderr, "\r%zu/%zu campaigns done", done, total);
+        if (done == total)
+            std::fprintf(stderr, "\n");
+    };
+    const campaign::CampaignSummary summary =
+        campaign::CampaignRunner(options).run(specs);
+    if (const char *path = std::getenv("MCVERSI_BENCH_JSON")) {
+        std::ofstream out(path, std::ios::binary);
+        out << summary.toJson();
+    }
+    if (const char *path = std::getenv("MCVERSI_BENCH_CSV")) {
+        std::ofstream out(path, std::ios::binary);
+        out << summary.toCsv();
+    }
+    return summary;
 }
 
 } // namespace mcvbench

@@ -9,9 +9,11 @@
  * are automatically racy (NDT > 2) from the start. This bench prints
  * the NDT time-series (mean over windows of test-runs) for
  * McVerSi-ALL, McVerSi-Std.XO and McVerSi-RAND at 8KB, and the 1KB
- * baseline.
+ * baseline. The four configurations run as one parallel campaign with
+ * record-ndt enabled.
  */
 
+#include <iterator>
 #include <numeric>
 
 #include "bench_common.hh"
@@ -19,35 +21,6 @@
 using namespace mcvbench;
 
 namespace {
-
-std::vector<double>
-ndtSeries(GenConfig config, std::uint64_t runs)
-{
-    host::VerificationHarness::Params params;
-    params.system.seed = 31;
-    params.gen = benchGenParams(config);
-    params.workload.iterations = params.gen.iterations;
-    params.recordNdt = true;
-
-    gp::GaParams ga;
-    ga.population = 40;
-
-    host::Budget budget;
-    budget.maxTestRuns = runs;
-
-    if (config == GenConfig::Rand1K || config == GenConfig::Rand8K) {
-        host::RandomSource source(params.gen, 31);
-        host::VerificationHarness harness(params, source);
-        return harness.run(budget).ndtHistory;
-    }
-    const auto mode = (config == GenConfig::All1K ||
-                       config == GenConfig::All8K)
-                          ? gp::SteadyStateGa::XoMode::Selective
-                          : gp::SteadyStateGa::XoMode::SinglePoint;
-    host::GaSource source(ga, params.gen, 31, mode);
-    host::VerificationHarness harness(params, source);
-    return harness.run(budget).ndtHistory;
-}
 
 double
 windowMean(const std::vector<double> &v, std::size_t begin,
@@ -78,6 +51,15 @@ main()
         GenConfig::All1K,
     };
 
+    std::vector<campaign::CampaignSpec> specs;
+    for (GenConfig c : configs) {
+        campaign::CampaignSpec spec = benchSpec(c, "none", 31, runs,
+                                                0.0);
+        spec.recordNdt = true;
+        specs.push_back(std::move(spec));
+    }
+    const campaign::CampaignSummary summary = runBenchCampaigns(specs);
+
     std::printf("NDT evolution over %llu test-runs "
                 "(mean NDT per window of %llu runs)\n\n",
                 static_cast<unsigned long long>(runs),
@@ -87,9 +69,10 @@ main()
         std::printf(" | w%-4zu", w);
     std::printf("\n");
 
-    for (GenConfig c : configs) {
-        const std::vector<double> series = ndtSeries(c, runs);
-        std::printf("%-22s", genConfigName(c));
+    for (std::size_t ci = 0; ci < std::size(configs); ++ci) {
+        const std::vector<double> &series =
+            summary.results[ci].harness.ndtHistory;
+        std::printf("%-22s", genConfigName(configs[ci]));
         const std::size_t step =
             std::max<std::size_t>(1, series.size() / windows);
         for (std::size_t w = 0; w < windows; ++w) {
@@ -97,7 +80,6 @@ main()
                         windowMean(series, w * step, (w + 1) * step));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
     std::printf("\nExpectation: at 8KB only McVerSi-ALL climbs "
                 "towards NDT >= 2; 1KB starts racy (> 2) for free.\n");

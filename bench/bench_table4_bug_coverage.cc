@@ -11,7 +11,9 @@
  * miss the replacement-dependent bugs; litmus finds only what its
  * final conditions can express.
  *
- * Scale with MCVERSI_BENCH_SCALE / MCVERSI_BENCH_SAMPLES.
+ * The whole {bug} x {config} x {sample} matrix is one campaign run;
+ * scale with MCVERSI_BENCH_SCALE / MCVERSI_BENCH_SAMPLES /
+ * MCVERSI_BENCH_THREADS, export with MCVERSI_BENCH_JSON/CSV.
  */
 
 #include "bench_common.hh"
@@ -33,6 +35,20 @@ main()
         GenConfig::DiyLitmus,
     };
 
+    // Cell-major spec order: samples of one (bug, config) cell are
+    // contiguous, so cell c starts at index c * samples.
+    std::vector<campaign::CampaignSpec> specs;
+    for (const sim::BugInfo &bug : sim::allBugs()) {
+        for (GenConfig config : configs) {
+            for (int s = 0; s < samples; ++s) {
+                specs.push_back(benchSpec(config, bug.name,
+                                          cellSeed(s, bug.id, config),
+                                          max_runs, max_secs));
+            }
+        }
+    }
+    const campaign::CampaignSummary summary = runBenchCampaigns(specs);
+
     std::printf("Table 4: bug coverage -- found/%d samples "
                 "(mean test-runs to bug); NF = not found\n",
                 samples);
@@ -49,13 +65,14 @@ main()
     std::vector<double> total_runs_sum(configs.size(), 0.0);
     std::vector<int> total_runs_cnt(configs.size(), 0);
 
+    std::size_t cell_begin = 0;
     for (const sim::BugInfo &bug : sim::allBugs()) {
         std::printf("%-24s", bug.name);
-        std::fflush(stdout);
         for (std::size_t ci = 0; ci < configs.size(); ++ci) {
-            const CellResult cell = runCell(configs[ci], bug.id,
-                                            samples, max_runs,
-                                            max_secs);
+            const CellResult cell =
+                aggregateCell(summary.results, cell_begin,
+                              static_cast<std::size_t>(samples));
+            cell_begin += static_cast<std::size_t>(samples);
             total_found[ci] += cell.found;
             if (cell.found > 0) {
                 total_runs_sum[ci] += cell.meanRunsToBug;
@@ -67,7 +84,6 @@ main()
             } else {
                 std::printf(" | %-20s", "NF");
             }
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

@@ -9,6 +9,9 @@
  * 1KB (more of the replacement machinery is exercised), McVerSi-ALL
  * (8KB) is highest, litmus sits in between, and no configuration
  * reaches 100% (some transitions are practically unreachable).
+ *
+ * Campaign specs pin the protocol explicitly (bug=none cannot imply
+ * it); CampaignResult::protocolCoverage is the per-protocol metric.
  */
 
 #include <algorithm>
@@ -16,57 +19,6 @@
 #include "bench_common.hh"
 
 using namespace mcvbench;
-
-namespace {
-
-double
-coverageFor(GenConfig config, sim::Protocol protocol,
-            std::uint64_t seed, std::uint64_t max_runs,
-            double max_secs, const char *prefix)
-{
-    host::Budget budget;
-    budget.maxTestRuns = max_runs;
-    budget.maxWallSeconds = max_secs;
-
-    if (isLitmus(config)) {
-        litmus::LitmusRunner::Params params;
-        params.system.protocol = protocol;
-        params.system.seed = seed;
-        params.iterationsPerRun = 12;
-        litmus::LitmusRunner runner(params, litmus::x86TsoSuite());
-        host::Budget lb = budget;
-        lb.maxTestRuns = max_runs * 4;
-        runner.run(lb);
-        return runner.system().coverage().totalCoverage(prefix);
-    }
-
-    host::VerificationHarness::Params params;
-    params.system.protocol = protocol;
-    params.system.seed = seed;
-    params.gen = benchGenParams(config);
-    params.workload.iterations = params.gen.iterations;
-    params.recordNdt = false;
-
-    gp::GaParams ga;
-    ga.population = 40;
-
-    if (config == GenConfig::Rand1K || config == GenConfig::Rand8K) {
-        host::RandomSource source(params.gen, seed);
-        host::VerificationHarness harness(params, source);
-        harness.run(budget);
-        return harness.system().coverage().totalCoverage(prefix);
-    }
-    const auto mode = (config == GenConfig::All1K ||
-                       config == GenConfig::All8K)
-                          ? gp::SteadyStateGa::XoMode::Selective
-                          : gp::SteadyStateGa::XoMode::SinglePoint;
-    host::GaSource source(ga, params.gen, seed, mode);
-    host::VerificationHarness harness(params, source);
-    harness.run(budget);
-    return harness.system().coverage().totalCoverage(prefix);
-}
-
-} // namespace
 
 int
 main()
@@ -82,6 +34,31 @@ main()
         GenConfig::DiyLitmus,
     };
 
+    struct ProtoCase
+    {
+        const char *protocol;
+        const char *name;
+    };
+    const ProtoCase protos[] = {
+        {"mesi", "MESI"},
+        {"tsocc", "TSO-CC"},
+    };
+
+    std::vector<campaign::CampaignSpec> specs;
+    for (const ProtoCase &pc : protos) {
+        for (GenConfig c : configs) {
+            for (int s = 0; s < samples; ++s) {
+                campaign::CampaignSpec spec = benchSpec(
+                    c, "none",
+                    1000 + static_cast<std::uint64_t>(s * 131),
+                    max_runs, max_secs);
+                spec.protocol = pc.protocol;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    const campaign::CampaignSummary summary = runBenchCampaigns(specs);
+
     std::printf("Table 6: maximum total transition coverage observed "
                 "across %d samples (budget %llu runs)\n\n",
                 samples, static_cast<unsigned long long>(max_runs));
@@ -90,33 +67,22 @@ main()
         std::printf(" | %-20s", genConfigName(c));
     std::printf("\n");
 
-    struct ProtoCase
-    {
-        sim::Protocol protocol;
-        const char *name;
-        const char *prefix;
-    };
-    const ProtoCase protos[] = {
-        {sim::Protocol::Mesi, "MESI", "MESI"},
-        {sim::Protocol::Tsocc, "TSO-CC", "TSOCC"},
-    };
-
+    std::size_t cell_begin = 0;
     for (const ProtoCase &pc : protos) {
         std::printf("%-10s", pc.name);
-        std::fflush(stdout);
-        for (GenConfig c : configs) {
+        for (std::size_t ci = 0; ci < configs.size(); ++ci) {
             double best = 0.0;
             for (int s = 0; s < samples; ++s) {
                 best = std::max(
-                    best, coverageFor(c, pc.protocol,
-                                      1000 + static_cast<std::uint64_t>(
-                                                 s * 131),
-                                      max_runs, max_secs, pc.prefix));
+                    best,
+                    summary.results[cell_begin +
+                                    static_cast<std::size_t>(s)]
+                        .protocolCoverage);
             }
+            cell_begin += static_cast<std::size_t>(samples);
             char buf[16];
             std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * best);
             std::printf(" | %-20s", buf);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

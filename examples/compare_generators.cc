@@ -2,7 +2,8 @@
  * @file
  * Example: compare the three McVerSi test generation strategies on one
  * bug (the paper's §6.1 question -- how effective is the selective
- * crossover?).
+ * crossover?). One campaign matrix -- generators x seeds -- runs in
+ * parallel, then results are aggregated per generator.
  *
  * Usage: compare_generators [bug-name] [samples]
  */
@@ -15,75 +16,50 @@
 
 using namespace mcversi;
 
-namespace {
-
-host::HarnessResult
-runOne(const std::string &generator, sim::BugId bug, std::uint64_t seed)
-{
-    host::VerificationHarness::Params params;
-    params.system.bug = bug;
-    params.system.seed = seed;
-    params.system.protocol =
-        sim::bugInfo(bug).protocol == sim::ProtocolKind::Tsocc
-            ? sim::Protocol::Tsocc
-            : sim::Protocol::Mesi;
-    params.gen.testSize = 256;
-    params.gen.iterations = 4;
-    params.gen.memSize = 8 * 1024;
-    params.workload.iterations = params.gen.iterations;
-    params.recordNdt = false;
-
-    host::Budget budget;
-    budget.maxTestRuns = 1500;
-    budget.maxWallSeconds = 90.0;
-
-    gp::GaParams ga;
-    ga.population = 50;
-
-    if (generator == "rand") {
-        host::RandomSource source(params.gen, seed);
-        host::VerificationHarness harness(params, source);
-        return harness.run(budget);
-    }
-    const auto mode = generator == "all"
-                          ? gp::SteadyStateGa::XoMode::Selective
-                          : gp::SteadyStateGa::XoMode::SinglePoint;
-    host::GaSource source(ga, params.gen, seed, mode);
-    host::VerificationHarness harness(params, source);
-    return harness.run(budget);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     const std::string bug_name =
         argc > 1 ? argv[1] : "MESI,LQ+SM,Inv";
     const int samples = argc > 2 ? std::atoi(argv[2]) : 3;
-    const sim::BugId bug = sim::bugByName(bug_name);
-    if (bug == sim::BugId::None) {
+    if (sim::findBugByName(bug_name) == nullptr) {
         std::cerr << "unknown bug: " << bug_name << "\n";
         return 1;
     }
 
+    campaign::CampaignMatrix matrix;
+    matrix.base.bug = bug_name;
+    matrix.base.testSize = 256;
+    matrix.base.iterations = 4;
+    matrix.base.maxTestRuns = 1500;
+    matrix.base.maxWallSeconds = 90.0;
+    matrix.generators = {"McVerSi-ALL", "McVerSi-Std.XO",
+                         "McVerSi-RAND"};
+    for (int s = 0; s < samples; ++s)
+        matrix.seeds.push_back(17 + static_cast<std::uint64_t>(s) * 101);
+
     std::cout << "bug: " << bug_name << ", " << samples
               << " samples per generator\n\n";
-    for (const std::string generator : {"all", "stdxo", "rand"}) {
+
+    campaign::CampaignRunner::Options options;
+    options.threads = 0; // hardware concurrency
+    const campaign::CampaignSummary summary =
+        campaign::CampaignRunner(options).run(matrix.expand());
+
+    for (const std::string &generator : matrix.generators) {
         int found = 0;
         double runs_sum = 0.0;
-        for (int s = 0; s < samples; ++s) {
-            const host::HarnessResult r =
-                runOne(generator, bug,
-                       17 + static_cast<std::uint64_t>(s) * 101);
-            if (r.bugFound) {
-                ++found;
-                runs_sum += static_cast<double>(r.testRunsToBug);
+        for (const campaign::CampaignResult &r : summary.results) {
+            if (r.spec.generator != generator || !r.ok() ||
+                !r.harness.bugFound) {
+                continue;
             }
+            ++found;
+            runs_sum += static_cast<double>(r.harness.testRunsToBug);
         }
-        std::cout << (generator == "all"      ? "McVerSi-ALL:    "
-                      : generator == "stdxo" ? "McVerSi-Std.XO: "
-                                              : "McVerSi-RAND:   ")
+        std::cout << (generator == "McVerSi-ALL"      ? "McVerSi-ALL:    "
+                      : generator == "McVerSi-Std.XO" ? "McVerSi-Std.XO: "
+                                                      : "McVerSi-RAND:   ")
                   << found << "/" << samples << " found";
         if (found > 0)
             std::cout << ", mean " << runs_sum / found

@@ -1,4 +1,6 @@
 // Temporary diagnostic: transition frequencies under a bug config.
+// Uses the generator registry + a hand-driven harness because it needs
+// the live System (coverage counters, squash counts) after the run.
 #include <iostream>
 #include <string>
 
@@ -9,24 +11,17 @@ using namespace mcversi;
 int
 main(int argc, char **argv)
 {
-    const std::string bug_name = argc > 1 ? argv[1] : "MESI,LQ+M,Inv";
-    const std::uint64_t runs =
+    campaign::CampaignSpec spec;
+    spec.bug = argc > 1 ? argv[1] : "MESI,LQ+M,Inv";
+    spec.generator = "McVerSi-RAND";
+    spec.seed = 3;
+    spec.maxTestRuns =
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 100;
 
-    host::VerificationHarness::Params params;
-    params.system.bug = sim::bugByName(bug_name);
-    params.system.seed = 3;
-    params.gen.testSize = 256;
-    params.gen.iterations = 4;
-    params.gen.memSize = 8 * 1024;
-    params.workload.iterations = 4;
-    params.recordNdt = false;
-
-    host::RandomSource source(params.gen, 3);
-    host::VerificationHarness harness(params, source);
-    host::Budget budget;
-    budget.maxTestRuns = runs;
-    auto result = harness.run(budget);
+    auto source = campaign::SourceRegistry::instance().make(
+        spec.generator, spec);
+    host::VerificationHarness harness(spec.harnessParams(), *source);
+    auto result = harness.run(spec.budget());
     std::cout << "bugFound=" << result.bugFound << " runs="
               << result.testRuns << "\n";
 

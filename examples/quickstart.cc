@@ -3,10 +3,10 @@
  * Quickstart: verify a (buggy) MESI system with McVerSi-ALL.
  *
  * Builds the Table 2 platform with the MESI,LQ+IS,Inv bug injected,
- * drives it with the GP-based test generator, and reports how many
- * test-runs it took to expose the bug.
+ * drives it with the GP-based test generator via the Campaign API, and
+ * reports how many test-runs it took to expose the bug.
  *
- * Usage: quickstart [bug-name] [seed]
+ * Usage: quickstart [bug-name] [seed] [test-size] [iterations]
  *   e.g. quickstart "MESI,LQ+IS,Inv" 42
  */
 
@@ -21,67 +21,55 @@ using namespace mcversi;
 int
 main(int argc, char **argv)
 {
-    const std::string bug_name =
-        argc > 1 ? argv[1] : "MESI,LQ+IS,Inv";
-    const std::uint64_t seed =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 42;
+    campaign::CampaignSpec spec;
+    spec.bug = argc > 1 ? argv[1] : "MESI,LQ+IS,Inv";
+    spec.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 42;
+    try {
+        if (argc > 3)
+            spec.set("test-size", argv[3]);
+        if (argc > 4)
+            spec.set("iterations", argv[4]);
+    } catch (const std::exception &e) {
+        std::cerr << "bad argument: " << e.what() << "\n";
+        return 1;
+    }
+    spec.generator = "McVerSi-ALL";
+    spec.maxTestRuns = 2000;
+    spec.maxWallSeconds = 120.0;
 
-    const sim::BugId bug = sim::bugByName(bug_name);
-    if (bug == sim::BugId::None && bug_name != "none") {
-        std::cerr << "unknown bug: " << bug_name << "\n";
+    if (sim::findBugByName(spec.bug) == nullptr) {
+        std::cerr << "unknown bug: " << spec.bug << "\n";
         std::cerr << "known bugs:\n";
         for (const sim::BugInfo &info : sim::allBugs())
             std::cerr << "  " << info.name << "\n";
         return 1;
     }
 
-    // Configure the system (Table 2) and the generator (Table 3,
-    // scaled down so the quickstart finishes in seconds).
-    host::VerificationHarness::Params params;
-    params.system.bug = bug;
-    params.system.seed = seed;
-    params.system.protocol =
-        sim::bugInfo(bug).protocol == sim::ProtocolKind::Tsocc
-            ? sim::Protocol::Tsocc
-            : sim::Protocol::Mesi;
-
-    gp::GenParams gen;
-    gen.testSize = argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 256;
-    gen.iterations = argc > 4 ? std::atoi(argv[4]) : 4;
-    gen.memSize = 8 * 1024;
-    params.gen = gen;
-    params.workload.iterations = gen.iterations;
-
-    gp::GaParams ga;
-    ga.population = 50;
-
-    host::GaSource source(ga, gen, seed,
-                          gp::SteadyStateGa::XoMode::Selective);
-    host::VerificationHarness harness(params, source);
-
     std::cout << "protocol: "
-              << (params.system.protocol == sim::Protocol::Mesi
+              << (spec.resolvedProtocol() == sim::Protocol::Mesi
                       ? "MESI"
                       : "TSO-CC")
-              << ", bug: " << sim::bugInfo(bug).name
-              << ", generator: " << source.name() << "\n";
+              << ", bug: " << spec.bug
+              << ", generator: " << spec.generator << "\n";
 
-    host::Budget budget;
-    budget.maxTestRuns = 2000;
-    budget.maxWallSeconds = 120.0;
-    const host::HarnessResult result = harness.run(budget);
+    const campaign::CampaignResult result =
+        campaign::CampaignRunner::runOne(spec);
+    if (!result.ok()) {
+        std::cerr << "campaign failed: " << result.error << "\n";
+        return 1;
+    }
 
-    if (result.bugFound) {
-        std::cout << "BUG FOUND after " << result.testRunsToBug
-                  << " test-runs (" << result.wallSecondsToBug
+    const host::HarnessResult &run = result.harness;
+    if (run.bugFound) {
+        std::cout << "BUG FOUND after " << run.testRunsToBug
+                  << " test-runs (" << run.wallSecondsToBug
                   << " s wall)\n"
-                  << result.detail << "\n";
+                  << run.detail << "\n";
     } else {
-        std::cout << "no bug found in " << result.testRuns
-                  << " test-runs (" << result.wallSeconds
-                  << " s wall)\n";
+        std::cout << "no bug found in " << run.testRuns
+                  << " test-runs (" << run.wallSeconds << " s wall)\n";
     }
     std::cout << "total transition coverage: "
-              << 100.0 * result.totalCoverage << "%\n";
+              << 100.0 * run.totalCoverage << "%\n";
     return 0;
 }

@@ -1,0 +1,150 @@
+#include "campaign/registry.hh"
+
+#include <stdexcept>
+
+#include "common/strings.hh"
+
+namespace mcversi::campaign {
+
+SourceRegistry &
+SourceRegistry::instance()
+{
+    static SourceRegistry registry;
+    return registry;
+}
+
+SourceRegistry::SourceRegistry()
+{
+    // The paper's generator configurations (§5.2). GA modes differ only
+    // in the crossover; the coverage-vs-NDT fitness weighting lives in
+    // GaSource::report().
+    addEntry({"McVerSi-ALL",
+              [](const CampaignSpec &spec) {
+                  return std::make_unique<host::GaSource>(
+                      spec.gaParams(), spec.genParams(), spec.seed,
+                      gp::SteadyStateGa::XoMode::Selective);
+              },
+              false},
+             {"selective"});
+    addEntry({"McVerSi-Std.XO",
+              [](const CampaignSpec &spec) {
+                  return std::make_unique<host::GaSource>(
+                      spec.gaParams(), spec.genParams(), spec.seed,
+                      gp::SteadyStateGa::XoMode::SinglePoint);
+              },
+              false},
+             {"stdxo", "std.xo", "single-point"});
+    addEntry({"McVerSi-RAND",
+              [](const CampaignSpec &spec) {
+                  return std::make_unique<host::RandomSource>(
+                      spec.genParams(), spec.seed);
+              },
+              false},
+             {"rand", "random"});
+    addEntry({"diy-litmus", nullptr, true}, {"litmus"});
+}
+
+void
+SourceRegistry::add(const std::string &name, Factory factory,
+                    const std::vector<std::string> &aliases)
+{
+    addEntry({name, std::move(factory), false}, aliases);
+}
+
+void
+SourceRegistry::addLitmus(const std::string &name,
+                          const std::vector<std::string> &aliases)
+{
+    addEntry({name, nullptr, true}, aliases);
+}
+
+void
+SourceRegistry::addEntry(Entry entry,
+                         const std::vector<std::string> &aliases)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys = {asciiLowered(entry.name)};
+    for (const std::string &alias : aliases)
+        keys.push_back(asciiLowered(alias));
+    for (const std::string &key : keys) {
+        if (index_.count(key) != 0) {
+            throw std::invalid_argument(
+                "generator registry: duplicate name '" + key + "'");
+        }
+    }
+    entries_.push_back(std::move(entry));
+    for (const std::string &key : keys)
+        index_[key] = entries_.size() - 1;
+}
+
+const SourceRegistry::Entry &
+SourceRegistry::lookup(const std::string &name) const
+{
+    const auto it = index_.find(asciiLowered(name));
+    if (it == index_.end()) {
+        throw std::invalid_argument("generator registry: unknown "
+                                    "generator '" + name + "'");
+    }
+    return entries_[it->second];
+}
+
+bool
+SourceRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.count(asciiLowered(name)) != 0;
+}
+
+std::string
+SourceRegistry::canonicalName(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookup(name).name;
+}
+
+bool
+SourceRegistry::isLitmus(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookup(name).litmus;
+}
+
+std::unique_ptr<host::TestSource>
+SourceRegistry::make(const std::string &name,
+                     const CampaignSpec &spec) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const Entry &entry = lookup(name);
+        if (entry.litmus) {
+            throw std::invalid_argument(
+                "generator registry: '" + entry.name +
+                "' is litmus-kind and has no TestSource; run it "
+                "through CampaignRunner");
+        }
+        factory = entry.factory;
+    }
+    return factory(spec);
+}
+
+std::vector<std::string>
+SourceRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        names.push_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+resolveGeneratorList(const std::string &token)
+{
+    if (asciiLowered(token) == "all")
+        return SourceRegistry::instance().names();
+    return splitList(token);
+}
+
+} // namespace mcversi::campaign

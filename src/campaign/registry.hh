@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Named test-generator registry.
+ *
+ * Replaces hand-constructed RandomSource/GaSource wiring with named,
+ * extensible registrations: a CampaignSpec names its generator
+ * ("McVerSi-ALL", "McVerSi-Std.XO", "McVerSi-RAND", "diy-litmus") and
+ * the registry builds the matching host::TestSource from the spec.
+ * Lookup is case-insensitive and alias-aware ("rand" == "McVerSi-RAND").
+ *
+ * Litmus-style generators are registered as a kind of their own: they
+ * have no TestSource (the litmus runner owns the whole loop), and the
+ * CampaignRunner dispatches on isLitmus() instead.
+ */
+
+#ifndef MCVERSI_CAMPAIGN_REGISTRY_HH
+#define MCVERSI_CAMPAIGN_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/spec.hh"
+#include "host/sources.hh"
+
+namespace mcversi::campaign {
+
+/** Process-wide registry of named test-generator factories. */
+class SourceRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<host::TestSource>(
+        const CampaignSpec &)>;
+
+    /** The singleton, pre-populated with the paper's generators. */
+    static SourceRegistry &instance();
+
+    /**
+     * Register a generator. @p name is the canonical (display) name;
+     * @p aliases resolve to it case-insensitively. Throws
+     * std::invalid_argument on a duplicate name/alias.
+     */
+    void add(const std::string &name, Factory factory,
+             const std::vector<std::string> &aliases = {});
+
+    /** Register a litmus-kind generator (no TestSource factory). */
+    void addLitmus(const std::string &name,
+                   const std::vector<std::string> &aliases = {});
+
+    bool has(const std::string &name) const;
+
+    /** Canonical display name; throws std::invalid_argument if unknown. */
+    std::string canonicalName(const std::string &name) const;
+
+    /** True if @p name resolves to a litmus-kind generator. */
+    bool isLitmus(const std::string &name) const;
+
+    /**
+     * Build the named generator's TestSource from @p spec. Throws
+     * std::invalid_argument if unknown or litmus-kind.
+     */
+    std::unique_ptr<host::TestSource>
+    make(const std::string &name, const CampaignSpec &spec) const;
+
+    /** Canonical names in registration order. */
+    std::vector<std::string> names() const;
+
+  private:
+    SourceRegistry();
+
+    struct Entry
+    {
+        std::string name;
+        Factory factory;
+        bool litmus = false;
+    };
+
+    const Entry &lookup(const std::string &name) const;
+    void addEntry(Entry entry, const std::vector<std::string> &aliases);
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+    /** Lowercased name/alias -> index into entries_. */
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * Resolve a generator-list token: "all" => every registered generator,
+ * otherwise a ';'-separated list of names/aliases.
+ */
+std::vector<std::string> resolveGeneratorList(const std::string &token);
+
+} // namespace mcversi::campaign
+
+#endif // MCVERSI_CAMPAIGN_REGISTRY_HH

@@ -1,0 +1,201 @@
+#include "campaign/result.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mcversi::campaign {
+
+namespace {
+
+/** Shortest deterministic decimal form for identical doubles. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
+{
+    out << "{\"bug\":\"" << jsonEscape(spec.bug) << "\""
+        << ",\"generator\":\"" << jsonEscape(spec.generator) << "\""
+        << ",\"seed\":" << spec.seed
+        << ",\"protocol\":\"" << jsonEscape(spec.protocol) << "\""
+        << ",\"test_size\":" << spec.testSize
+        << ",\"iterations\":" << spec.iterations
+        << ",\"mem_size\":" << spec.memSize
+        << ",\"stride\":" << spec.stride
+        << ",\"guest_threads\":" << spec.guestThreads
+        << ",\"population\":" << spec.population
+        << ",\"max_runs\":" << spec.maxTestRuns
+        << ",\"max_seconds\":" << fmtDouble(spec.maxWallSeconds)
+        << ",\"litmus_iterations\":" << spec.litmusIterations
+        << ",\"record_ndt\":" << (spec.recordNdt ? "true" : "false")
+        << "}";
+}
+
+} // namespace
+
+std::size_t
+CampaignSummary::bugsFound() const
+{
+    std::size_t n = 0;
+    for (const CampaignResult &r : results)
+        n += r.ok() && r.harness.bugFound ? 1 : 0;
+    return n;
+}
+
+std::size_t
+CampaignSummary::errors() const
+{
+    std::size_t n = 0;
+    for (const CampaignResult &r : results)
+        n += r.ok() ? 0 : 1;
+    return n;
+}
+
+std::uint64_t
+CampaignSummary::totalTestRuns() const
+{
+    std::uint64_t n = 0;
+    for (const CampaignResult &r : results)
+        n += r.harness.testRuns;
+    return n;
+}
+
+double
+CampaignSummary::totalWallSeconds() const
+{
+    double s = 0.0;
+    for (const CampaignResult &r : results)
+        s += r.harness.wallSeconds;
+    return s;
+}
+
+std::string
+CampaignSummary::toJson(bool include_timing) const
+{
+    std::ostringstream out;
+    out << "{\"campaigns\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CampaignResult &r = results[i];
+        if (i > 0)
+            out << ",";
+        out << "{\"spec\":";
+        appendSpecJson(out, r.spec);
+        out << ",\"bug_found\":" << (r.harness.bugFound ? "true" : "false")
+            << ",\"test_runs\":" << r.harness.testRuns
+            << ",\"test_runs_to_bug\":" << r.harness.testRunsToBug
+            << ",\"sim_ticks\":" << r.harness.simTicks
+            << ",\"events_executed\":" << r.harness.eventsExecuted
+            << ",\"total_coverage\":" << fmtDouble(r.harness.totalCoverage)
+            << ",\"protocol_coverage\":" << fmtDouble(r.protocolCoverage)
+            << ",\"detail\":\"" << jsonEscape(r.harness.detail) << "\""
+            << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+        if (include_timing) {
+            out << ",\"wall_seconds\":" << fmtDouble(r.harness.wallSeconds)
+                << ",\"wall_seconds_to_bug\":"
+                << fmtDouble(r.harness.wallSecondsToBug)
+                << ",\"check_seconds\":"
+                << fmtDouble(r.harness.checkSeconds);
+        }
+        out << "}";
+    }
+    out << "],\"summary\":{\"campaigns\":" << campaigns()
+        << ",\"bugs_found\":" << bugsFound()
+        << ",\"errors\":" << errors()
+        << ",\"test_runs\":" << totalTestRuns();
+    if (include_timing)
+        out << ",\"wall_seconds\":" << fmtDouble(totalWallSeconds());
+    out << "}}\n";
+    return out.str();
+}
+
+std::string
+CampaignSummary::toCsv(bool include_timing) const
+{
+    std::ostringstream out;
+    out << "bug,generator,seed,protocol,test_size,iterations,mem_size,"
+           "stride,guest_threads,population,max_runs,max_seconds,"
+           "litmus_iterations,record_ndt,bug_found,test_runs,"
+           "test_runs_to_bug,sim_ticks,events_executed,total_coverage,"
+           "protocol_coverage,error";
+    if (include_timing)
+        out << ",wall_seconds,wall_seconds_to_bug,check_seconds";
+    out << "\n";
+    for (const CampaignResult &r : results) {
+        out << csvField(r.spec.bug) << ","
+            << csvField(r.spec.generator) << ","
+            << r.spec.seed << ","
+            << r.spec.protocol << ","
+            << r.spec.testSize << ","
+            << r.spec.iterations << ","
+            << r.spec.memSize << ","
+            << r.spec.stride << ","
+            << r.spec.guestThreads << ","
+            << r.spec.population << ","
+            << r.spec.maxTestRuns << ","
+            << fmtDouble(r.spec.maxWallSeconds) << ","
+            << r.spec.litmusIterations << ","
+            << (r.spec.recordNdt ? 1 : 0) << ","
+            << (r.harness.bugFound ? 1 : 0) << ","
+            << r.harness.testRuns << ","
+            << r.harness.testRunsToBug << ","
+            << r.harness.simTicks << ","
+            << r.harness.eventsExecuted << ","
+            << fmtDouble(r.harness.totalCoverage) << ","
+            << fmtDouble(r.protocolCoverage) << ","
+            << csvField(r.error);
+        if (include_timing) {
+            out << "," << fmtDouble(r.harness.wallSeconds)
+                << "," << fmtDouble(r.harness.wallSecondsToBug)
+                << "," << fmtDouble(r.harness.checkSeconds);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace mcversi::campaign

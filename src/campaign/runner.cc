@@ -1,0 +1,98 @@
+#include "campaign/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "campaign/registry.hh"
+#include "litmus/runner.hh"
+#include "litmus/x86_suite.hh"
+
+namespace mcversi::campaign {
+
+CampaignResult
+CampaignRunner::runOne(const CampaignSpec &spec)
+{
+    CampaignResult result;
+    result.spec = spec;
+    try {
+        spec.validate();
+        const SourceRegistry &registry = SourceRegistry::instance();
+        if (registry.isLitmus(spec.generator)) {
+            litmus::LitmusRunner::Params params;
+            params.system = spec.systemConfig();
+            params.iterationsPerRun = spec.litmusIterations;
+            litmus::LitmusRunner runner(params, litmus::x86TsoSuite());
+            result.harness = runner.run(spec.budget());
+            result.protocolCoverage =
+                runner.system().coverage().totalCoverage(
+                    spec.protocolPrefix());
+        } else {
+            const std::unique_ptr<host::TestSource> source =
+                registry.make(spec.generator, spec);
+            host::VerificationHarness harness(spec.harnessParams(),
+                                              *source);
+            result.harness = harness.run(spec.budget());
+            result.protocolCoverage =
+                harness.system().coverage().totalCoverage(
+                    spec.protocolPrefix());
+        }
+    } catch (const std::exception &e) {
+        result.error = e.what();
+    }
+    return result;
+}
+
+CampaignSummary
+CampaignRunner::run(const std::vector<CampaignSpec> &specs) const
+{
+    CampaignSummary summary;
+    summary.results.resize(specs.size());
+    if (specs.empty())
+        return summary;
+
+    std::size_t threads = options_.threads > 0
+        ? static_cast<std::size_t>(options_.threads)
+        : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, specs.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            // Results land at the spec's own index: aggregation order
+            // (and thus the exported summary) never depends on which
+            // worker finished first.
+            summary.results[i] = runOne(specs[i]);
+            const std::size_t completed =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options_.onResult) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                options_.onResult(summary.results[i], completed,
+                                  specs.size());
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+        return summary;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return summary;
+}
+
+} // namespace mcversi::campaign

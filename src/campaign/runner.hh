@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parallel multi-campaign runner.
+ *
+ * Executes a vector of CampaignSpecs on a pool of worker threads. Each
+ * worker owns an independent System + Checker + test source built from
+ * its spec (per-spec seed streams), so campaigns share no mutable
+ * state; the "same seed => same decisions" contract pinned down by
+ * tests/sim/test_rng_determinism.cc makes every campaign's outcome
+ * independent of which worker runs it. Results are collected into spec
+ * order, so the aggregated CampaignSummary is identical for any worker
+ * count and any completion interleaving.
+ */
+
+#ifndef MCVERSI_CAMPAIGN_RUNNER_HH
+#define MCVERSI_CAMPAIGN_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "campaign/result.hh"
+#include "campaign/spec.hh"
+
+namespace mcversi::campaign {
+
+/** Runs campaign matrices on a worker-thread pool. */
+class CampaignRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; <= 0 selects the hardware concurrency. */
+        int threads = 1;
+        /**
+         * Progress hook, called once per completed campaign (in
+         * completion order, serialized). @p done counts completions so
+         * far, @p total the matrix size. Must not assume spec order.
+         */
+        std::function<void(const CampaignResult &result,
+                           std::size_t done, std::size_t total)>
+            onResult;
+    };
+
+    CampaignRunner() = default;
+    explicit CampaignRunner(Options options)
+        : options_(std::move(options))
+    {
+    }
+
+    /** Run every spec; results are aggregated in spec order. */
+    CampaignSummary run(const std::vector<CampaignSpec> &specs) const;
+
+    /**
+     * Run one campaign in the calling thread. Never throws: a bad spec
+     * or a run-time failure is reported via CampaignResult::error.
+     */
+    static CampaignResult runOne(const CampaignSpec &spec);
+
+  private:
+    Options options_{};
+};
+
+} // namespace mcversi::campaign
+
+#endif // MCVERSI_CAMPAIGN_RUNNER_HH

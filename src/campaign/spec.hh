@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Declarative campaign specification.
+ *
+ * A CampaignSpec fully describes one verification campaign of the
+ * paper's evaluation matrix (§5): which protocol and bug, which test
+ * generator, the generation/GA parameters, the budget, and the seed.
+ * Specs are plain data: constructible in code, parseable from
+ * "key=value" strings (CLI / config files), and serializable back via
+ * toString() -- parse(toString()) round-trips exactly.
+ *
+ * CampaignMatrix expands bug-lists x generator-lists x seed-lists into
+ * the flat vector of specs a CampaignRunner consumes, mirroring the
+ * paper's {protocol} x {bug} x {generator} x {seed} sweep.
+ */
+
+#ifndef MCVERSI_CAMPAIGN_SPEC_HH
+#define MCVERSI_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gp/params.hh"
+#include "host/harness.hh"
+#include "sim/config.hh"
+
+namespace mcversi::campaign {
+
+/** Declarative description of one verification campaign. */
+struct CampaignSpec
+{
+    /** Paper bug name ("MESI,LQ+IS,Inv", ...) or "none"; see sim/bugs.hh. */
+    std::string bug = "none";
+    /** Generator registry name or alias; see campaign/registry.hh. */
+    std::string generator = "McVerSi-ALL";
+    /** Seed for the system, the generator, and everything they fork. */
+    std::uint64_t seed = 1;
+    /** Protocol selection: "auto" derives it from the bug. */
+    std::string protocol = "auto";
+
+    // Test generation (Table 3 upper half, scaled-down defaults).
+    std::size_t testSize = 256;
+    int iterations = 4;
+    Addr memSize = 8 * 1024;
+    Addr stride = 16;
+    int guestThreads = 8;
+
+    // GA (Table 3 lower half).
+    std::size_t population = 50;
+
+    // Budget (0 = unlimited).
+    std::uint64_t maxTestRuns = 1000;
+    double maxWallSeconds = 0.0;
+
+    /** Iterations per litmus test-run (diy-litmus generator only). */
+    int litmusIterations = 12;
+
+    /** Record the per-run NDT history (costs memory on long runs). */
+    bool recordNdt = false;
+
+    bool operator==(const CampaignSpec &) const = default;
+
+    /**
+     * Apply one "key=value" setting. Throws std::invalid_argument on an
+     * unknown key or an unparsable/out-of-range value.
+     */
+    void set(const std::string &key_value);
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse a whitespace-separated "key=value ..." string. */
+    static CampaignSpec fromString(const std::string &text);
+
+    /** Apply a sequence of "key=value" settings (e.g. CLI argv). */
+    static CampaignSpec fromArgs(const std::vector<std::string> &args);
+
+    /** Canonical "key=value ..." form; fromString() round-trips it. */
+    std::string toString() const;
+
+    /**
+     * Check that the spec is runnable: known bug name, registered
+     * generator, consistent numeric ranges. Throws std::invalid_argument.
+     */
+    void validate() const;
+
+    // -- Derived views (resolve the declarative fields) ----------------
+
+    /** Protocol after resolving "auto" against the bug. */
+    sim::Protocol resolvedProtocol() const;
+
+    /** Coverage controller-name prefix of the resolved protocol. */
+    const char *protocolPrefix() const;
+
+    sim::SystemConfig systemConfig() const;
+    gp::GenParams genParams() const;
+    gp::GaParams gaParams() const;
+    host::Budget budget() const;
+    host::VerificationHarness::Params harnessParams() const;
+};
+
+/** Matrix of campaigns: base spec x bugs x generators x seeds. */
+struct CampaignMatrix
+{
+    CampaignSpec base{};
+    /** Empty list => the base spec's value is used (cardinality 1). */
+    std::vector<std::string> bugs;
+    std::vector<std::string> generators;
+    std::vector<std::uint64_t> seeds;
+
+    /**
+     * Expand to |bugs| x |generators| x |seeds| specs, bug-major then
+     * generator then seed (deterministic order).
+     */
+    std::vector<CampaignSpec> expand() const;
+};
+
+// -- List-parsing helpers shared by the CLI and tests ------------------
+
+/** Split on @p sep, dropping empty items ("a;b;;c" => {a,b,c}). */
+std::vector<std::string> splitList(const std::string &text, char sep = ';');
+
+/**
+ * Parse a seed list: "a..b" (inclusive range), or ';'-separated values,
+ * e.g. "1..10" or "17;118;219". Throws std::invalid_argument.
+ */
+std::vector<std::uint64_t> parseSeedList(const std::string &text);
+
+/**
+ * Resolve a bug-list token: "all" => every studied bug, "mesi"/"tsocc"
+ * => that protocol's bugs plus the protocol-agnostic ones, otherwise a
+ * ';'-separated list of paper bug names.
+ */
+std::vector<std::string> resolveBugList(const std::string &token);
+
+} // namespace mcversi::campaign
+
+#endif // MCVERSI_CAMPAIGN_SPEC_HH

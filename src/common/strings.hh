@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small ASCII string helpers shared by the name registries (bug names,
+ * generator names, spec keys), which all match case-insensitively.
+ */
+
+#ifndef MCVERSI_COMMON_STRINGS_HH
+#define MCVERSI_COMMON_STRINGS_HH
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace mcversi {
+
+/** ASCII-lowercased copy of @p s. */
+inline std::string
+asciiLowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Case-insensitive ASCII equality. */
+inline bool
+asciiIEquals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace mcversi
+
+#endif // MCVERSI_COMMON_STRINGS_HH

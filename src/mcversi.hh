@@ -2,15 +2,30 @@
  * @file
  * McVerSi umbrella header: the full public API.
  *
- * Typical use (see examples/quickstart.cc):
+ * Typical use is the declarative Campaign API (see
+ * examples/quickstart.cc): describe campaigns as specs, expand a
+ * matrix, and run it on a worker pool:
  *
- *   mcversi::host::VerificationHarness::Params params;
- *   params.system.protocol = mcversi::sim::Protocol::Mesi;
- *   params.system.bug = mcversi::sim::BugId::MesiLqIsInv;
- *   mcversi::host::GaSource source(ga, gen, seed,
- *       mcversi::gp::SteadyStateGa::XoMode::Selective);
- *   mcversi::host::VerificationHarness harness(params, source);
- *   auto result = harness.run({.maxTestRuns = 1000});
+ *   using namespace mcversi::campaign;
+ *   CampaignMatrix matrix;
+ *   matrix.base = CampaignSpec::fromString(
+ *       "test-size=256 iterations=4 max-runs=1000");
+ *   matrix.bugs = {"MESI,LQ+IS,Inv", "MESI+PUTX-Race"};
+ *   matrix.generators = {"McVerSi-ALL", "McVerSi-RAND"};
+ *   matrix.seeds = {1, 2, 3};
+ *   CampaignRunner runner({.threads = 8});
+ *   CampaignSummary summary = runner.run(matrix.expand());
+ *   std::cout << summary.toJson();
+ *
+ * Custom generators register by name next to the built-in
+ * "McVerSi-ALL" / "McVerSi-Std.XO" / "McVerSi-RAND" / "diy-litmus":
+ *
+ *   campaign::SourceRegistry::instance().add("my-gen",
+ *       [](const campaign::CampaignSpec &spec) { ... });
+ *
+ * The lower layers stay public for single-run control: build a
+ * host::TestSource via the registry (or directly) and drive a
+ * host::VerificationHarness yourself.
  */
 
 #ifndef MCVERSI_MCVERSI_HH
@@ -50,5 +65,10 @@
 #include "litmus/litmus.hh"
 #include "litmus/runner.hh"
 #include "litmus/x86_suite.hh"
+
+#include "campaign/registry.hh"
+#include "campaign/result.hh"
+#include "campaign/runner.hh"
+#include "campaign/spec.hh"
 
 #endif // MCVERSI_MCVERSI_HH

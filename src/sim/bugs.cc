@@ -1,5 +1,7 @@
 #include "sim/bugs.hh"
 
+#include "common/strings.hh"
+
 namespace mcversi::sim {
 
 const std::vector<BugInfo> &
@@ -60,13 +62,22 @@ bugInfo(BugId id)
     return none;
 }
 
+const BugInfo *
+findBugByName(const std::string &name)
+{
+    if (asciiIEquals(name, "none"))
+        return &bugInfo(BugId::None);
+    for (const BugInfo &b : allBugs())
+        if (asciiIEquals(name, b.name))
+            return &b;
+    return nullptr;
+}
+
 BugId
 bugByName(const std::string &name)
 {
-    for (const BugInfo &b : allBugs())
-        if (name == b.name)
-            return b.id;
-    return BugId::None;
+    const BugInfo *info = findBugByName(name);
+    return info != nullptr ? info->id : BugId::None;
 }
 
 } // namespace mcversi::sim

@@ -70,7 +70,13 @@ const std::vector<BugInfo> &allBugs();
 /** Metadata for one bug id (BugId::None allowed). */
 const BugInfo &bugInfo(BugId id);
 
-/** Lookup by paper name; returns BugId::None if unknown. */
+/**
+ * Lookup by paper name, case-insensitive; "none" resolves to the
+ * BugId::None metadata. Returns nullptr for unknown names.
+ */
+const BugInfo *findBugByName(const std::string &name);
+
+/** Lookup by paper name (case-insensitive); BugId::None if unknown. */
 BugId bugByName(const std::string &name);
 
 } // namespace mcversi::sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CampaignRunner determinism: extends the per-run seed-determinism
+ * guarantee of tests/sim/test_rng_determinism.cc to the campaign
+ * layer. The same expanded matrix run with 1 worker thread and with N
+ * worker threads must produce byte-identical aggregated summaries
+ * (timing excluded -- wall-clock is the one legitimately
+ * non-deterministic output), because every campaign owns an
+ * independent System + Checker + source seeded only from its spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "campaign/registry.hh"
+#include "campaign/runner.hh"
+
+using namespace mcversi;
+using namespace mcversi::campaign;
+
+namespace {
+
+/** Small-but-real matrix: 2 bugs x 2 generators x 2 seeds + litmus. */
+std::vector<CampaignSpec>
+quickstartMatrix()
+{
+    CampaignMatrix matrix;
+    matrix.base.testSize = 64;
+    matrix.base.iterations = 2;
+    matrix.base.memSize = 1024;
+    matrix.base.population = 8;
+    matrix.base.maxTestRuns = 3;
+    matrix.bugs = {"SQ+no-FIFO", "none"};
+    matrix.generators = {"McVerSi-ALL", "McVerSi-RAND"};
+    matrix.seeds = {1, 2};
+    std::vector<CampaignSpec> specs = matrix.expand();
+
+    CampaignSpec litmus = matrix.base;
+    litmus.bug = "MESI,LQ+IS,Inv";
+    litmus.generator = "diy-litmus";
+    litmus.litmusIterations = 2;
+    litmus.maxTestRuns = 2;
+    specs.push_back(litmus);
+    return specs;
+}
+
+} // namespace
+
+TEST(CampaignRunner, WorkerCountDoesNotChangeTheSummary)
+{
+    const std::vector<CampaignSpec> specs = quickstartMatrix();
+
+    CampaignRunner::Options serial;
+    serial.threads = 1;
+    const CampaignSummary s1 = CampaignRunner(serial).run(specs);
+
+    CampaignRunner::Options parallel;
+    parallel.threads = 8;
+    const CampaignSummary s8 = CampaignRunner(parallel).run(specs);
+
+    ASSERT_EQ(s1.campaigns(), specs.size());
+    ASSERT_EQ(s8.campaigns(), specs.size());
+    EXPECT_EQ(s1.errors(), 0u);
+    // Timing-free exports must be byte-identical.
+    EXPECT_EQ(s1.toJson(false), s8.toJson(false));
+    EXPECT_EQ(s1.toCsv(false), s8.toCsv(false));
+    // And a repeat serial run reproduces itself exactly.
+    const CampaignSummary again = CampaignRunner(serial).run(specs);
+    EXPECT_EQ(s1.toJson(false), again.toJson(false));
+}
+
+TEST(CampaignRunner, ResultsStayInSpecOrder)
+{
+    const std::vector<CampaignSpec> specs = quickstartMatrix();
+    CampaignRunner::Options options;
+    options.threads = 4;
+    const CampaignSummary summary = CampaignRunner(options).run(specs);
+    ASSERT_EQ(summary.results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(summary.results[i].spec, specs[i]) << "index " << i;
+}
+
+TEST(CampaignRunner, ProgressCallbackSeesEveryCompletion)
+{
+    const std::vector<CampaignSpec> specs = quickstartMatrix();
+    std::atomic<std::size_t> calls{0};
+    std::size_t last_done = 0;
+    CampaignRunner::Options options;
+    options.threads = 4;
+    options.onResult = [&](const CampaignResult &, std::size_t done,
+                           std::size_t total) {
+        ++calls;
+        last_done = std::max(last_done, done);
+        EXPECT_EQ(total, specs.size());
+    };
+    CampaignRunner(options).run(specs);
+    EXPECT_EQ(calls.load(), specs.size());
+    EXPECT_EQ(last_done, specs.size());
+}
+
+TEST(CampaignRunner, BadSpecsAreReportedNotThrown)
+{
+    CampaignSpec good;
+    good.bug = "SQ+no-FIFO";
+    good.generator = "McVerSi-RAND";
+    good.testSize = 64;
+    good.iterations = 2;
+    good.memSize = 1024;
+    good.maxTestRuns = 2;
+
+    CampaignSpec bad = good;
+    bad.generator = "no-such-generator";
+
+    CampaignRunner runner;
+    const CampaignSummary summary = runner.run({good, bad});
+    ASSERT_EQ(summary.campaigns(), 2u);
+    EXPECT_TRUE(summary.results[0].ok());
+    EXPECT_FALSE(summary.results[1].ok());
+    EXPECT_NE(summary.results[1].error.find("no-such-generator"),
+              std::string::npos);
+    EXPECT_EQ(summary.errors(), 1u);
+
+    // The error lands in both machine-readable exports.
+    EXPECT_NE(summary.toJson().find("no-such-generator"),
+              std::string::npos);
+    EXPECT_NE(summary.toCsv().find("no-such-generator"),
+              std::string::npos);
+}
+
+TEST(CampaignRunner, BugCampaignFindsTheBugDeterministically)
+{
+    CampaignSpec spec;
+    spec.bug = "SQ+no-FIFO";
+    spec.generator = "McVerSi-RAND";
+    spec.testSize = 96;
+    spec.iterations = 3;
+    spec.memSize = 1024;
+    spec.seed = 2;
+    spec.maxTestRuns = 400;
+
+    const CampaignResult a = CampaignRunner::runOne(spec);
+    const CampaignResult b = CampaignRunner::runOne(spec);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(a.harness.bugFound);
+    EXPECT_EQ(a.harness.testRunsToBug, b.harness.testRunsToBug);
+    EXPECT_EQ(a.harness.simTicks, b.harness.simTicks);
+    EXPECT_EQ(a.harness.detail, b.harness.detail);
+    EXPECT_EQ(a.protocolCoverage, b.protocolCoverage);
+}

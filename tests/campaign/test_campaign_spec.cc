@@ -1,0 +1,221 @@
+/**
+ * @file
+ * CampaignSpec parsing contract: key=value round-trip, rejection of
+ * unknown keys and bad values, matrix expansion cardinality, and the
+ * CLI list helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "campaign/registry.hh"
+#include "campaign/spec.hh"
+
+using namespace mcversi;
+using namespace mcversi::campaign;
+
+TEST(CampaignSpec, DefaultsRoundTripThroughString)
+{
+    const CampaignSpec spec;
+    EXPECT_EQ(CampaignSpec::fromString(spec.toString()), spec);
+}
+
+TEST(CampaignSpec, EveryFieldRoundTripsThroughString)
+{
+    CampaignSpec spec;
+    spec.bug = "MESI,LQ+IS,Inv"; // commas must survive
+    spec.generator = "McVerSi-Std.XO";
+    spec.seed = 123456789;
+    spec.protocol = "tsocc";
+    spec.testSize = 192;
+    spec.iterations = 7;
+    spec.memSize = 1024;
+    spec.stride = 32;
+    spec.guestThreads = 4;
+    spec.population = 40;
+    spec.maxTestRuns = 777;
+    spec.maxWallSeconds = 2.5;
+    spec.litmusIterations = 9;
+    spec.recordNdt = true;
+
+    const CampaignSpec parsed =
+        CampaignSpec::fromString(spec.toString());
+    EXPECT_EQ(parsed, spec);
+    // And the canonical form is a fixed point.
+    EXPECT_EQ(parsed.toString(), spec.toString());
+}
+
+TEST(CampaignSpec, KeyValueSettersParse)
+{
+    CampaignSpec spec;
+    spec.set("mem-size=8k");
+    EXPECT_EQ(spec.memSize, 8u * 1024u);
+    spec.set("protocol", "TSO-CC");
+    EXPECT_EQ(spec.protocol, "tsocc");
+    spec.set("record-ndt=true");
+    EXPECT_TRUE(spec.recordNdt);
+    spec.set("record-ndt=0");
+    EXPECT_FALSE(spec.recordNdt);
+    spec.set("seed=0x10");
+    EXPECT_EQ(spec.seed, 16u);
+}
+
+TEST(CampaignSpec, UnknownKeysRejected)
+{
+    CampaignSpec spec;
+    EXPECT_THROW(spec.set("frobnicate=1"), std::invalid_argument);
+    EXPECT_THROW(spec.set("no-equals-sign"), std::invalid_argument);
+    EXPECT_THROW(spec.set("=value"), std::invalid_argument);
+    EXPECT_THROW(CampaignSpec::fromString("bug=none bogus=1"),
+                 std::invalid_argument);
+}
+
+TEST(CampaignSpec, BadValuesRejected)
+{
+    CampaignSpec spec;
+    EXPECT_THROW(spec.set("seed=abc"), std::invalid_argument);
+    EXPECT_THROW(spec.set("seed=-5"), std::invalid_argument);
+    EXPECT_THROW(spec.set("seed=12junk"), std::invalid_argument);
+    EXPECT_THROW(spec.set("test-size=0"), std::invalid_argument);
+    EXPECT_THROW(spec.set("iterations="), std::invalid_argument);
+    EXPECT_THROW(spec.set("max-seconds=nope"), std::invalid_argument);
+    EXPECT_THROW(spec.set("max-seconds=-1"), std::invalid_argument);
+    EXPECT_THROW(spec.set("record-ndt=maybe"), std::invalid_argument);
+    EXPECT_THROW(spec.set("protocol=alpha"), std::invalid_argument);
+}
+
+TEST(CampaignSpec, ValidateChecksBugGeneratorAndGeometry)
+{
+    CampaignSpec spec;
+    EXPECT_NO_THROW(spec.validate());
+
+    CampaignSpec bad_bug = spec;
+    bad_bug.bug = "bogus";
+    EXPECT_THROW(bad_bug.validate(), std::invalid_argument);
+
+    CampaignSpec bad_gen = spec;
+    bad_gen.generator = "no-such-generator";
+    EXPECT_THROW(bad_gen.validate(), std::invalid_argument);
+
+    // Case-insensitive names pass.
+    CampaignSpec spongy = spec;
+    spongy.bug = "sq+no-fifo";
+    spongy.generator = "mcversi-rand";
+    EXPECT_NO_THROW(spongy.validate());
+
+    // Protocol strings assigned directly (bypassing set()'s
+    // normalization) must be caught, not silently fall back.
+    CampaignSpec bad_protocol = spec;
+    bad_protocol.protocol = "TSO-CC";
+    EXPECT_THROW(bad_protocol.validate(), std::invalid_argument);
+
+    CampaignSpec bad_geometry = spec;
+    bad_geometry.memSize = 100; // not a multiple of stride 16
+    EXPECT_THROW(bad_geometry.validate(), std::invalid_argument);
+
+    CampaignSpec unbounded = spec;
+    unbounded.maxTestRuns = 0;
+    unbounded.maxWallSeconds = 0.0;
+    EXPECT_THROW(unbounded.validate(), std::invalid_argument);
+}
+
+TEST(CampaignSpec, ProtocolResolution)
+{
+    CampaignSpec spec;
+    spec.bug = "TSO-CC+compare";
+    EXPECT_EQ(spec.resolvedProtocol(), sim::Protocol::Tsocc);
+    EXPECT_STREQ(spec.protocolPrefix(), "TSOCC");
+
+    spec.bug = "MESI,LQ+IS,Inv";
+    EXPECT_EQ(spec.resolvedProtocol(), sim::Protocol::Mesi);
+
+    // Explicit protocol overrides the bug's hint.
+    spec.bug = "none";
+    spec.protocol = "tsocc";
+    EXPECT_EQ(spec.resolvedProtocol(), sim::Protocol::Tsocc);
+
+    const sim::SystemConfig config = spec.systemConfig();
+    EXPECT_EQ(config.protocol, sim::Protocol::Tsocc);
+    EXPECT_EQ(config.bug, sim::BugId::None);
+}
+
+TEST(CampaignMatrix, ExpandCardinalityIsTheProduct)
+{
+    CampaignMatrix matrix;
+    matrix.bugs = {"MESI,LQ+IS,Inv", "SQ+no-FIFO"};
+    matrix.generators = {"McVerSi-ALL", "McVerSi-Std.XO",
+                         "McVerSi-RAND"};
+    matrix.seeds = {1, 2, 3, 4};
+    const std::vector<CampaignSpec> specs = matrix.expand();
+    ASSERT_EQ(specs.size(), 2u * 3u * 4u);
+
+    // Bug-major, then generator, then seed.
+    EXPECT_EQ(specs[0].bug, "MESI,LQ+IS,Inv");
+    EXPECT_EQ(specs[0].generator, "McVerSi-ALL");
+    EXPECT_EQ(specs[0].seed, 1u);
+    EXPECT_EQ(specs[1].seed, 2u);
+    EXPECT_EQ(specs[4].generator, "McVerSi-Std.XO");
+    EXPECT_EQ(specs[12].bug, "SQ+no-FIFO");
+
+    // Non-axis fields come from the base spec.
+    CampaignMatrix scaled = matrix;
+    scaled.base.testSize = 99;
+    for (const CampaignSpec &spec : scaled.expand())
+        EXPECT_EQ(spec.testSize, 99u);
+}
+
+TEST(CampaignMatrix, EmptyAxesFallBackToTheBaseSpec)
+{
+    CampaignMatrix matrix;
+    matrix.base.bug = "SQ+no-FIFO";
+    const std::vector<CampaignSpec> specs = matrix.expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0], matrix.base);
+}
+
+TEST(CampaignListHelpers, SeedLists)
+{
+    EXPECT_EQ(parseSeedList("1..4"),
+              (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(parseSeedList("7"), (std::vector<std::uint64_t>{7}));
+    EXPECT_EQ(parseSeedList("5;9;17"),
+              (std::vector<std::uint64_t>{5, 9, 17}));
+    EXPECT_THROW(parseSeedList("4..1"), std::invalid_argument);
+    EXPECT_THROW(parseSeedList("x..9"), std::invalid_argument);
+    EXPECT_THROW(parseSeedList(""), std::invalid_argument);
+}
+
+TEST(CampaignListHelpers, BugLists)
+{
+    EXPECT_EQ(resolveBugList("all").size(), sim::allBugs().size());
+    // Protocol filters include the protocol-agnostic bugs.
+    EXPECT_EQ(resolveBugList("mesi").size(), 9u);
+    EXPECT_EQ(resolveBugList("tsocc").size(), 4u);
+    EXPECT_EQ(resolveBugList("MESI,LQ+IS,Inv;SQ+no-FIFO"),
+              (std::vector<std::string>{"MESI,LQ+IS,Inv",
+                                        "SQ+no-FIFO"}));
+}
+
+TEST(CampaignRegistry, BuiltinsAndAliases)
+{
+    SourceRegistry &registry = SourceRegistry::instance();
+    EXPECT_TRUE(registry.has("McVerSi-ALL"));
+    EXPECT_TRUE(registry.has("mcversi-all"));
+    EXPECT_EQ(registry.canonicalName("rand"), "McVerSi-RAND");
+    EXPECT_EQ(registry.canonicalName("stdxo"), "McVerSi-Std.XO");
+    EXPECT_FALSE(registry.has("no-such-generator"));
+    EXPECT_TRUE(registry.isLitmus("diy-litmus"));
+    EXPECT_FALSE(registry.isLitmus("McVerSi-ALL"));
+
+    // Source construction honours the spec and reports paper names.
+    CampaignSpec spec;
+    const auto source = registry.make("rand", spec);
+    ASSERT_NE(source, nullptr);
+    EXPECT_EQ(source->name(), "McVerSi-RAND");
+    EXPECT_THROW(registry.make("diy-litmus", spec),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.make("bogus", spec), std::invalid_argument);
+
+    EXPECT_EQ(resolveGeneratorList("all"), registry.names());
+}

@@ -28,6 +28,30 @@ TEST(Bugs, PaperNamesResolve)
     EXPECT_EQ(bugByName("bogus"), BugId::None);
 }
 
+TEST(Bugs, NameLookupIsCaseInsensitive)
+{
+    EXPECT_EQ(bugByName("mesi,lq+is,inv"), BugId::MesiLqIsInv);
+    EXPECT_EQ(bugByName("MESI,LQ+IS,INV"), BugId::MesiLqIsInv);
+    EXPECT_EQ(bugByName("tso-cc+COMPARE"), BugId::TsoccCompare);
+}
+
+TEST(Bugs, FindBugByNameDistinguishesNoneFromUnknown)
+{
+    const BugInfo *none = findBugByName("none");
+    ASSERT_NE(none, nullptr);
+    EXPECT_EQ(none->id, BugId::None);
+    const BugInfo *upper = findBugByName("NONE");
+    ASSERT_NE(upper, nullptr);
+    EXPECT_EQ(upper->id, BugId::None);
+
+    EXPECT_EQ(findBugByName("bogus"), nullptr);
+    EXPECT_EQ(findBugByName(""), nullptr);
+
+    const BugInfo *real = findBugByName("MESI+PUTX-Race");
+    ASSERT_NE(real, nullptr);
+    EXPECT_EQ(real->id, BugId::MesiPutxRace);
+}
+
 TEST(Bugs, RealBugsMarked)
 {
     // Bugs with "*" in the paper: IS, SM, PUTX-Race, LQ+no-TSO, and

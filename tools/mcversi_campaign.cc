@@ -1,0 +1,220 @@
+/**
+ * @file
+ * mcversi_campaign: CLI driver for the Campaign API.
+ *
+ * Describes a campaign matrix with key=value arguments, runs it on a
+ * worker pool, prints a per-campaign table plus totals, and optionally
+ * writes the machine-readable JSON/CSV summary.
+ *
+ * Matrix keys (lists are ';'-separated since bug names contain commas):
+ *   bugs=<name;...|all|mesi|tsocc>   generators=<name;...|all>
+ *   seeds=<lo..hi|s;s;...>
+ * Runner keys:
+ *   threads=N (0 = hardware)  json=FILE  csv=FILE  quiet=1
+ * Every other key=value is a CampaignSpec setting (see --help).
+ *
+ * Example (the CI datapoint):
+ *   mcversi_campaign "bugs=MESI,LQ+IS,Inv;SQ+no-FIFO" \
+ *       "generators=McVerSi-ALL;McVerSi-RAND" seeds=1..2 \
+ *       test-size=96 iterations=2 mem-size=1024 population=16 \
+ *       max-runs=60 threads=4 json=campaign.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mcversi.hh"
+
+using namespace mcversi;
+
+namespace {
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: mcversi_campaign [key=value ...]\n"
+        "\n"
+        "Matrix keys (lists use ';' separators):\n"
+        "  bugs=<name;...|all|mesi|tsocc>  bug axis (default: base bug)\n"
+        "  generators=<name;...|all>       generator axis\n"
+        "  seeds=<lo..hi|s1;s2;...>        seed axis\n"
+        "\n"
+        "Runner keys:\n"
+        "  threads=N     worker threads (0 = hardware concurrency)\n"
+        "  json=FILE     write the JSON summary\n"
+        "  csv=FILE      write the CSV summary\n"
+        "  quiet=1       suppress per-campaign progress lines\n"
+        "\n"
+        "Campaign spec keys (defaults in parentheses):\n"
+        "  bug=NAME (none)            generator=NAME (McVerSi-ALL)\n"
+        "  seed=N (1)                 protocol=auto|mesi|tsocc (auto)\n"
+        "  test-size=N (256)          iterations=N (4)\n"
+        "  mem-size=N[k] (8192)       stride=N (16)\n"
+        "  guest-threads=N (8)        population=N (50)\n"
+        "  max-runs=N (1000)          max-seconds=X (0 = unlimited)\n"
+        "  litmus-iterations=N (12)   record-ndt=0|1 (0)\n"
+        "\n"
+        "Flags: --help, --list-bugs, --list-generators\n";
+}
+
+void
+listBugs()
+{
+    std::printf("%-24s %-8s %s\n", "Name", "Protocol", "Real");
+    for (const sim::BugInfo &info : sim::allBugs()) {
+        const char *kind =
+            info.protocol == sim::ProtocolKind::Mesi    ? "MESI"
+            : info.protocol == sim::ProtocolKind::Tsocc ? "TSO-CC"
+                                                        : "any";
+        std::printf("%-24s %-8s %s\n", info.name, kind,
+                    info.real ? "*" : "");
+    }
+}
+
+void
+listGenerators()
+{
+    for (const std::string &name :
+         campaign::SourceRegistry::instance().names()) {
+        std::cout << name << "\n";
+    }
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    campaign::CampaignMatrix matrix;
+    int threads = 0;
+    bool quiet = false;
+    std::string json_path;
+    std::string csv_path;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                printUsage();
+                return 0;
+            }
+            if (arg == "--list-bugs") {
+                listBugs();
+                return 0;
+            }
+            if (arg == "--list-generators") {
+                listGenerators();
+                return 0;
+            }
+            const std::size_t eq = arg.find('=');
+            const std::string key = arg.substr(0, eq);
+            const std::string value =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+            if (key == "bugs") {
+                matrix.bugs = campaign::resolveBugList(value);
+            } else if (key == "generators") {
+                matrix.generators =
+                    campaign::resolveGeneratorList(value);
+            } else if (key == "seeds") {
+                matrix.seeds = campaign::parseSeedList(value);
+            } else if (key == "threads") {
+                threads = std::stoi(value);
+            } else if (key == "json") {
+                json_path = value;
+            } else if (key == "csv") {
+                csv_path = value;
+            } else if (key == "quiet") {
+                quiet = value != "0";
+            } else {
+                matrix.base.set(arg);
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n\n";
+        printUsage();
+        return 1;
+    }
+
+    const std::vector<campaign::CampaignSpec> specs = matrix.expand();
+    for (const campaign::CampaignSpec &spec : specs) {
+        try {
+            spec.validate();
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    campaign::CampaignRunner::Options options;
+    options.threads = threads;
+    if (!quiet) {
+        options.onResult = [](const campaign::CampaignResult &r,
+                              std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %s %s seed=%llu: %s\n",
+                         done, total, r.spec.bug.c_str(),
+                         r.spec.generator.c_str(),
+                         static_cast<unsigned long long>(r.spec.seed),
+                         !r.ok() ? "ERROR"
+                         : r.harness.bugFound
+                             ? "bug found"
+                             : "no bug");
+        };
+    }
+
+    const campaign::CampaignRunner runner(options);
+    const campaign::CampaignSummary summary = runner.run(specs);
+
+    std::printf("%-24s %-16s %-8s %-6s %-10s %-12s %s\n", "Bug",
+                "Generator", "Seed", "Found", "Runs(bug)", "Coverage",
+                "Status");
+    for (const campaign::CampaignResult &r : summary.results) {
+        char runs[24];
+        if (r.harness.bugFound) {
+            std::snprintf(runs, sizeof(runs), "%llu",
+                          static_cast<unsigned long long>(
+                              r.harness.testRunsToBug));
+        } else {
+            std::snprintf(runs, sizeof(runs), "-");
+        }
+        char coverage[16];
+        std::snprintf(coverage, sizeof(coverage), "%.1f%%",
+                      100.0 * r.protocolCoverage);
+        std::printf("%-24s %-16s %-8llu %-6s %-10s %-12s %s\n",
+                    r.spec.bug.c_str(), r.spec.generator.c_str(),
+                    static_cast<unsigned long long>(r.spec.seed),
+                    r.harness.bugFound ? "yes" : "no", runs, coverage,
+                    r.ok() ? "ok" : r.error.c_str());
+    }
+    std::printf("\n%zu campaigns, %zu bugs found, %zu errors, "
+                "%llu test-runs, %.1f s total sim wall-clock\n",
+                summary.campaigns(), summary.bugsFound(),
+                summary.errors(),
+                static_cast<unsigned long long>(summary.totalTestRuns()),
+                summary.totalWallSeconds());
+
+    bool files_ok = true;
+    if (!json_path.empty())
+        files_ok &= writeFile(json_path, summary.toJson());
+    if (!csv_path.empty())
+        files_ok &= writeFile(csv_path, summary.toCsv());
+    if (!files_ok)
+        return 1;
+    return summary.errors() == 0 ? 0 : 1;
+}
