@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Witness/checker hot-path throughput bench.
+ *
+ * The GA loop's premise is that checking every candidate execution is
+ * cheap (§IV): each iteration records a witness, resolves its conflict
+ * orders, and runs the axiomatic checker. This bench isolates exactly
+ * that loop -- replay a pre-generated record trace into one reused
+ * ExecWitness, finalize, check with one reused Checker -- and reports
+ * tests/sec and check-µs/event per scenario, plus an aggregate.
+ *
+ * Traces are SC-consistent by construction (reads observe the current
+ * value of a simulated interleaved memory), so every check exercises
+ * the full Ok path: both cycle graphs are built and fully searched,
+ * which is the common case inside a verification campaign. A fraction
+ * of store records is deferred past younger same-thread records to
+ * model stores serializing after later loads retired (the out-of-order
+ * recording case the witness must handle).
+ *
+ * Output: a JSON document (schema below) written to BENCH_checker.json
+ * (override with MCVERSI_BENCH_JSON). MCVERSI_BENCH_SCALE scales the
+ * per-scenario repeat budget.
+ *
+ *   {
+ *     "bench": "checker_throughput", "schema": 1,
+ *     "scenarios": [{"name", "threads", "opsPerThread", "addrs",
+ *                    "events", "repeats", "seconds",
+ *                    "testsPerSec", "checkUsPerEvent"}, ...],
+ *     "aggregate": {"testsPerSec", "checkUsPerEvent"}
+ *   }
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "memconsistency/checker.hh"
+
+using namespace mcversi;
+
+namespace {
+
+/** One record-trace entry, replayed into the witness each repeat. */
+struct RecordOp
+{
+    Pid pid = 0;
+    std::int32_t poi = 0;
+    Addr addr = 0;
+    WriteVal value = kInitVal;
+    WriteVal overwritten = kInitVal;
+    bool isWrite = false;
+    bool rmw = false;
+};
+
+struct Scenario
+{
+    const char *name;
+    int threads;
+    int opsPerThread;
+    int addrs;
+    std::uint64_t seed;
+};
+
+/**
+ * Generate an SC-consistent record trace: interleave threads over a
+ * simulated memory where every store writes a globally unique value and
+ * reports the value it overwrote, exactly like the simulator's
+ * recording hooks.
+ */
+std::vector<RecordOp>
+generateTrace(const Scenario &sc, Rng &rng)
+{
+    std::vector<RecordOp> trace;
+    trace.reserve(static_cast<std::size_t>(sc.threads) *
+                  static_cast<std::size_t>(sc.opsPerThread) * 2);
+
+    std::vector<WriteVal> memory(static_cast<std::size_t>(sc.addrs),
+                                 kInitVal);
+    std::vector<std::int32_t> nextPoi(
+        static_cast<std::size_t>(sc.threads), 0);
+    std::vector<int> remaining(static_cast<std::size_t>(sc.threads),
+                               sc.opsPerThread);
+    WriteVal nextVal = 1;
+    int live = sc.threads;
+
+    while (live > 0) {
+        const Pid pid =
+            static_cast<Pid>(rng.below(static_cast<std::uint64_t>(
+                sc.threads)));
+        auto &left = remaining[static_cast<std::size_t>(pid)];
+        if (left == 0)
+            continue;
+        --left;
+        if (left == 0)
+            --live;
+
+        const Addr addr = 64 * rng.below(static_cast<std::uint64_t>(
+                                   sc.addrs));
+        const std::int32_t poi =
+            nextPoi[static_cast<std::size_t>(pid)]++;
+        WriteVal &cell = memory[static_cast<std::size_t>(addr / 64)];
+
+        const double p = rng.uniform();
+        if (p < 0.50) { // Load.
+            trace.push_back({pid, poi, addr, cell, kInitVal, false,
+                             false});
+        } else if (p < 0.85) { // Store.
+            const WriteVal v = nextVal++;
+            trace.push_back({pid, poi, addr, v, cell, true, false});
+            cell = v;
+        } else { // Atomic RMW: read and write at one point in time.
+            const WriteVal v = nextVal++;
+            trace.push_back({pid, poi, addr, cell, kInitVal, false,
+                             true});
+            trace.push_back({pid, poi, addr, v, cell, true, true});
+            cell = v;
+        }
+    }
+
+    // Defer a fraction of stores a few records past their execution
+    // point: stores are recorded when they serialize, which can be
+    // after younger loads of the same thread retired. Decide first,
+    // then move, so the record shifted into a vacated slot still gets
+    // its own deferral roll.
+    std::vector<std::pair<std::size_t, std::size_t>> moves;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].isWrite && rng.boolWithProb(0.3))
+            moves.emplace_back(i, 1 + rng.below(8));
+    }
+    for (const auto &[i, dist] : moves) {
+        const std::size_t to = std::min(i + dist, trace.size() - 1);
+        const RecordOp op = trace[i];
+        trace.erase(trace.begin() + static_cast<std::ptrdiff_t>(i));
+        trace.insert(trace.begin() + static_cast<std::ptrdiff_t>(to),
+                     op);
+    }
+    return trace;
+}
+
+/** Replay one trace into @p ew (reused across repeats). */
+void
+replay(const std::vector<RecordOp> &trace, mc::ExecWitness &ew)
+{
+    ew.reset();
+    for (const RecordOp &op : trace) {
+        if (op.isWrite)
+            ew.recordWrite(op.pid, op.poi, op.addr, op.value,
+                           op.overwritten, op.rmw);
+        else
+            ew.recordRead(op.pid, op.poi, op.addr, op.value, op.rmw);
+    }
+}
+
+struct ScenarioResult
+{
+    const Scenario *scenario = nullptr;
+    std::size_t events = 0;
+    int repeats = 0;
+    double seconds = 0.0;
+
+    double
+    testsPerSec() const
+    {
+        return seconds > 0.0 ? repeats / seconds : 0.0;
+    }
+
+    double
+    usPerEvent() const
+    {
+        const double total =
+            static_cast<double>(events) * repeats;
+        return total > 0.0 ? seconds * 1e6 / total : 0.0;
+    }
+};
+
+ScenarioResult
+runScenario(const Scenario &sc, const mc::Checker &checker, int repeats)
+{
+    Rng rng(sc.seed);
+    const std::vector<RecordOp> trace = generateTrace(sc, rng);
+
+    mc::ExecWitness ew;
+    ScenarioResult res;
+    res.scenario = &sc;
+
+    // Warmup: populate witness/checker buffer capacities and verify
+    // the trace is clean (any violation would mean a broken generator,
+    // not a measurement).
+    replay(trace, ew);
+    const mc::CheckResult warm = checker.check(ew);
+    if (!warm.ok()) {
+        std::fprintf(stderr,
+                     "bench trace '%s' unexpectedly violates: %s\n",
+                     sc.name, warm.message.c_str());
+        std::exit(1);
+    }
+    res.events = ew.numEvents();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < repeats; ++i) {
+        replay(trace, ew);
+        const mc::CheckResult check = checker.check(ew);
+        if (!check.ok())
+            std::exit(1); // Unreachable; keeps the check observable.
+    }
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    res.repeats = repeats;
+    return res;
+}
+
+std::string
+toJson(const std::vector<ScenarioResult> &results)
+{
+    char buf[256];
+    std::string json = "{\n  \"bench\": \"checker_throughput\",\n"
+                       "  \"schema\": 1,\n  \"scenarios\": [\n";
+    int total_repeats = 0;
+    double total_seconds = 0.0;
+    double total_events = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"name\": \"%s\", \"threads\": %d, "
+            "\"opsPerThread\": %d, \"addrs\": %d, \"events\": %zu, "
+            "\"repeats\": %d, \"seconds\": %.6f, "
+            "\"testsPerSec\": %.1f, \"checkUsPerEvent\": %.4f}%s\n",
+            r.scenario->name, r.scenario->threads,
+            r.scenario->opsPerThread, r.scenario->addrs, r.events,
+            r.repeats, r.seconds, r.testsPerSec(), r.usPerEvent(),
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+        total_repeats += r.repeats;
+        total_seconds += r.seconds;
+        total_events += static_cast<double>(r.events) * r.repeats;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"aggregate\": {\"testsPerSec\": %.1f, "
+                  "\"checkUsPerEvent\": %.4f}\n}\n",
+                  total_seconds > 0.0 ? total_repeats / total_seconds
+                                      : 0.0,
+                  total_events > 0.0
+                      ? total_seconds * 1e6 / total_events
+                      : 0.0);
+    json += buf;
+    return json;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = mcvbench::benchScale();
+
+    // Paper-shaped workloads: Table 3 runs 1k-op tests; small and large
+    // bracket it so both constant and per-event costs are visible.
+    const Scenario scenarios[] = {
+        {"small-256", 2, 64, 8, 101},
+        {"paper-1k", 4, 250, 16, 202},
+        {"large-8k", 8, 1024, 32, 303},
+    };
+    const int base_repeats[] = {4000, 1200, 120};
+
+    const mc::Checker checker(mc::makeTso());
+    std::vector<ScenarioResult> results;
+    for (std::size_t i = 0; i < std::size(scenarios); ++i) {
+        const int repeats = std::max(
+            1, static_cast<int>(base_repeats[i] * scale));
+        results.push_back(
+            runScenario(scenarios[i], checker, repeats));
+        const ScenarioResult &r = results.back();
+        std::printf("%-10s %zu events  %6d repeats  %8.3f s  "
+                    "%10.1f tests/s  %8.4f us/event\n",
+                    r.scenario->name, r.events, r.repeats, r.seconds,
+                    r.testsPerSec(), r.usPerEvent());
+    }
+
+    const char *path = std::getenv("MCVERSI_BENCH_JSON");
+    const std::string out = path ? path : "BENCH_checker.json";
+    // Refuse to clobber the curated baseline-vs-current comparison
+    // checked in at the repository root (same default filename).
+    if (std::ifstream existing(out, std::ios::binary); existing) {
+        std::string head(256, '\0');
+        existing.read(head.data(),
+                      static_cast<std::streamsize>(head.size()));
+        if (head.find("checker_throughput_comparison") !=
+            std::string::npos) {
+            std::fprintf(stderr,
+                         "%s holds the curated comparison artifact; "
+                         "set MCVERSI_BENCH_JSON to another path\n",
+                         out.c_str());
+            return 1;
+        }
+    }
+    std::ofstream file(out, std::ios::binary);
+    file << toJson(results);
+    if (!file) {
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -59,8 +59,8 @@ main()
             gp::crossoverMutate(t1, nd1, t2, nd2, rtg, ga, rng);
         length_ok = length_ok && (child.size() == t1.size());
 
-        std::unordered_set<Addr> fit_union = nd1.fitaddrs;
-        fit_union.insert(nd2.fitaddrs.begin(), nd2.fitaddrs.end());
+        AddrSet fit_union = nd1.fitaddrs;
+        fit_union.insert(nd2.fitaddrs);
 
         for (std::size_t i = 0; i < child.size(); ++i) {
             ++total_slots;

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small set of addresses stored as a sorted flat vector.
+ *
+ * Used wherever the GA carries address sets (fitaddrs, PBFA unions):
+ * unlike a hash set, iteration order -- which feeds directed-mutation
+ * address picks -- is deterministic and identical across platforms and
+ * standard libraries, and membership tests are allocation- and
+ * hash-free.
+ */
+
+#ifndef MCVERSI_COMMON_ADDRSET_HH
+#define MCVERSI_COMMON_ADDRSET_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcversi {
+
+/** Sorted flat set of addresses. */
+class AddrSet
+{
+  public:
+    AddrSet() = default;
+
+    AddrSet(std::initializer_list<Addr> addrs)
+    {
+        for (const Addr a : addrs)
+            insert(a);
+    }
+
+    /** Insert @p a; returns true if it was new. */
+    bool
+    insert(Addr a)
+    {
+        const auto pos = std::lower_bound(addrs_.begin(), addrs_.end(), a);
+        if (pos != addrs_.end() && *pos == a)
+            return false;
+        addrs_.insert(pos, a);
+        return true;
+    }
+
+    /** Union @p other into this set (linear merge of sorted vectors). */
+    void
+    insert(const AddrSet &other)
+    {
+        std::vector<Addr> merged;
+        merged.reserve(addrs_.size() + other.addrs_.size());
+        std::set_union(addrs_.begin(), addrs_.end(),
+                       other.addrs_.begin(), other.addrs_.end(),
+                       std::back_inserter(merged));
+        addrs_ = std::move(merged);
+    }
+
+    bool
+    contains(Addr a) const
+    {
+        return std::binary_search(addrs_.begin(), addrs_.end(), a);
+    }
+
+    /** unordered_set-style membership count (0 or 1). */
+    std::size_t count(Addr a) const { return contains(a) ? 1 : 0; }
+
+    std::size_t size() const { return addrs_.size(); }
+    bool empty() const { return addrs_.empty(); }
+    void clear() { addrs_.clear(); }
+
+    /** @p i-th smallest address (for uniform deterministic picks). */
+    Addr operator[](std::size_t i) const { return addrs_[i]; }
+
+    auto begin() const { return addrs_.begin(); }
+    auto end() const { return addrs_.end(); }
+
+    friend bool operator==(const AddrSet &, const AddrSet &) = default;
+
+  private:
+    std::vector<Addr> addrs_;
+};
+
+} // namespace mcversi
+
+#endif // MCVERSI_COMMON_ADDRSET_HH

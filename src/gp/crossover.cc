@@ -3,7 +3,7 @@
 namespace mcversi::gp {
 
 double
-fitaddrFraction(const Test &test, const std::unordered_set<Addr> &fitaddrs)
+fitaddrFraction(const Test &test, const AddrSet &fitaddrs)
 {
     std::size_t mem_ops = 0;
     std::size_t fit = 0;
@@ -34,8 +34,8 @@ crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
     const double p_select2 = a2 + ga.pUsel - a2 * ga.pUsel;
 
     // Union of both parents' fit addresses, for PBFA-directed mutation.
-    std::unordered_set<Addr> fit_union = nd1.fitaddrs;
-    fit_union.insert(nd2.fitaddrs.begin(), nd2.fitaddrs.end());
+    AddrSet fit_union = nd1.fitaddrs;
+    fit_union.insert(nd2.fitaddrs);
 
     Test child = t1;
     std::size_t mutations = 0;

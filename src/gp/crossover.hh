@@ -26,7 +26,7 @@ namespace mcversi::gp {
 
 /** Fraction of memory operations guaranteed to be selected (Alg. 1). */
 double fitaddrFraction(const Test &test,
-                       const std::unordered_set<Addr> &fitaddrs);
+                       const AddrSet &fitaddrs);
 
 /**
  * Selective crossover + mutation (Algorithm 1).

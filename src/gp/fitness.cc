@@ -4,7 +4,7 @@ namespace mcversi::gp {
 
 double
 AdaptiveCoverageFitness::evaluate(
-    const std::vector<std::uint64_t> &pre_counts,
+    std::span<const std::uint64_t> pre_counts,
     const std::vector<std::uint32_t> &covered)
 {
     std::size_t considered = 0;

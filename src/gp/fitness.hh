@@ -16,6 +16,7 @@
 #define MCVERSI_GP_FITNESS_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mcversi::gp {
@@ -44,12 +45,13 @@ class AdaptiveCoverageFitness
     /**
      * Evaluate one test-run.
      *
-     * @param pre_counts global per-transition counts at run start,
-     *                   indexed by transition id
+     * @param pre_counts view of the global per-transition counts at
+     *                   run start, indexed by transition id; read in
+     *                   place (the counters are never copied)
      * @param covered    ids of transitions this run covered
      * @return fitness in [0, 1]
      */
-    double evaluate(const std::vector<std::uint64_t> &pre_counts,
+    double evaluate(std::span<const std::uint64_t> pre_counts,
                     const std::vector<std::uint32_t> &covered);
 
     std::uint64_t cutoff() const { return cutoff_; }

@@ -15,16 +15,25 @@
  * the initial write): the test-run was observed fully deterministic.
  * fitaddrs is the set of addresses of events whose NDe exceeds the
  * rounded NDT (§3.3).
+ *
+ * Consumers of conflict-order edges are always dynamic test events, so
+ * their static ids are non-negative and dense (nodeIndex * 2 + sub);
+ * the accumulator indexes them directly into flat per-consumer
+ * producer lists. Producers may be negative (per-address init writes).
+ * beginRun() keeps all capacity, so the accumulation across a
+ * campaign's test-runs is allocation-free in the steady state.
  */
 
 #ifndef MCVERSI_GP_NDMETRICS_HH
 #define MCVERSI_GP_NDMETRICS_HH
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/addrset.hh"
 #include "common/types.hh"
 #include "gp/test.hh"
 
@@ -41,7 +50,8 @@ initStaticEventId(Addr logical_addr)
 struct NdInfo
 {
     double ndt = 0.0;
-    std::unordered_set<Addr> fitaddrs;
+    /** Sorted flat set: deterministic iteration for directed mutation. */
+    AddrSet fitaddrs;
 };
 
 /** Accumulates rfcoRUN across the iterations of one test-run. */
@@ -49,7 +59,8 @@ class NdAccumulator
 {
   public:
     /**
-     * Start a new test-run.
+     * Start a new test-run. Clears all accumulated state but keeps
+     * every buffer's capacity.
      *
      * @param num_events number of (static) MCM events in the test (n in
      *                   Def. 2)
@@ -57,28 +68,38 @@ class NdAccumulator
     void
     beginRun(std::size_t num_events)
     {
-        preds_.clear();
-        eventAddr_.clear();
+        for (const StaticEventId sid : touched_) {
+            preds_[static_cast<std::size_t>(sid)].clear();
+            eventAddr_[static_cast<std::size_t>(sid)] = kNoAddr;
+        }
+        touched_.clear();
         numPairs_ = 0;
         numEvents_ = num_events;
     }
 
     /**
      * Record one conflict-order pair (producer, consumer) observed in
-     * some iteration. Idempotent across iterations.
+     * some iteration. Idempotent across iterations. The consumer must
+     * be a dynamic event (non-negative static id).
      */
     void
     addEdge(StaticEventId producer, StaticEventId consumer)
     {
-        if (preds_[consumer].insert(producer).second)
-            ++numPairs_;
+        auto &producers = predsOf(consumer);
+        const auto pos = std::lower_bound(producers.begin(),
+                                          producers.end(), producer);
+        if (pos != producers.end() && *pos == producer)
+            return;
+        producers.insert(pos, producer);
+        ++numPairs_;
     }
 
     /** Record the (logical) address of a static event. */
     void
     noteEventAddr(StaticEventId sid, Addr logical_addr)
     {
-        eventAddr_[sid] = logical_addr;
+        predsOf(sid); // Registers sid as touched and sizes the arrays.
+        eventAddr_[static_cast<std::size_t>(sid)] = logical_addr;
     }
 
     /** |rfcoRUN|: distinct conflict-order pairs observed. */
@@ -98,23 +119,26 @@ class NdAccumulator
     std::size_t
     nde(StaticEventId sid) const
     {
-        auto it = preds_.find(sid);
-        return it == preds_.end() ? 0 : it->second.size();
+        if (sid < 0 ||
+            static_cast<std::size_t>(sid) >= preds_.size()) {
+            return 0;
+        }
+        return preds_[static_cast<std::size_t>(sid)].size();
     }
 
     /** Addresses of events whose NDe exceeds the rounded NDT. */
-    std::unordered_set<Addr>
+    AddrSet
     fitaddrs() const
     {
         const auto threshold =
             static_cast<std::size_t>(std::llround(ndt()));
-        std::unordered_set<Addr> out;
-        for (const auto &[sid, producers] : preds_) {
-            if (producers.size() <= threshold)
+        AddrSet out;
+        for (const StaticEventId sid : touched_) {
+            const auto idx = static_cast<std::size_t>(sid);
+            if (preds_[idx].size() <= threshold)
                 continue;
-            auto it = eventAddr_.find(sid);
-            if (it != eventAddr_.end())
-                out.insert(it->second);
+            if (eventAddr_[idx] != kNoAddr)
+                out.insert(eventAddr_[idx]);
         }
         return out;
     }
@@ -127,9 +151,28 @@ class NdAccumulator
     }
 
   private:
-    std::unordered_map<StaticEventId, std::unordered_set<StaticEventId>>
-        preds_;
-    std::unordered_map<StaticEventId, Addr> eventAddr_;
+    /** Producer list of @p consumer, growing the dense arrays. */
+    std::vector<StaticEventId> &
+    predsOf(StaticEventId consumer)
+    {
+        assert(consumer >= 0 &&
+               "conflict-order consumers are dynamic test events");
+        const auto idx = static_cast<std::size_t>(consumer);
+        if (idx >= preds_.size()) {
+            preds_.resize(idx + 1);
+            eventAddr_.resize(idx + 1, kNoAddr);
+        }
+        if (preds_[idx].empty() && eventAddr_[idx] == kNoAddr)
+            touched_.push_back(consumer);
+        return preds_[idx];
+    }
+
+    /** Sorted producer set per consumer sid (dense index). */
+    std::vector<std::vector<StaticEventId>> preds_;
+    /** Logical address per consumer sid; kNoAddr if never noted. */
+    std::vector<Addr> eventAddr_;
+    /** Consumer sids with any recorded state, for sparse iteration. */
+    std::vector<StaticEventId> touched_;
     std::size_t numPairs_ = 0;
     std::size_t numEvents_ = 0;
 };

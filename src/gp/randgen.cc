@@ -44,17 +44,13 @@ RandomTestGen::randomNode(Rng &rng) const
 }
 
 Node
-RandomTestGen::randomNodeConstrained(
-    Rng &rng, const std::unordered_set<Addr> &addrs) const
+RandomTestGen::randomNodeConstrained(Rng &rng, const AddrSet &addrs) const
 {
     Node node = randomNode(rng);
     if (node.op.isMem() && !addrs.empty()) {
-        // Pick uniformly among the constraint set.
-        const std::size_t k =
-            static_cast<std::size_t>(rng.below(addrs.size()));
-        auto it = addrs.begin();
-        std::advance(it, static_cast<std::ptrdiff_t>(k));
-        node.op.addr = *it;
+        // Pick uniformly among the (sorted) constraint set.
+        node.op.addr = addrs[static_cast<std::size_t>(
+            rng.below(addrs.size()))];
     }
     return node;
 }

@@ -11,9 +11,9 @@
 #ifndef MCVERSI_GP_RANDGEN_HH
 #define MCVERSI_GP_RANDGEN_HH
 
-#include <unordered_set>
 #include <vector>
 
+#include "common/addrset.hh"
 #include "common/rng.hh"
 #include "gp/params.hh"
 #include "gp/test.hh"
@@ -42,8 +42,7 @@ class RandomTestGen
      * is a memory operation (Algorithm 1's PBFA case). Falls back to an
      * unconstrained address if @p addrs is empty.
      */
-    Node randomNodeConstrained(
-        Rng &rng, const std::unordered_set<Addr> &addrs) const;
+    Node randomNodeConstrained(Rng &rng, const AddrSet &addrs) const;
 
     /** A full random test of params().testSize genes. */
     Test randomTest(Rng &rng) const;

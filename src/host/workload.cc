@@ -118,16 +118,21 @@ Workload::accumulateNd(
             nd_.noteEventAddr(csid, layout.toLogical(consumer.addr));
         }
     };
-    witness.rf().forEach(
-        [&](mc::EventId from, const mc::Relation::SuccSet &succs) {
-            for (mc::EventId to : succs)
-                add(from, to);
-        });
-    witness.co().forEach(
-        [&](mc::EventId from, const mc::Relation::SuccSet &succs) {
-            for (mc::EventId to : succs)
-                add(from, to);
-        });
+    // rf and co edges, streamed from the witness's dense per-event
+    // arrays: every read is the target of one rf edge from its source,
+    // every write with a co-predecessor the target of one co edge.
+    const auto num_events = static_cast<mc::EventId>(witness.numEvents());
+    for (mc::EventId e = 0; e < num_events; ++e) {
+        if (witness.event(e).isRead()) {
+            const mc::EventId src = witness.rfSource(e);
+            if (src != mc::kNoEvent)
+                add(src, e);
+        } else {
+            const mc::EventId pred = witness.coPredecessor(e);
+            if (pred != mc::kNoEvent)
+                add(pred, e);
+        }
+    }
 }
 
 RunResult

@@ -15,6 +15,7 @@
 #define MCVERSI_HOST_WORKLOAD_HH
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,14 @@ struct RunResult
 
     gp::NdInfo nd{};
     std::vector<std::uint32_t> coveredTransitions;
-    std::vector<std::uint64_t> preRunCounts;
+    /**
+     * View of the global per-transition counts snapshotted at run
+     * start, owned by the system's TransitionCoverage. Valid until the
+     * next test-run begins on the same system; consumers (the adaptive
+     * fitness) read it in place instead of copying the whole counter
+     * vector per run.
+     */
+    std::span<const std::uint64_t> preRunCounts;
 
     int iterationsRun = 0;
     /** Iterations abandoned by the livelock watchdog (event cap). */

@@ -1,7 +1,6 @@
 #include "memconsistency/checker.hh"
 
 #include <sstream>
-#include <unordered_map>
 
 namespace mcversi::mc {
 
@@ -50,6 +49,22 @@ Checker::check(ExecWitness &ew) const
         res.message = ew.anomalyInfo();
         return res;
     }
+
+    // Derive the immediate fr edges exactly once; both the uniproc and
+    // the ghb phase stream them from this buffer.
+    frScratch_.clear();
+    const auto num_events = static_cast<EventId>(ew.numEvents());
+    for (EventId r = 0; r < num_events; ++r) {
+        if (!ew.event(r).isRead())
+            continue;
+        const EventId src = ew.rfSource(r);
+        if (src == kNoEvent)
+            continue;
+        const EventId succ = ew.coSuccessor(src);
+        if (succ != kNoEvent)
+            frScratch_.emplace_back(r, succ);
+    }
+
     if (auto res = checkUniproc(ew); !res.ok())
         return res;
     if (auto res = checkAtomicity(ew); !res.ok())
@@ -57,37 +72,62 @@ Checker::check(ExecWitness &ew) const
     return checkGhb(ew);
 }
 
+void
+Checker::addCoEdges(const ExecWitness &ew, CycleGraph &g)
+{
+    const auto num_events = static_cast<EventId>(ew.numEvents());
+    for (EventId w = 0; w < num_events; ++w) {
+        const EventId prev = ew.coPredecessor(w);
+        if (prev != kNoEvent)
+            g.addEdge(prev, w);
+    }
+}
+
+void
+Checker::addFrEdges(CycleGraph &g) const
+{
+    for (const auto &[r, succ] : frScratch_)
+        g.addEdge(r, succ);
+}
+
 CheckResult
 Checker::checkUniproc(const ExecWitness &ew) const
 {
-    CycleGraph g(ew.numEvents());
+    CycleGraph &g = uniprocScratch_;
+    g.reset(ew.numEvents());
 
     // po-loc: consecutive same-address events per thread (the per
     // (thread, address) sequence is totally ordered, so the chain
-    // generates the full po-loc).
+    // generates the full po-loc). Per-address state lives in a flat
+    // array indexed by the witness's dense AddrIds.
+    if (lastAtAddr_.size() < ew.numAddrs()) {
+        lastAtAddr_.resize(ew.numAddrs());
+        addrStamp_.resize(ew.numAddrs(), 0);
+    }
     for (Pid pid : ew.threads()) {
-        std::unordered_map<Addr, EventId> last;
+        ++stamp_;
         for (EventId id : ew.threadEvents(pid)) {
-            const Addr a = ew.event(id).addr;
-            if (auto it = last.find(a); it != last.end())
-                g.addEdge(it->second, id);
-            last[a] = id;
+            const AddrId aid = ew.addrId(id);
+            if (aid < 0)
+                continue; // Address-less event: no po-loc ordering.
+            const auto a = static_cast<std::size_t>(aid);
+            if (addrStamp_[a] == stamp_)
+                g.addEdge(lastAtAddr_[a], id);
+            else
+                addrStamp_[a] = stamp_;
+            lastAtAddr_[a] = id;
         }
     }
+
     // Communication edges: rf (all), immediate co, immediate fr.
-    ew.rf().forEach([&](EventId from, const Relation::SuccSet &succs) {
-        for (EventId to : succs)
-            g.addEdge(from, to);
-    });
-    ew.co().forEach([&](EventId from, const Relation::SuccSet &succs) {
-        for (EventId to : succs)
-            g.addEdge(from, to);
-    });
-    const Relation fr = ew.computeFrImmediate();
-    fr.forEach([&](EventId from, const Relation::SuccSet &succs) {
-        for (EventId to : succs)
-            g.addEdge(from, to);
-    });
+    const auto num_events = static_cast<EventId>(ew.numEvents());
+    for (EventId r = 0; r < num_events; ++r) {
+        const EventId src = ew.rfSource(r);
+        if (src != kNoEvent && ew.event(r).isRead())
+            g.addEdge(src, r);
+    }
+    addCoEdges(ew, g);
+    addFrEdges(g);
 
     if (auto cyc = g.findCycle()) {
         return cycleResult(CheckResult::Kind::UniprocViolation, ew, *cyc,
@@ -121,30 +161,26 @@ Checker::checkAtomicity(const ExecWitness &ew) const
 CheckResult
 Checker::checkGhb(const ExecWitness &ew) const
 {
-    CycleGraph g(ew.numEvents());
+    CycleGraph &g = ghbScratch_;
+    g.reset(ew.numEvents());
 
     for (Pid pid : ew.threads())
         arch_->addProgramOrderEdges(ew, ew.threadEvents(pid), g);
 
     const bool include_rfi = arch_->ghbIncludesRfi();
-    ew.rf().forEach([&](EventId from, const Relation::SuccSet &succs) {
-        const Event &w = ew.event(from);
-        for (EventId to : succs) {
-            if (include_rfi || w.isInit() ||
-                w.iiid.pid != ew.event(to).iiid.pid) {
-                g.addEdge(from, to);
-            }
+    const auto num_events = static_cast<EventId>(ew.numEvents());
+    for (EventId r = 0; r < num_events; ++r) {
+        const EventId src = ew.rfSource(r);
+        if (src == kNoEvent || !ew.event(r).isRead())
+            continue;
+        const Event &w = ew.event(src);
+        if (include_rfi || w.isInit() ||
+            w.iiid.pid != ew.event(r).iiid.pid) {
+            g.addEdge(src, r);
         }
-    });
-    ew.co().forEach([&](EventId from, const Relation::SuccSet &succs) {
-        for (EventId to : succs)
-            g.addEdge(from, to);
-    });
-    const Relation fr = ew.computeFrImmediate();
-    fr.forEach([&](EventId from, const Relation::SuccSet &succs) {
-        for (EventId to : succs)
-            g.addEdge(from, to);
-    });
+    }
+    addCoEdges(ew, g);
+    addFrEdges(g);
 
     if (auto cyc = g.findCycle()) {
         return cycleResult(CheckResult::Kind::GhbViolation, ew, *cyc,

@@ -12,6 +12,13 @@
  *   4. global happens-before: acyclic(ppo | fences | rf[e] | co | fr),
  *
  * each a single DFS over generator edges.
+ *
+ * The checker runs once per iteration of every test-run, so it never
+ * materializes intermediate Relations: communication edges (rf, co, and
+ * fr -- the latter derived exactly once per check) stream from the
+ * witness's dense arrays straight into two scratch CycleGraphs owned by
+ * the checker and reused across checks. A Checker is therefore NOT
+ * thread-safe; concurrent campaigns own one checker each.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_CHECKER_HH
@@ -72,12 +79,32 @@ class Checker
     CheckResult checkAtomicity(const ExecWitness &ew) const;
     CheckResult checkGhb(const ExecWitness &ew) const;
 
+    /** Stream co edges (immediate co-predecessor chains) into @p g. */
+    static void addCoEdges(const ExecWitness &ew, CycleGraph &g);
+    /** Stream the shared per-check fr edges into @p g. */
+    void addFrEdges(CycleGraph &g) const;
+
     static CheckResult cycleResult(CheckResult::Kind kind,
                                    const ExecWitness &ew,
                                    const std::vector<CycleGraph::Node> &cyc,
                                    const std::string &constraint);
 
     std::unique_ptr<Architecture> arch_;
+
+    // Per-check scratch, reused so steady-state checks are
+    // allocation-free (the reason a Checker is not thread-safe).
+    mutable CycleGraph uniprocScratch_{0};
+    mutable CycleGraph ghbScratch_{0};
+    /** Immediate fr edges, derived once per check() from rf and co. */
+    mutable std::vector<std::pair<EventId, EventId>> frScratch_;
+    /**
+     * Last same-address event per AddrId during the po-loc pass. An
+     * entry is valid only if its stamp matches the current thread's
+     * stamp, so per-thread resets are O(1) instead of O(numAddrs).
+     */
+    mutable std::vector<EventId> lastAtAddr_;
+    mutable std::vector<std::uint64_t> addrStamp_;
+    mutable std::uint64_t stamp_ = 0;
 };
 
 } // namespace mcversi::mc

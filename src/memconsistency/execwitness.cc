@@ -1,5 +1,6 @@
 #include "memconsistency/execwitness.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -7,43 +8,111 @@ namespace mcversi::mc {
 
 const std::vector<EventId> ExecWitness::emptyThread_{};
 
+namespace {
+
+/** Total per-thread event order: program order, id as tie-break. */
+struct PoKey
+{
+    std::int32_t poi;
+    std::uint8_t sub;
+    EventId id;
+
+    friend auto operator<=>(const PoKey &, const PoKey &) = default;
+};
+
+} // namespace
+
+AddrId
+ExecWitness::internAddr(Addr addr)
+{
+    const auto pos =
+        std::lower_bound(addrTable_.begin(), addrTable_.end(), addr);
+    const auto idx =
+        static_cast<std::size_t>(pos - addrTable_.begin());
+    if (pos != addrTable_.end() && *pos == addr)
+        return addrTableIds_[idx];
+    const auto id = static_cast<AddrId>(addrTable_.size());
+    addrTable_.insert(pos, addr);
+    addrTableIds_.insert(addrTableIds_.begin() +
+                             static_cast<std::ptrdiff_t>(idx),
+                         id);
+    return id;
+}
+
 EventId
-ExecWitness::addEvent(Event ev)
+ExecWitness::addEvent(const Event &ev)
 {
     const EventId id = static_cast<EventId>(events_.size());
     events_.push_back(ev);
-    if (!ev.isInit()) {
-        // Keep per-thread events sorted by program order. Events may be
-        // recorded out of order (stores are recorded when they serialize,
-        // which can be after younger loads retired), so insert in place;
-        // the common case is an append.
-        auto &vec = perThread_[ev.iiid.pid];
-        auto key = [this](EventId e) {
-            const Event &x = events_[static_cast<std::size_t>(e)];
-            return std::make_pair(x.iiid.poi, x.sub);
-        };
-        const auto my_key = std::make_pair(ev.iiid.poi, ev.sub);
-        auto pos = vec.end();
-        while (pos != vec.begin() && key(*(pos - 1)) > my_key)
-            --pos;
-        vec.insert(pos, id);
+    addrIdOf_.push_back(ev.addr == kNoAddr ? AddrId{-1}
+                                           : internAddr(ev.addr));
+    // The dense conflict-order arrays grow with the events; finalize()
+    // fills them in.
+    rfSrc_.push_back(kNoEvent);
+    coSucc_.push_back(kNoEvent);
+    coPred_.push_back(kNoEvent);
+    if (ev.isInit())
+        return id;
+
+    if (static_cast<std::size_t>(ev.iiid.pid) >= perThread_.size())
+        perThread_.resize(static_cast<std::size_t>(ev.iiid.pid) + 1);
+    auto &vec = perThread_[static_cast<std::size_t>(ev.iiid.pid)];
+    if (vec.empty()) {
+        threadIds_.insert(std::lower_bound(threadIds_.begin(),
+                                           threadIds_.end(),
+                                           ev.iiid.pid),
+                          ev.iiid.pid);
+    } else {
+        // Events may be recorded out of program order (stores are
+        // recorded when they serialize, which can be after younger
+        // loads retired). Append now, sort once at finalize().
+        const Event &prev =
+            events_[static_cast<std::size_t>(vec.back())];
+        if (PoKey{prev.iiid.poi, prev.sub, vec.back()} >
+            PoKey{ev.iiid.poi, ev.sub, id}) {
+            poSorted_ = false;
+        }
     }
+    vec.push_back(id);
     return id;
+}
+
+void
+ExecWitness::ensurePoSorted() const
+{
+    if (poSorted_)
+        return;
+    for (Pid pid : threadIds_) {
+        auto &vec = perThread_[static_cast<std::size_t>(pid)];
+        std::sort(vec.begin(), vec.end(),
+                  [this](EventId a, EventId b) {
+                      const Event &ea =
+                          events_[static_cast<std::size_t>(a)];
+                      const Event &eb =
+                          events_[static_cast<std::size_t>(b)];
+                      return PoKey{ea.iiid.poi, ea.sub, a} <
+                             PoKey{eb.iiid.poi, eb.sub, b};
+                  });
+    }
+    poSorted_ = true;
 }
 
 EventId
 ExecWitness::getOrCreateInit(Addr addr)
 {
-    auto it = initEvents_.find(addr);
-    if (it != initEvents_.end())
-        return it->second;
+    const auto pos = std::lower_bound(
+        initEvents_.begin(), initEvents_.end(), addr,
+        [](const auto &entry, Addr a) { return entry.first < a; });
+    if (pos != initEvents_.end() && pos->first == addr)
+        return pos->second;
+    const auto idx = pos - initEvents_.begin();
     Event ev;
     ev.iiid = Iiid{kInitPid, -1};
     ev.type = EventType::Write;
     ev.addr = addr;
     ev.value = kInitVal;
-    const EventId id = addEvent(ev);
-    initEvents_.emplace(addr, id);
+    const EventId id = addEvent(ev); // Does not touch initEvents_.
+    initEvents_.insert(initEvents_.begin() + idx, {addr, id});
     return id;
 }
 
@@ -71,7 +140,7 @@ ExecWitness::recordRead(Pid pid, std::int32_t poi, Addr addr,
     ev.sub = 0;
     const EventId id = addEvent(ev);
     if (rmw)
-        pendingRmwReads_[{pid, poi}] = id;
+        pendingRmwReads_.emplace_back(Iiid{pid, poi}, id);
     return id;
 }
 
@@ -88,11 +157,15 @@ ExecWitness::recordWrite(Pid pid, std::int32_t poi, Addr addr,
     ev.rmw = rmw;
     ev.sub = 1;
     const EventId id = addEvent(ev);
-    valueToWriter_[value] = id;
+    valueToWriter_.emplace_back(value, id);
+    writersSorted_ = false;
     overwrittenBy_.emplace_back(id, overwritten);
 
     if (rmw) {
-        auto it = pendingRmwReads_.find({pid, poi});
+        const Iiid iiid{pid, poi};
+        const auto it = std::find_if(
+            pendingRmwReads_.begin(), pendingRmwReads_.end(),
+            [&iiid](const auto &entry) { return entry.first == iiid; });
         if (it != pendingRmwReads_.end()) {
             rmwPairs_.emplace_back(it->second, id);
             pendingRmwReads_.erase(it);
@@ -107,12 +180,15 @@ ExecWitness::resolveWriter(Addr addr, WriteVal value, bool &unknown)
     unknown = false;
     if (value == kInitVal)
         return getOrCreateInit(addr);
-    auto it = valueToWriter_.find(value);
-    if (it == valueToWriter_.end()) {
+    assert(writersSorted_);
+    const auto pos = std::lower_bound(
+        valueToWriter_.begin(), valueToWriter_.end(), value,
+        [](const auto &entry, WriteVal v) { return entry.first < v; });
+    if (pos == valueToWriter_.end() || pos->first != value) {
         unknown = true;
         return kNoEvent;
     }
-    return it->second;
+    return pos->second;
 }
 
 void
@@ -122,103 +198,131 @@ ExecWitness::finalize()
         return;
     finalized_ = true;
 
+    ensurePoSorted();
+    // Write values are globally unique, so one sort turns the recorded
+    // (value, writer) log into a binary-searchable index.
+    std::sort(valueToWriter_.begin(), valueToWriter_.end());
+    writersSorted_ = true;
+
     // Resolve read-from. All writes are recorded by now (the system is
     // quiescent when the host verifies), so an unknown value is a real
     // anomaly (data fabrication / corruption), not a race with
-    // recording.
+    // recording. Init events created during resolution append to
+    // events_ and the dense arrays; iterate the pre-finalize snapshot.
+    // NOTE: resolveWriter() can append init events (reallocating
+    // events_), so no reference into events_ may be held across it --
+    // copy the fields it needs first and re-index afterwards.
     const std::size_t num_events = events_.size();
     for (std::size_t i = 0; i < num_events; ++i) {
-        const Event &ev = events_[i];
-        if (!ev.isRead())
+        if (!events_[i].isRead())
             continue;
+        const Addr addr = events_[i].addr;
+        const WriteVal value = events_[i].value;
         bool unknown = false;
-        const EventId writer = resolveWriter(ev.addr, ev.value, unknown);
+        const EventId writer = resolveWriter(addr, value, unknown);
         if (unknown) {
             std::ostringstream os;
-            os << "read of unknown value: " << ev.toString();
+            os << "read of unknown value: " << events_[i].toString();
             flagAnomaly(WitnessAnomaly::UnknownValue, os.str());
             continue;
         }
-        rf_.insert(writer, static_cast<EventId>(i));
-        rfSrc_[static_cast<EventId>(i)] = writer;
+        rfSrc_[i] = writer;
     }
 
     // Resolve immediate coherence edges from overwritten values.
     for (const auto &[w, overwritten] : overwrittenBy_) {
-        const Event &ev = events_[static_cast<std::size_t>(w)];
+        const Addr addr = events_[static_cast<std::size_t>(w)].addr;
         bool unknown = false;
-        const EventId prev = resolveWriter(ev.addr, overwritten, unknown);
+        const EventId prev = resolveWriter(addr, overwritten, unknown);
+        const auto event_str = [this](EventId e) {
+            return events_[static_cast<std::size_t>(e)].toString();
+        };
         if (unknown) {
             std::ostringstream os;
             os << "write overwrote unknown value " << overwritten << ": "
-               << ev.toString();
+               << event_str(w);
             flagAnomaly(WitnessAnomaly::UnknownValue, os.str());
             continue;
         }
-        if (auto it = coSucc_.find(prev); it != coSucc_.end()) {
+        const EventId claimed = coSucc_[static_cast<std::size_t>(prev)];
+        if (claimed != kNoEvent) {
             std::ostringstream os;
-            os << "co fork: " << ev.toString() << " and "
-               << events_[static_cast<std::size_t>(it->second)].toString()
-               << " both overwrite "
-               << events_[static_cast<std::size_t>(prev)].toString();
+            os << "co fork: " << event_str(w) << " and "
+               << event_str(claimed) << " both overwrite "
+               << event_str(prev);
             flagAnomaly(WitnessAnomaly::CoFork, os.str());
         } else {
-            coSucc_[prev] = w;
+            coSucc_[static_cast<std::size_t>(prev)] = w;
         }
-        co_.insert(prev, w);
-        coPred_[w] = prev;
+        coPred_[static_cast<std::size_t>(w)] = prev;
+    }
+}
+
+void
+ExecWitness::buildConflictRelations() const
+{
+    // rf()/co() are derived views over the dense arrays, materialized
+    // on first access only: the hot path (checker, NDT accumulation,
+    // litmus conditions) streams the arrays directly and never pays
+    // for the Relations.
+    if (relationsBuilt_)
+        return;
+    relationsBuilt_ = true;
+    const auto num_events = static_cast<EventId>(events_.size());
+    for (EventId e = 0; e < num_events; ++e) {
+        if (events_[static_cast<std::size_t>(e)].isRead()) {
+            const EventId src = rfSrc_[static_cast<std::size_t>(e)];
+            if (src != kNoEvent)
+                rf_.insert(src, e);
+        } else {
+            const EventId prev = coPred_[static_cast<std::size_t>(e)];
+            if (prev != kNoEvent)
+                co_.insert(prev, e);
+        }
     }
 }
 
 const std::vector<EventId> &
 ExecWitness::threadEvents(Pid pid) const
 {
-    auto it = perThread_.find(pid);
-    return it == perThread_.end() ? emptyThread_ : it->second;
-}
-
-std::vector<Pid>
-ExecWitness::threads() const
-{
-    std::vector<Pid> out;
-    out.reserve(perThread_.size());
-    for (const auto &[pid, evs] : perThread_) {
-        (void)evs;
-        out.push_back(pid);
-    }
-    return out;
+    if (pid < 0 || static_cast<std::size_t>(pid) >= perThread_.size())
+        return emptyThread_;
+    ensurePoSorted();
+    return perThread_[static_cast<std::size_t>(pid)];
 }
 
 EventId
 ExecWitness::coSuccessor(EventId w) const
 {
     assert(finalized_);
-    auto it = coSucc_.find(w);
-    return it == coSucc_.end() ? kNoEvent : it->second;
+    return coSucc_[static_cast<std::size_t>(w)];
 }
 
 EventId
 ExecWitness::coPredecessor(EventId w) const
 {
     assert(finalized_);
-    auto it = coPred_.find(w);
-    return it == coPred_.end() ? kNoEvent : it->second;
+    return coPred_[static_cast<std::size_t>(w)];
 }
 
 EventId
 ExecWitness::rfSource(EventId r) const
 {
     assert(finalized_);
-    auto it = rfSrc_.find(r);
-    return it == rfSrc_.end() ? kNoEvent : it->second;
+    return rfSrc_[static_cast<std::size_t>(r)];
 }
 
 Relation
 ExecWitness::computeFrImmediate() const
 {
+    ++frMaterializations_;
     Relation fr;
-    for (const auto &[r, w] : rfSrc_) {
+    const auto num_events = static_cast<EventId>(events_.size());
+    for (EventId r = 0; r < num_events; ++r) {
         if (!events_[static_cast<std::size_t>(r)].isRead())
+            continue;
+        const EventId w = rfSrc_[static_cast<std::size_t>(r)];
+        if (w == kNoEvent)
             continue;
         const EventId succ = coSuccessor(w);
         if (succ != kNoEvent)
@@ -230,9 +334,14 @@ ExecWitness::computeFrImmediate() const
 Relation
 ExecWitness::computeFr() const
 {
+    ++frMaterializations_;
     Relation fr;
-    for (const auto &[r, w] : rfSrc_) {
+    const auto num_events = static_cast<EventId>(events_.size());
+    for (EventId r = 0; r < num_events; ++r) {
         if (!events_[static_cast<std::size_t>(r)].isRead())
+            continue;
+        const EventId w = rfSrc_[static_cast<std::size_t>(r)];
+        if (w == kNoEvent)
             continue;
         for (EventId succ = coSuccessor(w); succ != kNoEvent;
              succ = coSuccessor(succ)) {
@@ -245,19 +354,32 @@ ExecWitness::computeFr() const
 EventId
 ExecWitness::initEvent(Addr addr) const
 {
-    auto it = initEvents_.find(addr);
-    return it == initEvents_.end() ? kNoEvent : it->second;
+    const auto pos = std::lower_bound(
+        initEvents_.begin(), initEvents_.end(), addr,
+        [](const auto &entry, Addr a) { return entry.first < a; });
+    return pos != initEvents_.end() && pos->first == addr ? pos->second
+                                                          : kNoEvent;
 }
 
 void
 ExecWitness::reset()
 {
+    // Every container is cleared, never shrunk: the steady state of a
+    // test-run (same test, many iterations) reuses all capacity.
     events_.clear();
-    perThread_.clear();
+    for (auto &vec : perThread_)
+        vec.clear();
+    threadIds_.clear();
+    poSorted_ = true;
     valueToWriter_.clear();
+    writersSorted_ = false;
     initEvents_.clear();
+    addrTable_.clear();
+    addrTableIds_.clear();
+    addrIdOf_.clear();
     rf_.clear();
     co_.clear();
+    relationsBuilt_ = false;
     coSucc_.clear();
     coPred_.clear();
     rfSrc_.clear();
@@ -266,6 +388,7 @@ ExecWitness::reset()
     rmwPairs_.clear();
     anomaly_ = WitnessAnomaly::None;
     anomalyInfo_.clear();
+    frMaterializations_ = 0;
     finalized_ = false;
 }
 

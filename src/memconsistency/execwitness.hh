@@ -18,14 +18,18 @@
  * bugs directly: a read of a value that was never written, and two stores
  * claiming to overwrite the same value (a fork in what must be a total
  * per-address coherence chain, e.g. after a lost writeback).
+ *
+ * The witness sits on the verification hot path (it is rebuilt for every
+ * iteration of every test-run), so all per-event lookup structures are
+ * dense EventId-indexed vectors, recording appends in O(1) with sorting
+ * deferred to finalize(), and reset() preserves every buffer's capacity
+ * so steady-state iterations are allocation-free.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
 #define MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
 
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "memconsistency/event.hh"
@@ -41,6 +45,9 @@ enum class WitnessAnomaly : std::uint8_t {
     /** Two writes overwrote the same value: co is not a total order. */
     CoFork,
 };
+
+/** Dense identifier of a distinct address within one ExecWitness. */
+using AddrId = std::int32_t;
 
 /** One candidate execution: events plus observed po / rf / co. */
 class ExecWitness
@@ -78,21 +85,40 @@ class ExecWitness
 
     bool finalized() const { return finalized_; }
 
-    const Event &event(EventId id) const { return events_[id]; }
+    const Event &event(EventId id) const
+    {
+        return events_[static_cast<std::size_t>(id)];
+    }
     const std::vector<Event> &events() const { return events_; }
     std::size_t numEvents() const { return events_.size(); }
 
-    /** Per-thread events in program order (recording order). */
+    /** Per-thread events in program order. */
     const std::vector<EventId> &threadEvents(Pid pid) const;
 
     /** All thread ids with at least one event, ascending. */
-    std::vector<Pid> threads() const;
+    const std::vector<Pid> &threads() const { return threadIds_; }
 
-    /** rf: producing write -> read. */
-    const Relation &rf() const { return rf_; }
+    /**
+     * rf: producing write -> read. A derived view over rfSource(),
+     * materialized lazily on first access after finalize() (the hot
+     * path streams the dense arrays and never builds it).
+     */
+    const Relation &
+    rf() const
+    {
+        if (finalized_)
+            buildConflictRelations();
+        return rf_;
+    }
 
     /** Immediate co edges: write -> next write to same address. */
-    const Relation &co() const { return co_; }
+    const Relation &
+    co() const
+    {
+        if (finalized_)
+            buildConflictRelations();
+        return co_;
+    }
 
     /** Immediate co successor of write @p w, or kNoEvent. */
     EventId coSuccessor(EventId w) const;
@@ -107,14 +133,36 @@ class ExecWitness
      * fr (from-read) as immediate edges: read -> first co-successor of
      * its rf source. Together with the co chain this generates full fr
      * transitively.
+     *
+     * Materializes a fresh Relation; the checker streams the same edges
+     * from the dense arrays instead (see frMaterializations()).
      */
     Relation computeFrImmediate() const;
 
     /** Full fr: read -> every co-successor of its rf source. */
     Relation computeFr() const;
 
+    /**
+     * Number of computeFrImmediate()/computeFr() calls since the last
+     * reset(). Lets tests assert the checker never materializes fr.
+     */
+    int frMaterializations() const { return frMaterializations_; }
+
     /** Init event for @p addr, or kNoEvent if never referenced. */
     EventId initEvent(Addr addr) const;
+
+    /**
+     * Dense id of @p e's address within this witness (ids are assigned
+     * in first-touch order; see numAddrs()). Lets the checker keep
+     * per-address state in flat arrays instead of hash maps.
+     */
+    AddrId addrId(EventId e) const
+    {
+        return addrIdOf_[static_cast<std::size_t>(e)];
+    }
+
+    /** Number of distinct addresses referenced by recorded events. */
+    std::size_t numAddrs() const { return addrTable_.size(); }
 
     WitnessAnomaly anomaly() const { return anomaly_; }
     const std::string &anomalyInfo() const { return anomalyInfo_; }
@@ -125,33 +173,62 @@ class ExecWitness
         return rmwPairs_;
     }
 
-    /** Clear all recorded state (events and conflict orders). */
+    /**
+     * Clear all recorded state (events and conflict orders), keeping
+     * every buffer's capacity for the next iteration.
+     */
     void reset();
 
   private:
-    EventId addEvent(Event ev);
+    EventId addEvent(const Event &ev);
     /** Resolve @p value at @p addr to its producing write event. */
     EventId resolveWriter(Addr addr, WriteVal value, bool &unknown);
     EventId getOrCreateInit(Addr addr);
+    AddrId internAddr(Addr addr);
     void flagAnomaly(WitnessAnomaly kind, std::string info);
+    /** Sort per-thread event lists by (poi, sub, id) if needed. */
+    void ensurePoSorted() const;
+    /** Materialize rf_/co_ from the dense arrays (idempotent). */
+    void buildConflictRelations() const;
 
     std::vector<Event> events_;
-    std::map<Pid, std::vector<EventId>> perThread_;
-    std::unordered_map<WriteVal, EventId> valueToWriter_;
-    std::unordered_map<Addr, EventId> initEvents_;
-    Relation rf_;
-    Relation co_;
-    std::unordered_map<EventId, EventId> coSucc_;
-    std::unordered_map<EventId, EventId> coPred_;
-    std::unordered_map<EventId, EventId> rfSrc_;
+    /** Per-thread event lists, indexed directly by Pid. */
+    mutable std::vector<std::vector<EventId>> perThread_;
+    /** Pids with at least one event, kept sorted as events arrive. */
+    std::vector<Pid> threadIds_;
+    /** False once some thread recorded out of program order. */
+    mutable bool poSorted_ = true;
+    /** (value, writer), sorted by value at finalize() for lookups. */
+    std::vector<std::pair<WriteVal, EventId>> valueToWriter_;
+    bool writersSorted_ = false;
+    /** Sorted (address, init event) pairs. */
+    std::vector<std::pair<Addr, EventId>> initEvents_;
+    /** Distinct addresses in dense-id order; kept sorted for lookup. */
+    std::vector<Addr> addrTable_;
+    /** Dense AddrId assigned to addrTable_ entries (parallel array). */
+    std::vector<AddrId> addrTableIds_;
+    /** Per-event dense address id. */
+    std::vector<AddrId> addrIdOf_;
+    /** Lazily-built Relation views of rf/co (see rf()). */
+    mutable Relation rf_;
+    mutable Relation co_;
+    mutable bool relationsBuilt_ = false;
+    /**
+     * Dense per-event conflict-order neighbours, kNoEvent if absent.
+     * Grown alongside events_; filled by finalize().
+     */
+    std::vector<EventId> coSucc_;
+    std::vector<EventId> coPred_;
+    std::vector<EventId> rfSrc_;
     /** (write event, value it overwrote), resolved at finalize(). */
     std::vector<std::pair<EventId, WriteVal>> overwrittenBy_;
     bool finalized_ = false;
-    /** Pending read halves of RMW pairs, keyed by (pid, poi). */
-    std::map<std::pair<Pid, std::int32_t>, EventId> pendingRmwReads_;
+    /** Pending read halves of RMW pairs (few outstanding at a time). */
+    std::vector<std::pair<Iiid, EventId>> pendingRmwReads_;
     std::vector<std::pair<EventId, EventId>> rmwPairs_;
     WitnessAnomaly anomaly_ = WitnessAnomaly::None;
     std::string anomalyInfo_;
+    mutable int frMaterializations_ = 0;
 
     static const std::vector<EventId> emptyThread_;
 };

@@ -7,34 +7,29 @@ namespace mcversi::mc {
 std::optional<std::vector<CycleGraph::Node>>
 CycleGraph::findCycle() const
 {
-    enum class Color : std::uint8_t { White, Grey, Black };
-    std::vector<Color> color(adj_.size(), Color::White);
+    colorScratch_.assign(numNodes_, Color::White);
+    auto &stack = stackScratch_;
 
     // Iterative DFS with an explicit stack of (node, next edge index);
     // the stack spine is the current path, so a back edge to a Grey node
     // lets us cut the cycle straight out of it.
-    struct Frame
-    {
-        Node node;
-        std::size_t edge = 0;
-    };
-
-    for (std::size_t root = 0; root < adj_.size(); ++root) {
-        if (color[root] != Color::White)
+    for (std::size_t root = 0; root < numNodes_; ++root) {
+        if (colorScratch_[root] != Color::White)
             continue;
-        std::vector<Frame> stack;
+        stack.clear();
         stack.push_back({static_cast<Node>(root)});
-        color[root] = Color::Grey;
+        colorScratch_[root] = Color::Grey;
         while (!stack.empty()) {
             Frame &fr = stack.back();
             const auto &succs = adj_[static_cast<std::size_t>(fr.node)];
             if (fr.edge >= succs.size()) {
-                color[static_cast<std::size_t>(fr.node)] = Color::Black;
+                colorScratch_[static_cast<std::size_t>(fr.node)] =
+                    Color::Black;
                 stack.pop_back();
                 continue;
             }
             const Node nxt = succs[fr.edge++];
-            switch (color[static_cast<std::size_t>(nxt)]) {
+            switch (colorScratch_[static_cast<std::size_t>(nxt)]) {
               case Color::Grey: {
                 std::vector<Node> cycle;
                 auto it = std::find_if(stack.begin(), stack.end(),
@@ -46,7 +41,8 @@ CycleGraph::findCycle() const
                 return cycle;
               }
               case Color::White:
-                color[static_cast<std::size_t>(nxt)] = Color::Grey;
+                colorScratch_[static_cast<std::size_t>(nxt)] =
+                    Color::Grey;
                 stack.push_back({nxt});
                 break;
               case Color::Black:

@@ -10,6 +10,10 @@
  *
  * Nodes 0..numEvents-1 are events; additional nodes (virtual fence
  * points) may be appended by architectures.
+ *
+ * The graph is built once per check, so reset() keeps all adjacency and
+ * DFS scratch capacity: a graph owned by a checker and reset per check
+ * is allocation-free in the steady state.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_GRAPH_HH
@@ -17,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "memconsistency/event.hh"
@@ -29,14 +34,31 @@ class CycleGraph
   public:
     using Node = std::int32_t;
 
-    explicit CycleGraph(std::size_t num_nodes) : adj_(num_nodes) {}
+    explicit CycleGraph(std::size_t num_nodes) { reset(num_nodes); }
+
+    /**
+     * Drop all nodes and edges and start over with @p num_nodes nodes.
+     * Previously allocated adjacency lists keep their capacity.
+     */
+    void
+    reset(std::size_t num_nodes)
+    {
+        for (std::size_t i = 0; i < numNodes_ && i < adj_.size(); ++i)
+            adj_[i].clear();
+        if (num_nodes > adj_.size())
+            adj_.resize(num_nodes);
+        numNodes_ = num_nodes;
+    }
 
     /** Append an extra (non-event) node; returns its id. */
     Node
     addNode()
     {
-        adj_.emplace_back();
-        return static_cast<Node>(adj_.size() - 1);
+        if (numNodes_ == adj_.size())
+            adj_.emplace_back();
+        else
+            adj_[numNodes_].clear();
+        return static_cast<Node>(numNodes_++);
     }
 
     void
@@ -45,7 +67,14 @@ class CycleGraph
         adj_[static_cast<std::size_t>(from)].push_back(to);
     }
 
-    std::size_t numNodes() const { return adj_.size(); }
+    std::size_t numNodes() const { return numNodes_; }
+
+    /** Successors of @p n, in edge insertion order. */
+    std::span<const Node>
+    successors(Node n) const
+    {
+        return adj_[static_cast<std::size_t>(n)];
+    }
 
     /**
      * Find any cycle.
@@ -59,7 +88,20 @@ class CycleGraph
     bool acyclic() const { return !findCycle().has_value(); }
 
   private:
+    /** Adjacency storage; only the first numNodes_ entries are live. */
     std::vector<std::vector<Node>> adj_;
+    std::size_t numNodes_ = 0;
+
+    // DFS scratch, reused across findCycle() calls so the steady state
+    // allocates nothing.
+    struct Frame
+    {
+        Node node;
+        std::size_t edge = 0;
+    };
+    enum class Color : std::uint8_t { White, Grey, Black };
+    mutable std::vector<Color> colorScratch_;
+    mutable std::vector<Frame> stackScratch_;
 };
 
 } // namespace mcversi::mc

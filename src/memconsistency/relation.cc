@@ -1,47 +1,67 @@
 #include "memconsistency/relation.hh"
 
 #include <algorithm>
-#include <functional>
+#include <cassert>
 
 namespace mcversi::mc {
-
-const Relation::SuccSet Relation::emptySet_{};
 
 bool
 Relation::insert(EventId from, EventId to)
 {
-    auto [it, fresh] = adj_[from].insert(to);
-    (void)it;
-    if (fresh)
+    assert(from >= 0 && to >= 0 && "Relation ids must be non-negative");
+    if (static_cast<std::size_t>(from) >= adj_.size())
+        adj_.resize(static_cast<std::size_t>(from) + 1);
+    auto &succs = adj_[static_cast<std::size_t>(from)];
+    maxSource_ = std::max(maxSource_, from);
+    maxTarget_ = std::max(maxTarget_, to);
+    // Hot path: the witness inserts successors in ascending id order.
+    if (succs.empty() || succs.back() < to) {
+        succs.push_back(to);
         ++numPairs_;
-    return fresh;
+        return true;
+    }
+    const auto pos = std::lower_bound(succs.begin(), succs.end(), to);
+    if (pos != succs.end() && *pos == to)
+        return false;
+    succs.insert(pos, to);
+    ++numPairs_;
+    return true;
 }
 
 bool
 Relation::contains(EventId from, EventId to) const
 {
-    auto it = adj_.find(from);
-    return it != adj_.end() && it->second.count(to) > 0;
+    if (from < 0 || static_cast<std::size_t>(from) >= adj_.size())
+        return false;
+    const auto &succs = adj_[static_cast<std::size_t>(from)];
+    return std::binary_search(succs.begin(), succs.end(), to);
 }
 
 void
 Relation::clear()
 {
-    adj_.clear();
+    // Keep both the outer vector and every successor list's capacity:
+    // the next witness of the same test reuses them without touching
+    // the allocator.
+    for (auto &succs : adj_)
+        succs.clear();
     numPairs_ = 0;
+    maxSource_ = -1;
+    maxTarget_ = -1;
 }
 
-const Relation::SuccSet &
+Relation::SuccRange
 Relation::successors(EventId from) const
 {
-    auto it = adj_.find(from);
-    return it == adj_.end() ? emptySet_ : it->second;
+    if (from < 0 || static_cast<std::size_t>(from) >= adj_.size())
+        return {};
+    return SuccRange(adj_[static_cast<std::size_t>(from)]);
 }
 
 void
 Relation::unionWith(const Relation &other)
 {
-    other.forEach([this](EventId from, const SuccSet &succs) {
+    other.forEach([this](EventId from, SuccRange succs) {
         for (EventId to : succs)
             insert(from, to);
     });
@@ -52,21 +72,28 @@ Relation::pairs() const
 {
     std::vector<std::pair<EventId, EventId>> out;
     out.reserve(numPairs_);
-    for (const auto &[from, succs] : adj_)
+    forEach([&out](EventId from, SuccRange succs) {
         for (EventId to : succs)
             out.emplace_back(from, to);
+    });
     return out;
 }
 
-std::unordered_map<EventId, std::size_t>
+std::size_t
+Relation::numNodes() const
+{
+    return static_cast<std::size_t>(
+        std::max(maxSource_, maxTarget_) + 1);
+}
+
+std::vector<std::size_t>
 Relation::inDegrees() const
 {
-    std::unordered_map<EventId, std::size_t> in;
-    for (const auto &[from, succs] : adj_) {
-        (void)from;
+    std::vector<std::size_t> in(numNodes(), 0);
+    forEach([&in](EventId, SuccRange succs) {
         for (EventId to : succs)
-            ++in[to];
-    }
+            ++in[static_cast<std::size_t>(to)];
+    });
     return in;
 }
 
@@ -74,19 +101,22 @@ Relation
 Relation::transitiveClosure() const
 {
     Relation out;
-    // For each source node, DFS to find all reachable nodes.
-    for (const auto &[src, succs] : adj_) {
-        (void)succs;
-        std::vector<EventId> stack{src};
-        std::unordered_set<EventId> seen;
+    std::vector<bool> seen(numNodes());
+    std::vector<EventId> stack;
+    for (std::size_t src = 0; src < adj_.size(); ++src) {
+        if (adj_[src].empty())
+            continue;
+        std::fill(seen.begin(), seen.end(), false);
+        stack.assign(1, static_cast<EventId>(src));
         while (!stack.empty()) {
-            EventId cur = stack.back();
+            const EventId cur = stack.back();
             stack.pop_back();
             for (EventId nxt : successors(cur)) {
-                if (seen.insert(nxt).second) {
-                    out.insert(src, nxt);
-                    stack.push_back(nxt);
-                }
+                if (seen[static_cast<std::size_t>(nxt)])
+                    continue;
+                seen[static_cast<std::size_t>(nxt)] = true;
+                out.insert(static_cast<EventId>(src), nxt);
+                stack.push_back(nxt);
             }
         }
     }
@@ -96,41 +126,42 @@ Relation::transitiveClosure() const
 bool
 Relation::acyclic() const
 {
-    // Iterative three-color DFS.
+    // Iterative three-color DFS over the dense id space. The frame
+    // keeps an index into the (stable) successor list, so no successor
+    // set is ever copied.
     enum class Color : std::uint8_t { White, Grey, Black };
-    std::unordered_map<EventId, Color> color;
-    auto colorOf = [&](EventId e) {
-        auto it = color.find(e);
-        return it == color.end() ? Color::White : it->second;
+    std::vector<Color> color(numNodes(), Color::White);
+
+    struct Frame
+    {
+        EventId node;
+        std::size_t edge = 0;
     };
 
-    for (const auto &[root, succs] : adj_) {
-        (void)succs;
-        if (colorOf(root) != Color::White)
+    std::vector<Frame> stack;
+    for (std::size_t root = 0; root < adj_.size(); ++root) {
+        if (adj_[root].empty() ||
+            color[root] != Color::White) {
             continue;
-        // Stack of (node, next-successor iterator position).
-        std::vector<std::pair<EventId, std::vector<EventId>>> stack;
-        auto push = [&](EventId e) {
-            color[e] = Color::Grey;
-            const auto &s = successors(e);
-            stack.emplace_back(e,
-                               std::vector<EventId>(s.begin(), s.end()));
-        };
-        push(root);
+        }
+        stack.clear();
+        stack.push_back({static_cast<EventId>(root)});
+        color[root] = Color::Grey;
         while (!stack.empty()) {
-            auto &[node, rest] = stack.back();
-            if (rest.empty()) {
-                color[node] = Color::Black;
+            Frame &fr = stack.back();
+            const SuccRange succs = successors(fr.node);
+            if (fr.edge >= succs.size()) {
+                color[static_cast<std::size_t>(fr.node)] = Color::Black;
                 stack.pop_back();
                 continue;
             }
-            EventId nxt = rest.back();
-            rest.pop_back();
-            switch (colorOf(nxt)) {
+            const EventId nxt = succs[fr.edge++];
+            switch (color[static_cast<std::size_t>(nxt)]) {
               case Color::Grey:
                 return false;
               case Color::White:
-                push(nxt);
+                color[static_cast<std::size_t>(nxt)] = Color::Grey;
+                stack.push_back({nxt});
                 break;
               case Color::Black:
                 break;
@@ -143,9 +174,13 @@ Relation::acyclic() const
 bool
 Relation::irreflexive() const
 {
-    for (const auto &[from, succs] : adj_)
-        if (succs.count(from))
+    for (std::size_t from = 0; from < adj_.size(); ++from) {
+        const auto &succs = adj_[from];
+        if (std::binary_search(succs.begin(), succs.end(),
+                               static_cast<EventId>(from))) {
             return false;
+        }
+    }
     return true;
 }
 

@@ -3,14 +3,20 @@
  * A binary relation over events, with the small algebra the checker and
  * the GP non-determinism metrics need (union, composition-lite queries,
  * transitive closure, acyclicity via Graph).
+ *
+ * EventIds are dense and small (0..numEvents-1 within one witness), so
+ * adjacency is stored flat: a vector of per-source successor vectors
+ * indexed directly by the source id, each kept sorted and unique.
+ * clear() preserves all capacity, so a relation reused across the
+ * iterations of a test-run reaches an allocation-free steady state --
+ * the property the witness/checker hot path depends on.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_RELATION_HH
 #define MCVERSI_MEMCONSISTENCY_RELATION_HH
 
 #include <cstddef>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -19,15 +25,22 @@
 namespace mcversi::mc {
 
 /**
- * Binary relation over EventIds, stored as an adjacency map of successor
- * sets. Insertion is idempotent; size() counts distinct ordered pairs.
+ * Binary relation over non-negative EventIds, stored as dense flat
+ * adjacency. Insertion is idempotent; size() counts distinct ordered
+ * pairs.
  */
 class Relation
 {
   public:
-    using SuccSet = std::unordered_set<EventId>;
+    /** Sorted successors of one source event. */
+    using SuccRange = std::span<const EventId>;
 
-    /** Insert the ordered pair (from, to). Returns true if it was new. */
+    /**
+     * Insert the ordered pair (from, to). Returns true if it was new.
+     * Appending successors in ascending order per source (the natural
+     * order when iterating events by id) is O(1); out-of-order inserts
+     * pay a sorted insertion into the (typically tiny) successor list.
+     */
     bool insert(EventId from, EventId to);
 
     /** True if (from, to) is in the relation. */
@@ -38,23 +51,26 @@ class Relation
 
     bool empty() const { return numPairs_ == 0; }
 
-    /** Remove all pairs. */
+    /** Remove all pairs, keeping all allocated capacity. */
     void clear();
 
-    /** Successors of @p from (empty set if none). */
-    const SuccSet &successors(EventId from) const;
+    /** Successors of @p from in ascending order (empty if none). */
+    SuccRange successors(EventId from) const;
 
     /** Union @p other into this relation. */
     void unionWith(const Relation &other);
 
-    /** All ordered pairs, in unspecified order. */
+    /** All ordered pairs, sorted lexicographically. */
     std::vector<std::pair<EventId, EventId>> pairs() const;
 
-    /** In-degree of each event mentioned as a target. */
-    std::unordered_map<EventId, std::size_t> inDegrees() const;
+    /**
+     * In-degree of each event, indexed by event id (size = one past
+     * the largest id mentioned in the relation).
+     */
+    std::vector<std::size_t> inDegrees() const;
 
     /**
-     * Transitive closure (Warshall-style over reachable sets). Intended
+     * Transitive closure (DFS over reachable sets per source). Intended
      * for tests and small relations; the checker itself uses generator
      * edges plus DFS and never materializes closures.
      */
@@ -66,20 +82,32 @@ class Relation
     /** True if no (x, x) pair is present. */
     bool irreflexive() const;
 
-    /** Iterate adjacency: f(from, const SuccSet&). */
+    /** Iterate adjacency in ascending source order: f(from, SuccRange). */
     template <typename F>
     void
     forEach(F &&f) const
     {
-        for (const auto &[from, succs] : adj_)
-            f(from, succs);
+        const auto bound = static_cast<std::size_t>(maxSource_ + 1);
+        for (std::size_t from = 0; from < bound; ++from) {
+            if (!adj_[from].empty())
+                f(static_cast<EventId>(from), SuccRange(adj_[from]));
+        }
     }
 
   private:
-    std::unordered_map<EventId, SuccSet> adj_;
-    std::size_t numPairs_ = 0;
+    /** One past the largest node id mentioned as source or target. */
+    std::size_t numNodes() const;
 
-    static const SuccSet emptySet_;
+    /** Dense adjacency: adj_[from] is the sorted successor list. */
+    std::vector<std::vector<EventId>> adj_;
+    std::size_t numPairs_ = 0;
+    /**
+     * Largest source/target ids currently in the relation. Tracked
+     * separately from adj_.size(), which only ever grows (clear()
+     * preserves capacity).
+     */
+    EventId maxSource_ = -1;
+    EventId maxTarget_ = -1;
 };
 
 } // namespace mcversi::mc

@@ -416,6 +416,16 @@ MesiL1::handleMsg(const Msg &msg)
     const Addr line = msg.line;
 
     // Writeback buffer states first (the array way is already free).
+    //
+    // Every foreign touch (fwd, recall, inv) during the writeback must
+    // re-notify the LQ even though the eviction itself already did:
+    // between that first notification and the draining of the store
+    // that produced the line's data, a squashed load can replay and
+    // re-bind the same data via store-buffer forwarding. Once the line
+    // is gone from the array, a later competing write reaches this L1
+    // only through these writeback-state messages -- skipping the
+    // notification here lets such a load retire a coherence-stale
+    // value (a genuine TSO violation on a correct system).
     if (auto it = evict_.find(line); it != evict_.end()) {
         EvictBuf &buf = it->second;
         const State st = buf.state;
@@ -434,6 +444,7 @@ MesiL1::handleMsg(const Msg &msg)
                      m.dirty = buf.dirty;
                  });
             buf.state = StII;
+            notifyLq(line);
             return;
           case MsgType::FwdGETX:
             table_.record(st, EvFwdGETX);
@@ -444,12 +455,14 @@ MesiL1::handleMsg(const Msg &msg)
                      m.exclusive = true;
                  });
             buf.state = StII;
+            notifyLq(line);
             return;
           case MsgType::Recall:
             table_.record(st, EvRecall);
             send(MsgType::RecallAckNoData, line, home(line),
                  Vnet::Response);
             buf.state = StII;
+            notifyLq(line);
             return;
           case MsgType::WbAck:
           case MsgType::WbNack: {
@@ -466,6 +479,7 @@ MesiL1::handleMsg(const Msg &msg)
           case MsgType::Inv:
             table_.record(st, EvInv);
             send(MsgType::InvAck, line, msg.ackTarget, Vnet::Response);
+            notifyLq(line);
             return;
           default:
             table_.record(st, EvDataShared); // Will throw (undefined).

@@ -513,6 +513,10 @@ TsoccL1::handleMsg(const Msg &msg)
             send(MsgType::RecallAckNoData, line, home(line),
                  Vnet::Response);
             buf.state = StII;
+            // Re-notify the LQ: a squashed load may have re-bound this
+            // line's data via store-buffer forwarding after the
+            // eviction-time notification (see MesiL1::handleMsg).
+            notifyLq(line);
             return;
           case MsgType::WbAck:
           case MsgType::WbNack: {

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden regression for campaign-summary determinism.
+ *
+ * Runs a fixed small campaign matrix and compares the timing-free JSON
+ * export byte-for-byte against a checked-in golden file. This pins the
+ * entire pipeline -- test generation, simulation, witness recording,
+ * checking, coverage accounting, aggregation, JSON formatting -- to a
+ * single deterministic artifact: any unintended behavioral change in a
+ * refactor shows up as a byte diff here.
+ *
+ * The golden was generated with the pre-flattening seed checker and
+ * re-verified byte-identical under the flattened hot path (the only
+ * regeneration since was for the LQ writeback-window notification fix,
+ * a deliberate behavioral change; see git history of this file's
+ * golden). To regenerate after an intentional change, run this test
+ * and copy the summary the failure message points at, or rebuild the
+ * matrix below through CampaignRunner and write toJson(false) to
+ * tests/campaign/golden_summary.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "campaign/runner.hh"
+
+using namespace mcversi;
+using namespace mcversi::campaign;
+
+namespace {
+
+std::vector<CampaignSpec>
+goldenMatrix()
+{
+    CampaignMatrix matrix;
+    matrix.base.testSize = 64;
+    matrix.base.iterations = 2;
+    matrix.base.memSize = 1024;
+    matrix.base.population = 8;
+    matrix.base.maxTestRuns = 3;
+    matrix.bugs = {"none"};
+    matrix.generators = {"McVerSi-ALL", "McVerSi-RAND"};
+    matrix.seeds = {1, 2};
+    std::vector<CampaignSpec> specs = matrix.expand();
+
+    CampaignSpec litmus = matrix.base;
+    litmus.bug = "none";
+    litmus.generator = "diy-litmus";
+    litmus.litmusIterations = 2;
+    litmus.maxTestRuns = 2;
+    specs.push_back(litmus);
+    return specs;
+}
+
+std::string
+readGolden()
+{
+    std::ifstream in(MCVERSI_CAMPAIGN_GOLDEN_PATH, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(CampaignGolden, SummaryJsonIsByteIdenticalToGolden)
+{
+    const std::string golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file: " << MCVERSI_CAMPAIGN_GOLDEN_PATH;
+
+    CampaignRunner::Options options;
+    options.threads = 2;
+    const CampaignSummary summary =
+        CampaignRunner(options).run(goldenMatrix());
+    ASSERT_EQ(summary.errors(), 0u);
+
+    const std::string json = summary.toJson(false);
+    EXPECT_EQ(json, golden)
+        << "campaign summary diverged from the golden artifact; if the "
+           "change is intentional, write the new summary to "
+        << MCVERSI_CAMPAIGN_GOLDEN_PATH;
+}

@@ -49,7 +49,7 @@ TEST(Crossover, FitaddrFraction)
     GenParams p = genParams();
     Rng rng(1);
     gp::Test t = taggedTest(p, rng, 0x40, 0.25);
-    std::unordered_set<Addr> fit{0x40};
+    mcversi::AddrSet fit{0x40};
     const double frac = fitaddrFraction(t, fit);
     EXPECT_GT(frac, 0.15);
     EXPECT_LT(frac, 0.40);

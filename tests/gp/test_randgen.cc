@@ -75,7 +75,7 @@ TEST(RandGen, ConstrainedNodeUsesGivenAddrs)
     p.memSize = 8192;
     RandomTestGen gen(p);
     Rng rng(5);
-    std::unordered_set<Addr> fit{0x40, 0x80, 0xc0};
+    mcversi::AddrSet fit{0x40, 0x80, 0xc0};
     int mem_ops = 0;
     for (int i = 0; i < 500; ++i) {
         Node n = gen.randomNodeConstrained(rng, fit);
@@ -93,7 +93,7 @@ TEST(RandGen, ConstrainedNodeFallsBackWhenEmpty)
     GenParams p;
     RandomTestGen gen(p);
     Rng rng(6);
-    std::unordered_set<Addr> empty;
+    mcversi::AddrSet empty;
     Node n = gen.randomNodeConstrained(rng, empty);
     if (n.op.isMem())
         EXPECT_LT(n.op.addr, p.memSize);

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shared witness synthesis for litmus-suite-driven checker tests.
+ *
+ * Builds, for any LitmusTest, (a) a witness realizing its forbidden
+ * outcome (the condition atoms fully determine the interesting conflict
+ * orders) and (b) the sequential one-thread-at-a-time execution, which
+ * is SC and therefore permitted by every model. Used by the x86 golden
+ * regression and the checker differential test.
+ */
+
+#ifndef MCVERSI_TESTS_LITMUS_WITNESS_SYNTHESIS_HH
+#define MCVERSI_TESTS_LITMUS_WITNESS_SYNTHESIS_HH
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "litmus/litmus.hh"
+#include "memconsistency/execwitness.hh"
+
+namespace mcversi::litmus::testsupport {
+
+/** (pid, slot) coordinate of one instruction of a litmus test. */
+using Coord = std::pair<Pid, int>;
+
+/**
+ * Build a witness realizing the forbidden outcome of @p t.
+ *
+ * The condition atoms fully determine the interesting conflict orders:
+ * ReadsFrom fixes rf, CoBefore fixes co directly, and ReadsBefore
+ * constrains the read's rf source (another atom's write, or init) to be
+ * co-before the named write. Writes left unconstrained keep scan order.
+ */
+inline mc::ExecWitness
+forbiddenWitness(const LitmusTest &t)
+{
+    const auto slots = t.test.threadSlots(t.numThreads);
+    auto nodeAt = [&](Pid p, int s) -> const gp::Node & {
+        return t.test.node(slots[static_cast<std::size_t>(p)]
+                                [static_cast<std::size_t>(s)]);
+    };
+
+    // Writes per address, in (pid, slot) scan order.
+    std::map<Addr, std::vector<Coord>> writesAt;
+    for (Pid p = 0; p < t.numThreads; ++p) {
+        const auto &th = slots[static_cast<std::size_t>(p)];
+        for (int s = 0; s < static_cast<int>(th.size()); ++s) {
+            const gp::Op &op = nodeAt(p, s).op;
+            if (op.kind == gp::OpKind::Write ||
+                op.kind == gp::OpKind::ReadModifyWrite) {
+                writesAt[op.addr].push_back({p, s});
+            }
+        }
+    }
+
+    // rf choices from ReadsFrom atoms (absent => the read sees init).
+    std::map<Coord, Coord> rf;
+    for (const CondAtom &a : t.forbidden)
+        if (a.kind == CondAtom::Kind::ReadsFrom)
+            rf[{a.pid, a.slot}] = {a.otherPid, a.otherSlot};
+
+    // co ordering constraints per address.
+    std::map<Addr, std::vector<std::pair<Coord, Coord>>> before;
+    for (const CondAtom &a : t.forbidden) {
+        if (a.kind == CondAtom::Kind::CoBefore) {
+            const Addr addr = nodeAt(a.pid, a.slot).op.addr;
+            before[addr].push_back(
+                {{a.pid, a.slot}, {a.otherPid, a.otherSlot}});
+        } else if (a.kind == CondAtom::Kind::ReadsBefore) {
+            // Reads-before: rf(r) must be strictly co-before the named
+            // write. If rf(r) is init, that holds by construction.
+            const auto it = rf.find({a.pid, a.slot});
+            if (it != rf.end()) {
+                const Addr addr =
+                    nodeAt(a.otherPid, a.otherSlot).op.addr;
+                before[addr].push_back(
+                    {it->second, {a.otherPid, a.otherSlot}});
+            }
+        }
+    }
+
+    // Stable topological order of each address's writes, then value
+    // assignment along the co chain.
+    std::map<Coord, WriteVal> valueOf;
+    std::map<Coord, WriteVal> overwrittenOf;
+    WriteVal next = 1;
+    for (auto &[addr, ws] : writesAt) {
+        const auto &cons = before[addr];
+        std::vector<Coord> remaining = ws;
+        WriteVal prev = kInitVal;
+        while (!remaining.empty()) {
+            auto pick = remaining.end();
+            for (auto it = remaining.begin(); it != remaining.end();
+                 ++it) {
+                const bool blocked = std::any_of(
+                    cons.begin(), cons.end(), [&](const auto &c) {
+                        return c.second == *it && c.first != *it &&
+                               std::find(remaining.begin(),
+                                         remaining.end(),
+                                         c.first) != remaining.end();
+                    });
+                if (!blocked) {
+                    pick = it;
+                    break;
+                }
+            }
+            if (pick == remaining.end()) {
+                ADD_FAILURE() << t.name
+                              << ": cyclic co constraints on addr "
+                              << addr;
+                return mc::ExecWitness{};
+            }
+            valueOf[*pick] = next;
+            overwrittenOf[*pick] = prev;
+            prev = next++;
+            remaining.erase(pick);
+        }
+    }
+
+    // Emit events thread by thread in program order.
+    mc::ExecWitness ew;
+    for (Pid p = 0; p < t.numThreads; ++p) {
+        const auto &th = slots[static_cast<std::size_t>(p)];
+        for (int s = 0; s < static_cast<int>(th.size()); ++s) {
+            const gp::Op &op = nodeAt(p, s).op;
+            const Coord here{p, s};
+            switch (op.kind) {
+              case gp::OpKind::Read:
+              case gp::OpKind::ReadAddrDp: {
+                const auto it = rf.find(here);
+                const WriteVal v =
+                    it == rf.end() ? kInitVal : valueOf.at(it->second);
+                ew.recordRead(p, s, op.addr, v);
+                break;
+              }
+              case gp::OpKind::Write:
+                ew.recordWrite(p, s, op.addr, valueOf.at(here),
+                               overwrittenOf.at(here));
+                break;
+              case gp::OpKind::ReadModifyWrite:
+                // Atomic pair: the read sees exactly the value the
+                // write overwrites.
+                ew.recordRead(p, s, op.addr, overwrittenOf.at(here),
+                              /*rmw=*/true);
+                ew.recordWrite(p, s, op.addr, valueOf.at(here),
+                               overwrittenOf.at(here), /*rmw=*/true);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    ew.finalize();
+    return ew;
+}
+
+/** The sequential execution: thread 0 runs to completion, then 1, ... */
+inline mc::ExecWitness
+sequentialWitness(const LitmusTest &t)
+{
+    const auto slots = t.test.threadSlots(t.numThreads);
+    mc::ExecWitness ew;
+    std::map<Addr, WriteVal> mem;
+    WriteVal next = 1;
+    auto current = [&](Addr a) {
+        const auto it = mem.find(a);
+        return it == mem.end() ? kInitVal : it->second;
+    };
+    for (Pid p = 0; p < t.numThreads; ++p) {
+        const auto &th = slots[static_cast<std::size_t>(p)];
+        for (int s = 0; s < static_cast<int>(th.size()); ++s) {
+            const gp::Op &op =
+                t.test.node(th[static_cast<std::size_t>(s)]).op;
+            switch (op.kind) {
+              case gp::OpKind::Read:
+              case gp::OpKind::ReadAddrDp:
+                ew.recordRead(p, s, op.addr, current(op.addr));
+                break;
+              case gp::OpKind::Write:
+                ew.recordWrite(p, s, op.addr, next, current(op.addr));
+                mem[op.addr] = next++;
+                break;
+              case gp::OpKind::ReadModifyWrite: {
+                const WriteVal old = current(op.addr);
+                ew.recordRead(p, s, op.addr, old, /*rmw=*/true);
+                ew.recordWrite(p, s, op.addr, next, old, /*rmw=*/true);
+                mem[op.addr] = next++;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    ew.finalize();
+    return ew;
+}
+
+} // namespace mcversi::litmus::testsupport
+
+#endif // MCVERSI_TESTS_LITMUS_WITNESS_SYNTHESIS_HH

@@ -165,6 +165,40 @@ TEST(ExecWitness, FinalizeIdempotent)
     EXPECT_EQ(ew.co().size(), 1u);
 }
 
+TEST(ExecWitness, DenseAddrIds)
+{
+    ExecWitness ew;
+    const EventId a = ew.recordRead(0, 0, 0x40, kInitVal);
+    const EventId b = ew.recordRead(0, 1, 0x80, kInitVal);
+    const EventId c = ew.recordRead(1, 0, 0x40, kInitVal);
+    EXPECT_EQ(ew.numAddrs(), 2u);
+    EXPECT_EQ(ew.addrId(a), ew.addrId(c));
+    EXPECT_NE(ew.addrId(a), ew.addrId(b));
+    EXPECT_LT(ew.addrId(a), static_cast<AddrId>(ew.numAddrs()));
+    EXPECT_LT(ew.addrId(b), static_cast<AddrId>(ew.numAddrs()));
+    ew.finalize();
+    // Init events share their address's dense id.
+    const EventId init = ew.initEvent(0x40);
+    ASSERT_NE(init, kNoEvent);
+    EXPECT_EQ(ew.addrId(init), ew.addrId(a));
+}
+
+TEST(ExecWitness, ThreadsViewIsStableAndSorted)
+{
+    ExecWitness ew;
+    EXPECT_TRUE(ew.threads().empty());
+    ew.recordRead(5, 0, 0x10, kInitVal);
+    ew.recordRead(1, 0, 0x10, kInitVal);
+    ew.recordRead(5, 1, 0x10, kInitVal);
+    const auto &threads = ew.threads();
+    ASSERT_EQ(threads.size(), 2u);
+    EXPECT_EQ(threads[0], 1);
+    EXPECT_EQ(threads[1], 5);
+    ew.finalize();
+    // Same view after finalize; no per-call rebuilding.
+    EXPECT_EQ(&ew.threads(), &threads);
+}
+
 TEST(ExecWitness, EventToString)
 {
     ExecWitness ew;

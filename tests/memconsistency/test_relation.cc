@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "memconsistency/relation.hh"
 
 using namespace mcversi::mc;
@@ -65,9 +67,34 @@ TEST(Relation, InDegrees)
     r.insert(2, 3);
     r.insert(3, 4);
     auto in = r.inDegrees();
+    ASSERT_EQ(in.size(), 5u);
     EXPECT_EQ(in[3], 2u);
     EXPECT_EQ(in[4], 1u);
-    EXPECT_EQ(in.count(1), 0u);
+    EXPECT_EQ(in[1], 0u);
+}
+
+TEST(Relation, SuccessorsAreSortedRegardlessOfInsertOrder)
+{
+    Relation r;
+    r.insert(1, 9);
+    r.insert(1, 3);
+    r.insert(1, 7);
+    r.insert(1, 3);
+    const auto succs = r.successors(1);
+    ASSERT_EQ(succs.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(succs.begin(), succs.end()));
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Relation, PairsAreLexicographicallySorted)
+{
+    Relation r;
+    r.insert(6, 7);
+    r.insert(5, 9);
+    r.insert(5, 6);
+    const auto pairs = r.pairs();
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
 }
 
 TEST(Relation, TransitiveClosureChain)
@@ -130,6 +157,11 @@ TEST(Relation, ClearResets)
     r.clear();
     EXPECT_TRUE(r.empty());
     EXPECT_FALSE(r.contains(1, 2));
+    EXPECT_TRUE(r.acyclic());
+    EXPECT_EQ(r.inDegrees().size(), 0u);
+    // Reusable after clear.
+    EXPECT_TRUE(r.insert(3, 4));
+    EXPECT_EQ(r.size(), 1u);
 }
 
 TEST(Relation, LargeChainAcyclicIterative)
