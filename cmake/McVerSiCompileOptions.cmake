@@ -23,6 +23,10 @@ if(MCVERSI_SANITIZE)
   add_compile_options(
     -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
   add_link_options(-fsanitize=address,undefined)
+  # Sanitizer builds also get the strict event-queue contract:
+  # scheduling in the past throws instead of silently clamping (it
+  # hides protocol latency bugs); release builds keep the clamp.
+  add_compile_definitions(MCVERSI_STRICT_SCHEDULE=1)
 endif()
 
 # Helper: define a McVerSi static library target <name> from the given

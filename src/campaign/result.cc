@@ -130,6 +130,8 @@ CampaignSummary::toJson(bool include_timing) const
             << ",\"test_runs_to_bug\":" << r.harness.testRunsToBug
             << ",\"sim_ticks\":" << r.harness.simTicks
             << ",\"events_executed\":" << r.harness.eventsExecuted
+            << ",\"sim_events\":" << r.harness.simEvents
+            << ",\"messages_sent\":" << r.harness.messagesSent
             << ",\"total_coverage\":" << fmtDouble(r.harness.totalCoverage)
             << ",\"protocol_coverage\":" << fmtDouble(r.protocolCoverage)
             << ",\"detail\":\"" << jsonEscape(r.harness.detail) << "\""
@@ -160,8 +162,8 @@ CampaignSummary::toCsv(bool include_timing) const
     out << "bug,generator,seed,protocol,test_size,iterations,mem_size,"
            "stride,guest_threads,population,max_runs,max_seconds,"
            "litmus_iterations,record_ndt,bug_found,test_runs,"
-           "test_runs_to_bug,sim_ticks,events_executed,total_coverage,"
-           "protocol_coverage,error";
+           "test_runs_to_bug,sim_ticks,events_executed,sim_events,"
+           "messages_sent,total_coverage,protocol_coverage,error";
     if (include_timing)
         out << ",wall_seconds,wall_seconds_to_bug,check_seconds";
     out << "\n";
@@ -185,6 +187,8 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.harness.testRunsToBug << ","
             << r.harness.simTicks << ","
             << r.harness.eventsExecuted << ","
+            << r.harness.simEvents << ","
+            << r.harness.messagesSent << ","
             << fmtDouble(r.harness.totalCoverage) << ","
             << fmtDouble(r.protocolCoverage) << ","
             << csvField(r.error);

@@ -53,6 +53,8 @@ VerificationHarness::run(const Budget &budget)
         result.checkSeconds += run.checkSeconds;
         result.simTicks += run.simTicks;
         result.eventsExecuted += run.eventsExecuted;
+        result.simEvents += run.simEvents;
+        result.messagesSent += run.messagesSent;
         if (params_.recordNdt)
             result.ndtHistory.push_back(run.nd.ndt);
 

@@ -45,6 +45,10 @@ struct HarnessResult
     double checkSeconds = 0.0;
     std::uint64_t simTicks = 0;
     std::uint64_t eventsExecuted = 0;
+    /** Kernel events dispatched (sim-throughput observability). */
+    std::uint64_t simEvents = 0;
+    /** Network messages injected (sim-throughput observability). */
+    std::uint64_t messagesSent = 0;
     /** NDT of each evaluated test-run, in order. */
     std::vector<double> ndtHistory;
     /** Final total structural coverage per protocol prefix. */

@@ -153,6 +153,8 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     result.preRunCounts = system_.coverage().preRunCounts();
 
     const Tick ticks0 = system_.eventQueue().now();
+    const std::uint64_t kernel_events0 = system_.eventQueue().processed();
+    const std::uint64_t messages0 = system_.network().messagesSent();
 
     for (int iter = 0; iter < params_.iterations; ++iter) {
         // reset_test_mem: initial values + cache flush.
@@ -163,8 +165,11 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
             // Guest-side setup (software barrier arrival, test-memory
             // reset loops) consumes simulated time before any thread
             // can be released.
-            system_.eventQueue().scheduleIn(params_.guestOverhead,
-                                            []() {});
+            system_.eventQueue().scheduleFnIn(
+                params_.guestOverhead,
+                [](void *, std::uint64_t, std::uint64_t, std::uint64_t,
+                   std::uint64_t) {},
+                nullptr);
             system_.runToQuiescence();
         }
 
@@ -219,6 +224,8 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     }
 
     result.simTicks = system_.eventQueue().now() - ticks0;
+    result.simEvents = system_.eventQueue().processed() - kernel_events0;
+    result.messagesSent = system_.network().messagesSent() - messages0;
     result.coveredTransitions = system_.coverage().endRun();
     result.nd = nd_.info();
     result.totalSeconds = secondsSince(t0);

@@ -56,6 +56,10 @@ struct RunResult
     int watchdogAborts = 0;
     std::uint64_t simTicks = 0;
     std::uint64_t eventsExecuted = 0;
+    /** Kernel events dispatched during this run (throughput metric). */
+    std::uint64_t simEvents = 0;
+    /** Network messages injected during this run. */
+    std::uint64_t messagesSent = 0;
     double checkSeconds = 0.0;
     double totalSeconds = 0.0;
 

@@ -67,6 +67,8 @@ LitmusRunner::run(const host::Budget &budget)
         ++result.testRuns;
         result.simTicks += run.simTicks;
         result.eventsExecuted += run.eventsExecuted;
+        result.simEvents += run.simEvents;
+        result.messagesSent += run.messagesSent;
 
         if (run.bugDetected()) {
             result.bugFound = true;

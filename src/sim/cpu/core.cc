@@ -26,6 +26,38 @@ Core::loadProgram(Program program)
 }
 
 void
+Core::evPump(void *o, std::uint64_t, std::uint64_t, std::uint64_t,
+             std::uint64_t)
+{
+    static_cast<Core *>(o)->pump();
+}
+
+void
+Core::evPumpClearFlag(void *o, std::uint64_t, std::uint64_t,
+                      std::uint64_t, std::uint64_t)
+{
+    auto *self = static_cast<Core *>(o);
+    self->pumpScheduled_ = false;
+    self->pump();
+}
+
+void
+Core::evTryIssueLoad(void *o, std::uint64_t slot, std::uint64_t,
+                     std::uint64_t, std::uint64_t)
+{
+    static_cast<Core *>(o)->tryIssueLoad(
+        static_cast<std::size_t>(slot));
+}
+
+void
+Core::evDone(void *o, std::uint64_t, std::uint64_t, std::uint64_t,
+             std::uint64_t)
+{
+    auto *self = static_cast<Core *>(o);
+    self->doneCallback_(self->pid_);
+}
+
+void
 Core::start(Tick start_tick)
 {
     const std::size_t n = program_.instrs.size();
@@ -52,9 +84,9 @@ Core::start(Tick start_tick)
     done_ = (n == 0);
     pumpScheduled_ = false;
     if (!done_) {
-        eq_.schedule(start_tick, [this]() { pump(); });
+        eq_.scheduleFn(start_tick, &Core::evPump, this);
     } else if (doneCallback_) {
-        eq_.schedule(start_tick, [this]() { doneCallback_(pid_); });
+        eq_.scheduleFn(start_tick, &Core::evDone, this);
     }
 }
 
@@ -71,10 +103,7 @@ Core::schedulePump(Tick delta)
     if (pumpScheduled_)
         return;
     pumpScheduled_ = true;
-    eq_.scheduleIn(delta, [this]() {
-        pumpScheduled_ = false;
-        pump();
-    });
+    eq_.scheduleFnIn(delta, &Core::evPumpClearFlag, this);
 }
 
 void
@@ -111,8 +140,7 @@ Core::fetch()
                 return; // LQ full: stall fetch.
             }
             const Tick ready = 1 + rng_.below(cfg_.issueJitter + 1);
-            eq_.scheduleIn(ready,
-                           [this, slot]() { tryIssueLoad(slot); });
+            eq_.scheduleFnIn(ready, &Core::evTryIssueLoad, this, slot);
             break;
           }
           case InstrKind::Store:
@@ -210,10 +238,7 @@ Core::wakeDependents(std::size_t slot)
     for (std::size_t i = slot + 1; i < fetchPtr_; ++i) {
         if (dyn_[i].depSlot == static_cast<int>(slot) &&
             dyn_[i].st == LoadState::Waiting) {
-            const std::size_t dep_slot = i;
-            eq_.scheduleIn(1, [this, dep_slot]() {
-                tryIssueLoad(dep_slot);
-            });
+            eq_.scheduleFnIn(1, &Core::evTryIssueLoad, this, i);
         }
     }
 }
@@ -230,8 +255,7 @@ Core::squashFrom(std::size_t start)
             d.st = LoadState::Waiting;
             d.addrValid = false;
             ++squashes_;
-            const std::size_t slot = i;
-            eq_.scheduleIn(2, [this, slot]() { tryIssueLoad(slot); });
+            eq_.scheduleFnIn(2, &Core::evTryIssueLoad, this, i);
         } else if (d.st == LoadState::Issued) {
             d.squashPending = true; // Re-issue when the response lands.
         }
@@ -257,7 +281,7 @@ Core::squashLoad(std::size_t slot)
             Tick{2} << std::min<std::uint8_t>(d.replays, 8);
         if (d.replays < 255)
             ++d.replays;
-        eq_.scheduleIn(backoff, [this, slot]() { tryIssueLoad(slot); });
+        eq_.scheduleFnIn(backoff, &Core::evTryIssueLoad, this, slot);
     } else if (d.st == LoadState::Issued) {
         d.squashPending = true;
     } else {
@@ -322,8 +346,8 @@ Core::onCacheResp(const CacheResp &resp)
                 Tick{2} << std::min<std::uint8_t>(d.replays, 8);
             if (d.replays < 255)
                 ++d.replays;
-            eq_.scheduleIn(backoff,
-                           [this, slot]() { tryIssueLoad(slot); });
+            eq_.scheduleFnIn(backoff, &Core::evTryIssueLoad, this,
+                             slot);
             return;
         }
         markPerformed(slot, resp.value, resp.invalidatedInFlight);

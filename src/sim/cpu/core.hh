@@ -107,6 +107,17 @@ class Core
     void onCacheResp(const CacheResp &resp);
     void onAddressInvalidated(Addr line);
 
+    // Typed-event trampolines (EventQueue::EventFn signature).
+    static void evPump(void *o, std::uint64_t, std::uint64_t,
+                       std::uint64_t, std::uint64_t);
+    static void evPumpClearFlag(void *o, std::uint64_t, std::uint64_t,
+                                std::uint64_t, std::uint64_t);
+    static void evTryIssueLoad(void *o, std::uint64_t slot,
+                               std::uint64_t, std::uint64_t,
+                               std::uint64_t);
+    static void evDone(void *o, std::uint64_t, std::uint64_t,
+                       std::uint64_t, std::uint64_t);
+
     void schedulePump(Tick delta = 0);
     void pump();
     void fetch();

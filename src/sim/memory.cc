@@ -33,7 +33,7 @@ MainMemory::handleMsg(const Msg &msg)
         const Tick lat = params_.minLatency +
                          rng_.below(params_.maxLatency -
                                     params_.minLatency + 1);
-        Msg resp;
+        Msg &resp = net_.stage();
         resp.type = MsgType::MemData;
         resp.line = msg.line;
         resp.src = kMemNode;
@@ -42,7 +42,7 @@ MainMemory::handleMsg(const Msg &msg)
         resp.data = lines_[msg.line];
         resp.hasData = true;
         // Model access latency by delaying injection into the network.
-        eq_.scheduleIn(lat, [this, resp]() { net_.send(resp); });
+        eq_.scheduleNetSend(eq_.now() + lat, &net_, &resp);
         break;
       }
       case MsgType::MemWrite:

@@ -95,7 +95,7 @@ void
 MesiL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
              const std::function<void(Msg &)> &fill)
 {
-    Msg msg;
+    Msg &msg = net_.stage();
     msg.type = t;
     msg.line = line;
     msg.src = coreNode(pid_);
@@ -104,15 +104,21 @@ MesiL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
     msg.requester = pid_;
     if (fill)
         fill(msg);
-    net_.send(msg);
+    net_.send(&msg);
 }
 
 void
 MesiL1::respond(ReqId id, WriteVal value, WriteVal overwritten,
                 bool inv_in_flight, Tick latency)
 {
-    CacheResp resp{id, value, overwritten, inv_in_flight};
-    eq_.scheduleIn(latency, [this, resp]() { hooks_.respond(resp); });
+    eq_.scheduleFnIn(
+        latency,
+        [](void *o, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+           std::uint64_t d) {
+            auto *self = static_cast<MesiL1 *>(o);
+            self->hooks_.respond(CacheResp{a, b, c, d != 0});
+        },
+        this, id, value, overwritten, inv_in_flight ? 1 : 0);
 }
 
 void
@@ -273,10 +279,13 @@ MesiL1::processPending(Addr line)
               case PendingReq::Kind::Load:
                 table_.record(StI, EvLoad);
                 if (!startMiss(line, false)) {
-                    eq_.scheduleIn(16,
-                                   [this, line]() {
-                                       processPending(line);
-                                   });
+                    eq_.scheduleFnIn(
+                        16,
+                        [](void *o, std::uint64_t a, std::uint64_t,
+                           std::uint64_t, std::uint64_t) {
+                            static_cast<MesiL1 *>(o)->processPending(a);
+                        },
+                        this, line);
                     return;
                 }
                 return; // Wait for data.
@@ -286,10 +295,13 @@ MesiL1::processPending(Addr line)
                                        ? EvRmw
                                        : EvStore);
                 if (!startMiss(line, true)) {
-                    eq_.scheduleIn(16,
-                                   [this, line]() {
-                                       processPending(line);
-                                   });
+                    eq_.scheduleFnIn(
+                        16,
+                        [](void *o, std::uint64_t a, std::uint64_t,
+                           std::uint64_t, std::uint64_t) {
+                            static_cast<MesiL1 *>(o)->processPending(a);
+                        },
+                        this, line);
                     return;
                 }
                 return;

@@ -85,11 +85,11 @@ MesiL2::buildTable()
     def(StNP, EvRecallAckNoData);
 }
 
-void
-MesiL2::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
-             const std::function<void(Msg &)> &fill)
+Msg &
+MesiL2::buildMsg(MsgType t, Addr line, NodeId dst, Vnet vnet,
+                 const std::function<void(Msg &)> &fill)
 {
-    Msg msg;
+    Msg &msg = net_.stage();
     msg.type = t;
     msg.line = line;
     msg.src = l2Node(tile_);
@@ -97,7 +97,25 @@ MesiL2::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
     msg.vnet = vnet;
     if (fill)
         fill(msg);
-    net_.send(msg);
+    return msg;
+}
+
+void
+MesiL2::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
+             const std::function<void(Msg &)> &fill)
+{
+    net_.send(&buildMsg(t, line, dst, vnet, fill));
+}
+
+void
+MesiL2::sendAfter(Tick delta, MsgType t, Addr line, NodeId dst,
+                  Vnet vnet, const std::function<void(Msg &)> &fill)
+{
+    // Build the message now (all inputs are already captured by value
+    // in the old thunk idiom); latency, FIFO order and the jitter draw
+    // still happen at injection time, inside the NetSend event.
+    eq_.scheduleNetSend(eq_.now() + delta, &net_,
+                        &buildMsg(t, line, dst, vnet, fill));
 }
 
 void
@@ -187,28 +205,22 @@ MesiL2::serveGets(CacheEntry *entry, Addr line, Pid c)
         entry->state = StB_MT;
         entry->pendingRequester = c;
         entry->grantedClean = true;
-        eq_.scheduleIn(cfg_.l2AccessLatency,
-                       [this, line, c, data = entry->data]() {
-                           send(MsgType::Data, line, coreNode(c),
-                                Vnet::Response, [&](Msg &m) {
-                                    m.data = data;
-                                    m.hasData = true;
-                                    m.exclusive = true;
-                                });
-                       });
+        sendAfter(cfg_.l2AccessLatency, MsgType::Data, line,
+                  coreNode(c), Vnet::Response, [&](Msg &m) {
+                      m.data = entry->data;
+                      m.hasData = true;
+                      m.exclusive = true;
+                  });
     } else {
         // Non-blocking shared grant: the sharer is registered before
         // its data arrives, so a later GETX's Inv can overtake the data
         // in the network (IS_I at the L1).
         entry->sharers |= bit(c);
-        eq_.scheduleIn(cfg_.l2AccessLatency,
-                       [this, line, c, data = entry->data]() {
-                           send(MsgType::Data, line, coreNode(c),
-                                Vnet::Response, [&](Msg &m) {
-                                    m.data = data;
-                                    m.hasData = true;
-                                });
-                       });
+        sendAfter(cfg_.l2AccessLatency, MsgType::Data, line,
+                  coreNode(c), Vnet::Response, [&](Msg &m) {
+                      m.data = entry->data;
+                      m.hasData = true;
+                  });
     }
 }
 
@@ -249,16 +261,13 @@ MesiL2::serveGetx(CacheEntry *entry, Addr line, Pid c)
     entry->state = StB_MT;
     entry->pendingRequester = c;
     entry->grantedClean = false;
-    eq_.scheduleIn(cfg_.l2AccessLatency,
-                   [this, line, c, acks, data = entry->data]() {
-                       send(MsgType::Data, line, coreNode(c),
-                            Vnet::Response, [&](Msg &m) {
-                                m.data = data;
-                                m.hasData = true;
-                                m.exclusive = true;
-                                m.ackCount = acks;
-                            });
-                   });
+    sendAfter(cfg_.l2AccessLatency, MsgType::Data, line, coreNode(c),
+              Vnet::Response, [&](Msg &m) {
+                  m.data = entry->data;
+                  m.hasData = true;
+                  m.exclusive = true;
+                  m.ackCount = acks;
+              });
 }
 
 bool
@@ -268,8 +277,8 @@ MesiL2::startFetch(Addr line, Pid c, bool exclusive, const Msg &msg)
     if (!entry) {
         if (!evictVictim(line)) {
             // No stable victim yet; retry the whole request later.
-            Msg retry = msg;
-            eq_.scheduleIn(16, [this, retry]() { handleMsg(retry); });
+            eq_.scheduleDeliver(eq_.now() + 16, this,
+                                eq_.msgPool().acquireCopy(msg));
             return false;
         }
         entry = array_.allocate(line);
@@ -422,10 +431,9 @@ MesiL2::serveRequest(const Msg &msg)
         entry->state = StB_MT;
         entry->pendingRequester = c;
         entry->grantedClean = false;
-        eq_.scheduleIn(cfg_.l2AccessLatency, [this, line, c, acks]() {
-            send(MsgType::AckCount, line, coreNode(c), Vnet::Response,
-                 [&](Msg &m) { m.ackCount = acks; });
-        });
+        sendAfter(cfg_.l2AccessLatency, MsgType::AckCount, line,
+                  coreNode(c), Vnet::Response,
+                  [&](Msg &m) { m.ackCount = acks; });
         return;
       }
 

@@ -15,7 +15,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -157,6 +159,72 @@ class MsgHandler
   public:
     virtual ~MsgHandler() = default;
     virtual void handleMsg(const Msg &msg) = 0;
+};
+
+/**
+ * Slab-backed freelist pool of Msg payloads.
+ *
+ * Delivery and delayed-send events reference pool-owned Msg storage
+ * instead of capturing a full Msg copy in a heap-allocated closure;
+ * after warmup, acquire/release never touch the heap. Slabs are only
+ * ever added, so Msg pointers stay stable for the pool's lifetime.
+ */
+class MsgPool
+{
+  public:
+    /** Fresh default-constructed message (caller fills it in). */
+    Msg *
+    acquire()
+    {
+        Msg *m = takeSlot();
+        *m = Msg{};
+        return m;
+    }
+
+    /** Pool-owned copy of @p src. */
+    Msg *
+    acquireCopy(const Msg &src)
+    {
+        Msg *m = takeSlot();
+        *m = src;
+        return m;
+    }
+
+    /** Return a message to the freelist. */
+    void release(Msg *m) { free_.push_back(m); }
+
+    /** Slabs allocated over the pool's lifetime (perf instrumentation). */
+    std::uint64_t slabsAllocated() const { return slabAllocs_; }
+
+    std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+  private:
+    static constexpr std::size_t kSlabSize = 64;
+
+    Msg *
+    takeSlot()
+    {
+        if (free_.empty())
+            addSlab();
+        Msg *m = free_.back();
+        free_.pop_back();
+        return m;
+    }
+
+    void
+    addSlab()
+    {
+        slabs_.push_back(std::make_unique<Msg[]>(kSlabSize));
+        Msg *base = slabs_.back().get();
+        free_.reserve(free_.size() + kSlabSize);
+        for (std::size_t i = kSlabSize; i > 0; --i)
+            free_.push_back(base + (i - 1));
+        ++slabAllocs_;
+    }
+
+    std::vector<std::unique_ptr<Msg[]>> slabs_;
+    std::vector<Msg *> free_;
+    std::uint64_t slabAllocs_ = 0;
 };
 
 } // namespace mcversi::sim

@@ -5,6 +5,30 @@
 
 namespace mcversi::sim {
 
+Network::Network(EventQueue &eq, Rng rng, Params params)
+    : eq_(eq), rng_(rng), params_(params),
+      tiles_(params.cols * params.rows), numNodes_(2 * tiles_ + 1),
+      handlers_(static_cast<std::size_t>(numNodes_), nullptr),
+      lastDelivery_(static_cast<std::size_t>(numNodes_) *
+                        static_cast<std::size_t>(numNodes_) *
+                        static_cast<std::size_t>(kNumVnets),
+                    Tick{0})
+{
+}
+
+void
+Network::registerNode(NodeId node, MsgHandler *handler)
+{
+    const int dense = denseNode(node);
+    if (dense < 0) {
+        throw std::runtime_error(
+            "Network: node id " + std::to_string(node) +
+            " outside the " + std::to_string(params_.cols) + "x" +
+            std::to_string(params_.rows) + " mesh");
+    }
+    handlers_[static_cast<std::size_t>(dense)] = handler;
+}
+
 const char *
 msgTypeName(MsgType t)
 {
@@ -68,31 +92,36 @@ Network::hops(NodeId a, NodeId b) const
 }
 
 void
-Network::send(Msg msg)
+Network::send(Msg *msg)
 {
-    auto it = handlers_.find(msg.dst);
-    if (it == handlers_.end())
-        throw std::runtime_error("Network: no handler for node " +
-                                 std::to_string(msg.dst));
-    MsgHandler *handler = it->second;
+    const int src = denseNode(msg->src);
+    const int dst = denseNode(msg->dst);
+    MsgHandler *handler =
+        dst >= 0 ? handlers_[static_cast<std::size_t>(dst)] : nullptr;
+    if (src < 0 || handler == nullptr) {
+        const std::string err =
+            "Network: no " + std::string(src < 0 ? "source" : "handler") +
+            " for node " +
+            std::to_string(src < 0 ? msg->src : msg->dst) + " (" +
+            msg->toString() + ")";
+        eq_.msgPool().release(msg);
+        throw std::runtime_error(err);
+    }
 
     const Tick lat = params_.baseLatency +
                      params_.perHop * static_cast<Tick>(
-                                          hops(msg.src, msg.dst)) +
+                                          hops(msg->src, msg->dst)) +
                      rng_.below(params_.maxJitter + 1);
     Tick when = eq_.now() + lat;
 
-    const auto key = std::make_tuple(msg.src, msg.dst,
-                                     static_cast<int>(msg.vnet));
-    auto &last = lastDelivery_[key];
+    Tick &last = lastDelivery_[fifoIndex(
+        src, dst, static_cast<int>(msg->vnet))];
     if (when <= last)
         when = last + 1;
     last = when;
 
     ++sent_;
-    eq_.schedule(when, [handler, m = std::move(msg)]() mutable {
-        handler->handleMsg(m);
-    });
+    eq_.scheduleDeliver(when, handler, msg);
 }
 
 } // namespace mcversi::sim

@@ -8,13 +8,20 @@
  * ordering preserved per (src, dst, vnet) and no ordering across vnets.
  * The jitter, together with per-core issue jitter, is the timing
  * non-determinism that perturbs each test execution differently (§5.1).
+ *
+ * Routing state is dense: handlers and per-(src, dst, vnet) FIFO
+ * release times live in flat arrays indexed by a compact node id
+ * (cores, then L2 tiles, then the memory controller), so the per-send
+ * path does no hashing and no allocation. Message payloads come from
+ * the event queue's MsgPool; hot senders build messages in place via
+ * stage() and hand ownership to send(Msg *).
  */
 
 #ifndef MCVERSI_SIM_NETWORK_HH
 #define MCVERSI_SIM_NETWORK_HH
 
-#include <map>
-#include <unordered_map>
+#include <algorithm>
+#include <vector>
 
 #include "common/rng.hh"
 #include "sim/eventq.hh"
@@ -35,22 +42,32 @@ class Network
         Tick maxJitter = 5; ///< uniform in [0, maxJitter]
     };
 
-    Network(EventQueue &eq, Rng rng, Params params)
-        : eq_(eq), rng_(rng), params_(params)
-    {
-    }
+    Network(EventQueue &eq, Rng rng, Params params);
 
     Network(EventQueue &eq, Rng rng) : Network(eq, rng, Params{}) {}
 
     /** Register the handler for a node id. */
-    void
-    registerNode(NodeId node, MsgHandler *handler)
-    {
-        handlers_[node] = handler;
-    }
+    void registerNode(NodeId node, MsgHandler *handler);
 
-    /** Inject a message; delivery is scheduled on the event queue. */
-    void send(Msg msg);
+    /**
+     * Pool-owned message to fill in place; inject with send(Msg *).
+     * Zero-copy path for the protocol controllers.
+     */
+    Msg &stage() { return *eq_.msgPool().acquire(); }
+
+    /**
+     * Inject a staged/pooled message; delivery is scheduled on the
+     * event queue, which releases the message after the handler runs.
+     * Takes ownership (releases the message on routing errors).
+     */
+    void send(Msg *msg);
+
+    /** Inject a message by value (copies into the pool). */
+    void
+    send(const Msg &msg)
+    {
+        send(eq_.msgPool().acquireCopy(msg));
+    }
 
     /** Manhattan hop count between two nodes. */
     int hops(NodeId a, NodeId b) const;
@@ -58,7 +75,11 @@ class Network
     std::uint64_t messagesSent() const { return sent_; }
 
     /** Forget FIFO ordering state (safe only at quiescence). */
-    void resetOrdering() { lastDelivery_.clear(); }
+    void
+    resetOrdering()
+    {
+        std::fill(lastDelivery_.begin(), lastDelivery_.end(), Tick{0});
+    }
 
   private:
     struct XY
@@ -68,12 +89,40 @@ class Network
     };
     XY position(NodeId node) const;
 
+    /**
+     * Compact node index: cores [0, tiles), L2s [tiles, 2*tiles),
+     * memory 2*tiles; -1 for ids outside the mesh.
+     */
+    int
+    denseNode(NodeId node) const
+    {
+        if (node == kMemNode)
+            return 2 * tiles_;
+        if (isL2Node(node)) {
+            const int t = l2Tile(node);
+            return t < tiles_ ? tiles_ + t : -1;
+        }
+        return node >= 0 && node < tiles_ ? static_cast<int>(node) : -1;
+    }
+
+    std::size_t
+    fifoIndex(int src, int dst, int vnet) const
+    {
+        return (static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(numNodes_) +
+                static_cast<std::size_t>(dst)) *
+                   static_cast<std::size_t>(kNumVnets) +
+               static_cast<std::size_t>(vnet);
+    }
+
     EventQueue &eq_;
     Rng rng_;
     Params params_;
-    std::unordered_map<NodeId, MsgHandler *> handlers_;
+    int tiles_;    ///< cols * rows (cores == colocated L2 tiles)
+    int numNodes_; ///< 2 * tiles_ + 1
+    std::vector<MsgHandler *> handlers_;
     /** Last scheduled delivery per (src, dst, vnet), for FIFO order. */
-    std::map<std::tuple<NodeId, NodeId, int>, Tick> lastDelivery_;
+    std::vector<Tick> lastDelivery_;
     std::uint64_t sent_ = 0;
 };
 

@@ -12,8 +12,8 @@
 #ifndef MCVERSI_SIM_TRANSITION_TABLE_HH
 #define MCVERSI_SIM_TRANSITION_TABLE_HH
 
+#include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/coverage.hh"
@@ -41,46 +41,55 @@ class TransitionTable
         const std::uint32_t id = cov_.registerTransition(
             controller_, stateNames_[static_cast<std::size_t>(state)],
             eventNames_[static_cast<std::size_t>(event)]);
-        ids_[key(state, event)] = id;
+        const std::size_t k = key(state, event);
+        if (k >= ids_.size())
+            ids_.resize(k + 1, kUndefined);
+        ids_[k] = static_cast<std::int64_t>(id);
     }
 
     bool
     defined(int state, int event) const
     {
-        return ids_.count(key(state, event)) > 0;
+        const std::size_t k = key(state, event);
+        return k < ids_.size() && ids_[k] != kUndefined;
     }
 
     /**
      * Record the transition with the coverage tracker; throws
-     * ProtocolError if the pair was never defined.
+     * ProtocolError if the pair was never defined. Hot path: a flat
+     * array lookup (the (state, event) key space is small and dense).
      */
     void
     record(int state, int event)
     {
-        auto it = ids_.find(key(state, event));
-        if (it == ids_.end()) {
+        const std::size_t k = key(state, event);
+        if (k >= ids_.size() || ids_[k] == kUndefined) {
             throw ProtocolError(
                 controller_,
                 stateNames_[static_cast<std::size_t>(state)],
                 eventNames_[static_cast<std::size_t>(event)]);
         }
-        cov_.record(it->second);
+        cov_.record(static_cast<std::uint32_t>(ids_[k]));
     }
 
     const std::string &controller() const { return controller_; }
 
   private:
-    static int
+    static constexpr std::int64_t kUndefined = -1;
+
+    static std::size_t
     key(int state, int event)
     {
-        return state * 64 + event;
+        return static_cast<std::size_t>(state) * 64 +
+               static_cast<std::size_t>(event);
     }
 
     TransitionCoverage &cov_;
     std::string controller_;
     std::vector<std::string> stateNames_;
     std::vector<std::string> eventNames_;
-    std::unordered_map<int, std::uint32_t> ids_;
+    /** Coverage id per (state, event) key, kUndefined where illegal. */
+    std::vector<std::int64_t> ids_;
 };
 
 } // namespace mcversi::sim

@@ -75,7 +75,7 @@ void
 TsoccL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
               const std::function<void(Msg &)> &fill)
 {
-    Msg msg;
+    Msg &msg = net_.stage();
     msg.type = t;
     msg.line = line;
     msg.src = coreNode(pid_);
@@ -84,15 +84,21 @@ TsoccL1::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
     msg.requester = pid_;
     if (fill)
         fill(msg);
-    net_.send(msg);
+    net_.send(&msg);
 }
 
 void
 TsoccL1::respond(ReqId id, WriteVal value, WriteVal overwritten,
                  Tick latency)
 {
-    CacheResp resp{id, value, overwritten, false};
-    eq_.scheduleIn(latency, [this, resp]() { hooks_.respond(resp); });
+    eq_.scheduleFnIn(
+        latency,
+        [](void *o, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+           std::uint64_t) {
+            auto *self = static_cast<TsoccL1 *>(o);
+            self->hooks_.respond(CacheResp{a, b, c, false});
+        },
+        this, id, value, overwritten);
 }
 
 void
@@ -350,9 +356,13 @@ TsoccL1::processPending(Addr line)
               case PendingReq::Kind::Load:
                 table_.record(StI, EvLoad);
                 if (!startMiss(line, false)) {
-                    eq_.scheduleIn(16, [this, line]() {
-                        processPending(line);
-                    });
+                    eq_.scheduleFnIn(
+                        16,
+                        [](void *o, std::uint64_t a, std::uint64_t,
+                           std::uint64_t, std::uint64_t) {
+                            static_cast<TsoccL1 *>(o)->processPending(a);
+                        },
+                        this, line);
                     return;
                 }
                 return;
@@ -362,9 +372,13 @@ TsoccL1::processPending(Addr line)
                                        ? EvRmw
                                        : EvStore);
                 if (!startMiss(line, true)) {
-                    eq_.scheduleIn(16, [this, line]() {
-                        processPending(line);
-                    });
+                    eq_.scheduleFnIn(
+                        16,
+                        [](void *o, std::uint64_t a, std::uint64_t,
+                           std::uint64_t, std::uint64_t) {
+                            static_cast<TsoccL1 *>(o)->processPending(a);
+                        },
+                        this, line);
                     return;
                 }
                 return;
@@ -551,12 +565,18 @@ TsoccL1::handleMsg(const Msg &msg)
                     auto &q = pit->second;
                     for (auto qit = q.begin(); qit != q.end();) {
                         if (qit->kind == PendingReq::Kind::Load) {
-                            CacheResp resp{qit->id,
-                                           msg.data.word(qit->addr), 0,
-                                           true};
-                            eq_.scheduleIn(1, [this, resp]() {
-                                hooks_.respond(resp);
-                            });
+                            eq_.scheduleFnIn(
+                                1,
+                                [](void *o, std::uint64_t a,
+                                   std::uint64_t b, std::uint64_t,
+                                   std::uint64_t) {
+                                    auto *self =
+                                        static_cast<TsoccL1 *>(o);
+                                    self->hooks_.respond(
+                                        CacheResp{a, b, 0, true});
+                                },
+                                this, qit->id,
+                                msg.data.word(qit->addr));
                             qit = q.erase(qit);
                         } else {
                             ++qit;

@@ -66,7 +66,14 @@ void
 TsoccL2::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
               const std::function<void(Msg &)> &fill)
 {
-    Msg msg;
+    net_.send(&buildMsg(t, line, dst, vnet, fill));
+}
+
+Msg &
+TsoccL2::buildMsg(MsgType t, Addr line, NodeId dst, Vnet vnet,
+                  const std::function<void(Msg &)> &fill)
+{
+    Msg &msg = net_.stage();
     msg.type = t;
     msg.line = line;
     msg.src = l2Node(tile_);
@@ -74,7 +81,17 @@ TsoccL2::send(MsgType t, Addr line, NodeId dst, Vnet vnet,
     msg.vnet = vnet;
     if (fill)
         fill(msg);
-    net_.send(msg);
+    return msg;
+}
+
+void
+TsoccL2::sendAfter(Tick delta, MsgType t, Addr line, NodeId dst,
+                   Vnet vnet, const std::function<void(Msg &)> &fill)
+{
+    // Build now (matches the old by-value thunk captures); latency,
+    // FIFO order and jitter are drawn at injection time.
+    eq_.scheduleNetSend(eq_.now() + delta, &net_,
+                        &buildMsg(t, line, dst, vnet, fill));
 }
 
 void
@@ -126,17 +143,13 @@ void
 TsoccL2::grant(CacheEntry &entry, Pid c, bool exclusive)
 {
     const Addr line = entry.line;
-    eq_.scheduleIn(cfg_.l2AccessLatency,
-                   [this, line, c, exclusive, data = entry.data,
-                    meta = entry.meta]() {
-                       send(MsgType::Data, line, coreNode(c),
-                            Vnet::Response, [&](Msg &m) {
-                                m.data = data;
-                                m.hasData = true;
-                                m.exclusive = exclusive;
-                                m.meta = meta;
-                            });
-                   });
+    sendAfter(cfg_.l2AccessLatency, MsgType::Data, line, coreNode(c),
+              Vnet::Response, [&](Msg &m) {
+                  m.data = entry.data;
+                  m.hasData = true;
+                  m.exclusive = exclusive;
+                  m.meta = entry.meta;
+              });
 }
 
 bool
@@ -145,8 +158,8 @@ TsoccL2::startFetch(Addr line, Pid c, bool exclusive, const Msg &msg)
     CacheEntry *entry = array_.allocate(line);
     if (!entry) {
         if (!evictVictim(line)) {
-            Msg retry = msg;
-            eq_.scheduleIn(16, [this, retry]() { handleMsg(retry); });
+            eq_.scheduleDeliver(eq_.now() + 16, this,
+                                eq_.msgPool().acquireCopy(msg));
             return false;
         }
         entry = array_.allocate(line);

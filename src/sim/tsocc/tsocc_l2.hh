@@ -73,8 +73,14 @@ class TsoccL2 : public MsgHandler
     };
 
     void buildTable();
+    /** Stage and populate a pool-owned outbound message. */
+    Msg &buildMsg(MsgType t, Addr line, NodeId dst, Vnet vnet,
+                  const std::function<void(Msg &)> &fill);
     void send(MsgType t, Addr line, NodeId dst, Vnet vnet,
               const std::function<void(Msg &)> &fill = {});
+    /** Delayed send: the message is injected @p delta ticks from now. */
+    void sendAfter(Tick delta, MsgType t, Addr line, NodeId dst,
+                   Vnet vnet, const std::function<void(Msg &)> &fill = {});
     void memWrite(Addr line, const LineData &data);
 
     bool serving(Addr line);

@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -67,10 +68,6 @@ readGolden()
 
 TEST(CampaignGolden, SummaryJsonIsByteIdenticalToGolden)
 {
-    const std::string golden = readGolden();
-    ASSERT_FALSE(golden.empty())
-        << "missing golden file: " << MCVERSI_CAMPAIGN_GOLDEN_PATH;
-
     CampaignRunner::Options options;
     options.threads = 2;
     const CampaignSummary summary =
@@ -78,6 +75,20 @@ TEST(CampaignGolden, SummaryJsonIsByteIdenticalToGolden)
     ASSERT_EQ(summary.errors(), 0u);
 
     const std::string json = summary.toJson(false);
+
+    if (std::getenv("MCVERSI_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream outf(MCVERSI_CAMPAIGN_GOLDEN_PATH,
+                           std::ios::binary);
+        outf << json;
+        ASSERT_TRUE(outf.good())
+            << "failed to write " << MCVERSI_CAMPAIGN_GOLDEN_PATH;
+        GTEST_SKIP() << "golden regenerated at "
+                     << MCVERSI_CAMPAIGN_GOLDEN_PATH;
+    }
+
+    const std::string golden = readGolden();
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file: " << MCVERSI_CAMPAIGN_GOLDEN_PATH;
     EXPECT_EQ(json, golden)
         << "campaign summary diverged from the golden artifact; if the "
            "change is intentional, write the new summary to "
