@@ -22,7 +22,7 @@ SourceRegistry::SourceRegistry()
               [](const CampaignSpec &spec) {
                   return std::make_unique<host::GaSource>(
                       spec.gaParams(), spec.genParams(), spec.seed,
-                      gp::SteadyStateGa::XoMode::Selective);
+                      gp::XoMode::Selective, spec.evolutionParams());
               },
               false},
              {"selective"});
@@ -30,7 +30,7 @@ SourceRegistry::SourceRegistry()
               [](const CampaignSpec &spec) {
                   return std::make_unique<host::GaSource>(
                       spec.gaParams(), spec.genParams(), spec.seed,
-                      gp::SteadyStateGa::XoMode::SinglePoint);
+                      gp::XoMode::SinglePoint, spec.evolutionParams());
               },
               false},
              {"stdxo", "std.xo", "single-point"});

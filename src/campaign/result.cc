@@ -69,6 +69,9 @@ appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
         << ",\"stride\":" << spec.stride
         << ",\"guest_threads\":" << spec.guestThreads
         << ",\"population\":" << spec.population
+        << ",\"islands\":" << spec.islands
+        << ",\"migration\":" << spec.migration
+        << ",\"batch\":" << spec.batch
         << ",\"max_runs\":" << spec.maxTestRuns
         << ",\"max_seconds\":" << fmtDouble(spec.maxWallSeconds)
         << ",\"litmus_iterations\":" << spec.litmusIterations
@@ -134,6 +137,15 @@ CampaignSummary::toJson(bool include_timing) const
             << ",\"messages_sent\":" << r.harness.messagesSent
             << ",\"total_coverage\":" << fmtDouble(r.harness.totalCoverage)
             << ",\"protocol_coverage\":" << fmtDouble(r.protocolCoverage)
+            << ",\"mean_fitness\":" << fmtDouble(r.harness.meanFitness)
+            << ",\"fitness_trajectory\":[";
+        for (std::size_t t = 0; t < r.harness.fitnessTrajectory.size();
+             ++t) {
+            if (t > 0)
+                out << ",";
+            out << fmtDouble(r.harness.fitnessTrajectory[t]);
+        }
+        out << "]"
             << ",\"detail\":\"" << jsonEscape(r.harness.detail) << "\""
             << ",\"error\":\"" << jsonEscape(r.error) << "\"";
         if (include_timing) {
@@ -141,7 +153,9 @@ CampaignSummary::toJson(bool include_timing) const
                 << ",\"wall_seconds_to_bug\":"
                 << fmtDouble(r.harness.wallSecondsToBug)
                 << ",\"check_seconds\":"
-                << fmtDouble(r.harness.checkSeconds);
+                << fmtDouble(r.harness.checkSeconds)
+                << ",\"tests_per_sec\":"
+                << fmtDouble(r.harness.testsPerSec());
         }
         out << "}";
     }
@@ -160,12 +174,15 @@ CampaignSummary::toCsv(bool include_timing) const
 {
     std::ostringstream out;
     out << "bug,generator,seed,protocol,test_size,iterations,mem_size,"
-           "stride,guest_threads,population,max_runs,max_seconds,"
-           "litmus_iterations,record_ndt,bug_found,test_runs,"
-           "test_runs_to_bug,sim_ticks,events_executed,sim_events,"
-           "messages_sent,total_coverage,protocol_coverage,error";
-    if (include_timing)
-        out << ",wall_seconds,wall_seconds_to_bug,check_seconds";
+           "stride,guest_threads,population,islands,migration,batch,"
+           "max_runs,max_seconds,litmus_iterations,record_ndt,"
+           "bug_found,test_runs,test_runs_to_bug,sim_ticks,"
+           "events_executed,sim_events,messages_sent,total_coverage,"
+           "protocol_coverage,mean_fitness,error";
+    if (include_timing) {
+        out << ",wall_seconds,wall_seconds_to_bug,check_seconds,"
+               "tests_per_sec";
+    }
     out << "\n";
     for (const CampaignResult &r : results) {
         out << csvField(r.spec.bug) << ","
@@ -178,6 +195,9 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.spec.stride << ","
             << r.spec.guestThreads << ","
             << r.spec.population << ","
+            << r.spec.islands << ","
+            << r.spec.migration << ","
+            << r.spec.batch << ","
             << r.spec.maxTestRuns << ","
             << fmtDouble(r.spec.maxWallSeconds) << ","
             << r.spec.litmusIterations << ","
@@ -191,11 +211,13 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.harness.messagesSent << ","
             << fmtDouble(r.harness.totalCoverage) << ","
             << fmtDouble(r.protocolCoverage) << ","
+            << fmtDouble(r.harness.meanFitness) << ","
             << csvField(r.error);
         if (include_timing) {
             out << "," << fmtDouble(r.harness.wallSeconds)
                 << "," << fmtDouble(r.harness.wallSecondsToBug)
-                << "," << fmtDouble(r.harness.checkSeconds);
+                << "," << fmtDouble(r.harness.checkSeconds)
+                << "," << fmtDouble(r.harness.testsPerSec());
         }
         out << "\n";
     }

@@ -7,13 +7,14 @@
 #include <thread>
 
 #include "campaign/registry.hh"
+#include "host/parallel_harness.hh"
 #include "litmus/runner.hh"
 #include "litmus/x86_suite.hh"
 
 namespace mcversi::campaign {
 
 CampaignResult
-CampaignRunner::runOne(const CampaignSpec &spec)
+CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
 {
     CampaignResult result;
     result.spec = spec;
@@ -29,6 +30,20 @@ CampaignRunner::runOne(const CampaignSpec &spec)
             result.protocolCoverage =
                 runner.system().coverage().totalCoverage(
                     spec.protocolPrefix());
+        } else if (spec.usesParallelHarness()) {
+            // Batched multi-lane evaluation: one lane per island,
+            // eval_threads workers, deterministic for any worker count.
+            const std::unique_ptr<host::TestSource> source =
+                registry.make(spec.generator, spec);
+            host::ParallelHarness::Params params;
+            params.harness = spec.harnessParams();
+            params.lanes = spec.islands;
+            params.batch = spec.batch;
+            params.threads = eval_threads;
+            host::ParallelHarness harness(params, *source);
+            result.harness = harness.run(spec.budget());
+            result.protocolCoverage =
+                harness.aggregateCoverage(spec.protocolPrefix());
         } else {
             const std::unique_ptr<host::TestSource> source =
                 registry.make(spec.generator, spec);
@@ -71,7 +86,7 @@ CampaignRunner::run(const std::vector<CampaignSpec> &specs) const
             // Results land at the spec's own index: aggregation order
             // (and thus the exported summary) never depends on which
             // worker finished first.
-            summary.results[i] = runOne(specs[i]);
+            summary.results[i] = runOne(specs[i], options_.evalThreads);
             const std::size_t completed =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options_.onResult) {

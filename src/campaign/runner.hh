@@ -2,14 +2,22 @@
  * @file
  * Parallel multi-campaign runner.
  *
- * Executes a vector of CampaignSpecs on a pool of worker threads. Each
- * worker owns an independent System + Checker + test source built from
- * its spec (per-spec seed streams), so campaigns share no mutable
- * state; the "same seed => same decisions" contract pinned down by
- * tests/sim/test_rng_determinism.cc makes every campaign's outcome
- * independent of which worker runs it. Results are collected into spec
- * order, so the aggregated CampaignSummary is identical for any worker
- * count and any completion interleaving.
+ * Two independent levels of parallelism, both summary-deterministic:
+ *
+ *  - Across specs: a vector of CampaignSpecs runs on a pool of worker
+ *    threads. Each worker owns an independent System + Checker + test
+ *    source built from its spec (per-spec seed streams), so campaigns
+ *    share no mutable state; the "same seed => same decisions" contract
+ *    pinned down by tests/sim/test_rng_determinism.cc makes every
+ *    campaign's outcome independent of which worker runs it. Results
+ *    are collected into spec order, so the aggregated CampaignSummary
+ *    is identical for any worker count and completion interleaving.
+ *
+ *  - Within a spec: a spec with islands > 1 or batch > 1 runs on the
+ *    batched host::ParallelHarness -- one simulation lane per island,
+ *    evalThreads workers evaluating each batch, deterministic merges at
+ *    batch barriers -- so its summary is also byte-identical for any
+ *    evalThreads value (see host/parallel_harness.hh).
  */
 
 #ifndef MCVERSI_CAMPAIGN_RUNNER_HH
@@ -30,8 +38,15 @@ class CampaignRunner
   public:
     struct Options
     {
-        /** Worker threads; <= 0 selects the hardware concurrency. */
+        /** Worker threads across specs; <= 0 selects the hardware
+         * concurrency. */
         int threads = 1;
+        /**
+         * Worker threads *within* one spec's batch evaluation (specs
+         * with islands > 1 or batch > 1); <= 0 selects the hardware
+         * concurrency. Summaries are byte-identical for any value.
+         */
+        int evalThreads = 1;
         /**
          * Progress hook, called once per completed campaign (in
          * completion order, serialized). @p done counts completions so
@@ -52,10 +67,13 @@ class CampaignRunner
     CampaignSummary run(const std::vector<CampaignSpec> &specs) const;
 
     /**
-     * Run one campaign in the calling thread. Never throws: a bad spec
-     * or a run-time failure is reported via CampaignResult::error.
+     * Run one campaign in the calling thread (plus @p eval_threads
+     * batch-evaluation workers when the spec asks for the parallel
+     * harness). Never throws: a bad spec or a run-time failure is
+     * reported via CampaignResult::error.
      */
-    static CampaignResult runOne(const CampaignSpec &spec);
+    static CampaignResult runOne(const CampaignSpec &spec,
+                                 int eval_threads = 1);
 
   private:
     Options options_{};

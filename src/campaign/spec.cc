@@ -138,6 +138,14 @@ CampaignSpec::set(const std::string &key, const std::string &value)
     } else if (k == "population") {
         population = static_cast<std::size_t>(
             parsePositiveInt(key, value));
+    } else if (k == "islands") {
+        islands = static_cast<std::size_t>(
+            parsePositiveInt(key, value));
+    } else if (k == "migration") {
+        migration = parseU64(key, value);
+    } else if (k == "batch") {
+        batch = static_cast<std::size_t>(
+            parsePositiveInt(key, value));
     } else if (k == "max-runs") {
         maxTestRuns = parseU64(key, value);
     } else if (k == "max-seconds") {
@@ -185,6 +193,9 @@ CampaignSpec::toString() const
         << " stride=" << stride
         << " guest-threads=" << guestThreads
         << " population=" << population
+        << " islands=" << islands
+        << " migration=" << migration
+        << " batch=" << batch
         << " max-runs=" << maxTestRuns
         << " max-seconds=" << maxWallSeconds
         << " litmus-iterations=" << litmusIterations
@@ -226,6 +237,25 @@ CampaignSpec::validate() const
         throw std::invalid_argument(
             "campaign spec: unbounded budget (set max-runs and/or "
             "max-seconds)");
+    }
+    if (islands == 0 || batch == 0) {
+        throw std::invalid_argument(
+            "campaign spec: islands and batch must be positive");
+    }
+    if (usesParallelHarness() &&
+        SourceRegistry::instance().isLitmus(generator)) {
+        throw std::invalid_argument(
+            "campaign spec: litmus generators run the serial litmus "
+            "loop; islands/batch do not apply (keep both at 1)");
+    }
+    if (islands > 64) {
+        throw std::invalid_argument(
+            "campaign spec: islands capped at 64 (each island owns a "
+            "full simulated system)");
+    }
+    if (batch > 4096) {
+        throw std::invalid_argument(
+            "campaign spec: batch capped at 4096");
     }
 }
 
@@ -277,6 +307,15 @@ CampaignSpec::gaParams() const
     gp::GaParams ga;
     ga.population = population;
     return ga;
+}
+
+gp::EvolutionParams
+CampaignSpec::evolutionParams() const
+{
+    gp::EvolutionParams evo;
+    evo.islands = islands;
+    evo.migrationInterval = migration;
+    return evo;
 }
 
 host::Budget

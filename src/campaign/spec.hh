@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "gp/evolution.hh"
 #include "gp/params.hh"
 #include "host/harness.hh"
 #include "sim/config.hh"
@@ -47,7 +48,16 @@ struct CampaignSpec
     int guestThreads = 8;
 
     // GA (Table 3 lower half).
+    /** Population size per island. */
     std::size_t population = 50;
+
+    // Evolution-engine topology (gp/evolution.hh).
+    /** Island count; also the ParallelHarness lane count. */
+    std::size_t islands = 1;
+    /** Engine-wide evaluations between ring migrations (0 = never). */
+    std::uint64_t migration = 256;
+    /** Tests pulled per generate->evaluate batch barrier. */
+    std::size_t batch = 1;
 
     // Budget (0 = unlimited).
     std::uint64_t maxTestRuns = 1000;
@@ -94,8 +104,16 @@ struct CampaignSpec
     sim::SystemConfig systemConfig() const;
     gp::GenParams genParams() const;
     gp::GaParams gaParams() const;
+    gp::EvolutionParams evolutionParams() const;
     host::Budget budget() const;
     host::VerificationHarness::Params harnessParams() const;
+
+    /** True if the spec asks for the batched multi-lane harness. */
+    bool
+    usesParallelHarness() const
+    {
+        return islands > 1 || batch > 1;
+    }
 };
 
 /** Matrix of campaigns: base spec x bugs x generators x seeds. */

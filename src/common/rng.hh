@@ -100,6 +100,26 @@ class Rng
         return Rng(next() ^ 0xd2b74407b1ce6e93ull);
     }
 
+    /**
+     * Counter-based stream derivation: the seed of the @p stream-th
+     * independent stream of @p seed. Unlike fork(), no generator state
+     * is consumed -- the mapping is a pure function of (seed, stream),
+     * so shards can derive their streams concurrently and in any order.
+     * Stream 0 is the base seed itself: a single-stream user is
+     * byte-compatible with code that seeded Rng(seed) directly.
+     */
+    static std::uint64_t
+    streamSeed(std::uint64_t seed, std::uint64_t stream)
+    {
+        if (stream == 0)
+            return seed;
+        // Two SplitMix64 rounds over a (seed, stream) mix; the odd
+        // multiplier decorrelates consecutive stream indices.
+        std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ull);
+        splitMix64(x);
+        return splitMix64(x);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strict API-contract checking, mirroring the event-queue's strict
+ * scheduling contract: misuse of a documented call pairing throws in
+ * debug and sanitizer builds (MCVERSI_SANITIZE defines
+ * MCVERSI_STRICT_SCHEDULE) with a message naming the violating call;
+ * release builds keep the historical tolerant behavior.
+ */
+
+#ifndef MCVERSI_COMMON_STRICT_HH
+#define MCVERSI_COMMON_STRICT_HH
+
+#include <stdexcept>
+
+namespace mcversi {
+
+/** True when API-contract violations throw instead of being ignored. */
+constexpr bool
+strictApiChecks()
+{
+#if !defined(NDEBUG) || defined(MCVERSI_STRICT_SCHEDULE)
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Enforce an API pairing contract: when @p ok is false, throws
+ * std::logic_error(@p what) in strict builds. @p what should name the
+ * violating call and the missing counterpart.
+ */
+inline void
+checkApiContract(bool ok, const char *what)
+{
+    if (strictApiChecks() && !ok)
+        throw std::logic_error(what);
+}
+
+} // namespace mcversi
+
+#endif // MCVERSI_COMMON_STRICT_HH

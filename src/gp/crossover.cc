@@ -3,11 +3,11 @@
 namespace mcversi::gp {
 
 double
-fitaddrFraction(const Test &test, const AddrSet &fitaddrs)
+fitaddrFraction(std::span<const Node> genes, const AddrSet &fitaddrs)
 {
     std::size_t mem_ops = 0;
     std::size_t fit = 0;
-    for (const Node &node : test.nodes()) {
+    for (const Node &node : genes) {
         if (!node.op.isMem())
             continue;
         ++mem_ops;
@@ -19,10 +19,11 @@ fitaddrFraction(const Test &test, const AddrSet &fitaddrs)
     return static_cast<double>(fit) / static_cast<double>(mem_ops);
 }
 
-Test
-crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
-                const NdInfo &nd2, const RandomTestGen &gen,
-                const GaParams &ga, Rng &rng)
+void
+crossoverMutateInto(std::span<const Node> t1, const NdInfo &nd1,
+                    std::span<const Node> t2, const NdInfo &nd2,
+                    const RandomTestGen &gen, const GaParams &ga,
+                    Rng &rng, std::span<Node> child, AddrSet &fit_union)
 {
     const std::size_t len = t1.size();
 
@@ -34,14 +35,17 @@ crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
     const double p_select2 = a2 + ga.pUsel - a2 * ga.pUsel;
 
     // Union of both parents' fit addresses, for PBFA-directed mutation.
-    AddrSet fit_union = nd1.fitaddrs;
-    fit_union.insert(nd2.fitaddrs);
+    // Elementwise inserts into the caller's scratch keep its capacity.
+    fit_union.clear();
+    for (const Addr a : nd1.fitaddrs)
+        fit_union.insert(a);
+    for (const Addr a : nd2.fitaddrs)
+        fit_union.insert(a);
 
-    Test child = t1;
     std::size_t mutations = 0;
 
     for (std::size_t i = 0; i < len; ++i) {
-        const Node &n1 = t1.node(i);
+        const Node &n1 = t1[i];
         bool select1;
         if (n1.op.isMem()) {
             select1 = rng.boolWithProb(ga.pUsel) ||
@@ -50,7 +54,7 @@ crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
             select1 = rng.boolWithProb(p_select1);
         }
 
-        const Node &n2 = t2.node(i);
+        const Node &n2 = t2[i];
         bool select2;
         if (n2.op.isMem()) {
             select2 = rng.boolWithProb(ga.pUsel) ||
@@ -60,17 +64,17 @@ crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
         }
 
         if (!select1 && select2) {
-            child.node(i) = t2.node(i);
+            child[i] = n2;
         } else if (!select1 && !select2) {
             ++mutations;
             if (rng.boolWithProb(ga.pBfa)) {
-                child.node(i) =
-                    gen.randomNodeConstrained(rng, fit_union);
+                child[i] = gen.randomNodeConstrained(rng, fit_union);
             } else {
-                child.node(i) = gen.randomNode(rng);
+                child[i] = gen.randomNode(rng);
             }
+        } else {
+            child[i] = n1;
         }
-        // Otherwise retain child[i] (== t1[i]).
     }
 
     // Top up mutation if the implicit mutation rate fell short.
@@ -79,10 +83,41 @@ crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
             ga.pMut) {
         for (std::size_t i = 0; i < len; ++i) {
             if (rng.boolWithProb(ga.pMut))
-                child.node(i) = gen.randomNode(rng);
+                child[i] = gen.randomNode(rng);
         }
     }
+}
+
+Test
+crossoverMutate(const Test &t1, const NdInfo &nd1, const Test &t2,
+                const NdInfo &nd2, const RandomTestGen &gen,
+                const GaParams &ga, Rng &rng)
+{
+    Test child;
+    child.resize(t1.size());
+    AddrSet fit_union;
+    crossoverMutateInto(t1.genes(), nd1, t2.genes(), nd2, gen, ga, rng,
+                        child.genes(), fit_union);
     return child;
+}
+
+void
+singlePointCrossoverMutateInto(std::span<const Node> t1,
+                               std::span<const Node> t2,
+                               const RandomTestGen &gen,
+                               const GaParams &ga, Rng &rng,
+                               std::span<Node> child)
+{
+    const std::size_t len = t1.size();
+    std::size_t point = len;
+    if (len > 1)
+        point = static_cast<std::size_t>(rng.below(len - 1)) + 1;
+    for (std::size_t i = 0; i < len; ++i)
+        child[i] = i < point ? t1[i] : t2[i];
+    for (std::size_t i = 0; i < len; ++i) {
+        if (rng.boolWithProb(ga.pMut))
+            child[i] = gen.randomNode(rng);
+    }
 }
 
 Test
@@ -90,18 +125,10 @@ singlePointCrossoverMutate(const Test &t1, const Test &t2,
                            const RandomTestGen &gen, const GaParams &ga,
                            Rng &rng)
 {
-    const std::size_t len = t1.size();
-    Test child = t1;
-    if (len > 1) {
-        const std::size_t point =
-            static_cast<std::size_t>(rng.below(len - 1)) + 1;
-        for (std::size_t i = point; i < len; ++i)
-            child.node(i) = t2.node(i);
-    }
-    for (std::size_t i = 0; i < len; ++i) {
-        if (rng.boolWithProb(ga.pMut))
-            child.node(i) = gen.randomNode(rng);
-    }
+    Test child;
+    child.resize(t1.size());
+    singlePointCrossoverMutateInto(t1.genes(), t2.genes(), gen, ga, rng,
+                                   child.genes());
     return child;
 }
 

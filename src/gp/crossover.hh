@@ -11,10 +11,17 @@
  *
  * The standard single-point crossover (McVerSi-Std.XO in the paper) is
  * provided for comparison.
+ *
+ * Each operator comes in two forms with identical RNG draw sequences:
+ * a value form over Test (allocates the child) and a span form writing
+ * into caller-provided gene storage (the slab-backed genome pool of the
+ * EvolutionEngine; allocation-free in the steady state).
  */
 
 #ifndef MCVERSI_GP_CROSSOVER_HH
 #define MCVERSI_GP_CROSSOVER_HH
+
+#include <span>
 
 #include "common/rng.hh"
 #include "gp/ndmetrics.hh"
@@ -25,19 +32,35 @@
 namespace mcversi::gp {
 
 /** Fraction of memory operations guaranteed to be selected (Alg. 1). */
-double fitaddrFraction(const Test &test,
+double fitaddrFraction(std::span<const Node> genes,
                        const AddrSet &fitaddrs);
 
+inline double
+fitaddrFraction(const Test &test, const AddrSet &fitaddrs)
+{
+    return fitaddrFraction(test.genes(), fitaddrs);
+}
+
 /**
- * Selective crossover + mutation (Algorithm 1).
+ * Selective crossover + mutation (Algorithm 1), writing the child into
+ * @p child. All three spans must have the same length; @p child must
+ * not alias either parent.
  *
- * @param t1, nd1  first parent and its test-run non-determinism info
- * @param t2, nd2  second parent and its info
+ * @param t1, nd1  first parent's genes and test-run non-determinism info
+ * @param t2, nd2  second parent's genes and info
  * @param gen      factory for random replacement nodes
  * @param ga       GA parameters (PUSEL, PBFA, PMUT)
  * @param rng      randomness source
- * @return a child of the same length as the parents
+ * @param fit_union scratch for the parents' fitaddr union (capacity
+ *                  reused across calls)
  */
+void crossoverMutateInto(std::span<const Node> t1, const NdInfo &nd1,
+                         std::span<const Node> t2, const NdInfo &nd2,
+                         const RandomTestGen &gen, const GaParams &ga,
+                         Rng &rng, std::span<Node> child,
+                         AddrSet &fit_union);
+
+/** Value form of crossoverMutateInto (same RNG draw sequence). */
 Test crossoverMutate(const Test &t1, const NdInfo &nd1,
                      const Test &t2, const NdInfo &nd2,
                      const RandomTestGen &gen, const GaParams &ga,
@@ -45,8 +68,16 @@ Test crossoverMutate(const Test &t1, const NdInfo &nd1,
 
 /**
  * Standard single-point crossover over the flat list (McVerSi-Std.XO),
- * followed by per-gene mutation with probability PMUT.
+ * followed by per-gene mutation with probability PMUT, writing into
+ * @p child (must not alias either parent).
  */
+void singlePointCrossoverMutateInto(std::span<const Node> t1,
+                                    std::span<const Node> t2,
+                                    const RandomTestGen &gen,
+                                    const GaParams &ga, Rng &rng,
+                                    std::span<Node> child);
+
+/** Value form of singlePointCrossoverMutateInto (same draw sequence). */
 Test singlePointCrossoverMutate(const Test &t1, const Test &t2,
                                 const RandomTestGen &gen,
                                 const GaParams &ga, Rng &rng);

@@ -3,9 +3,9 @@
 namespace mcversi::gp {
 
 double
-AdaptiveCoverageFitness::evaluate(
+AdaptiveCoverageFitness::score(
     std::span<const std::uint64_t> pre_counts,
-    const std::vector<std::uint32_t> &covered)
+    const std::vector<std::uint32_t> &covered) const
 {
     std::size_t considered = 0;
     for (const std::uint64_t c : pre_counts)
@@ -18,11 +18,15 @@ AdaptiveCoverageFitness::evaluate(
             ++hit;
     }
 
-    const double fitness =
-        considered == 0
-            ? 0.0
-            : static_cast<double>(hit) / static_cast<double>(considered);
+    return considered == 0
+               ? 0.0
+               : static_cast<double>(hit) /
+                     static_cast<double>(considered);
+}
 
+void
+AdaptiveCoverageFitness::record(double fitness)
+{
     if (fitness < params_.stallThreshold) {
         if (++stalled_ >= params_.stallWindow) {
             cutoff_ *= 2;
@@ -31,6 +35,15 @@ AdaptiveCoverageFitness::evaluate(
     } else {
         stalled_ = 0;
     }
+}
+
+double
+AdaptiveCoverageFitness::evaluate(
+    std::span<const std::uint64_t> pre_counts,
+    const std::vector<std::uint32_t> &covered)
+{
+    const double fitness = score(pre_counts, covered);
+    record(fitness);
     return fitness;
 }
 

@@ -43,7 +43,8 @@ class AdaptiveCoverageFitness
     AdaptiveCoverageFitness() : AdaptiveCoverageFitness(Params{}) {}
 
     /**
-     * Evaluate one test-run.
+     * Evaluate one test-run: score(...) against the current cut-off,
+     * then record(...) the outcome (the serial one-at-a-time path).
      *
      * @param pre_counts view of the global per-transition counts at
      *                   run start, indexed by transition id; read in
@@ -53,6 +54,24 @@ class AdaptiveCoverageFitness
      */
     double evaluate(std::span<const std::uint64_t> pre_counts,
                     const std::vector<std::uint32_t> &covered);
+
+    /**
+     * Fitness of one test-run against the *current* cut-off, without
+     * touching the adaptive state. Const and data-race-free against
+     * concurrent score() calls: batch evaluation scores every slot of a
+     * batch against the cut-off frozen at the batch barrier, then
+     * replays record() in slot order (deterministic for any worker
+     * count).
+     */
+    double score(std::span<const std::uint64_t> pre_counts,
+                 const std::vector<std::uint32_t> &covered) const;
+
+    /**
+     * Advance the adaptive cut-off state with one scored fitness.
+     * Must be called exactly once per score(), in a deterministic
+     * order (batch-slot order at batch barriers).
+     */
+    void record(double fitness);
 
     std::uint64_t cutoff() const { return cutoff_; }
     int stalledEvals() const { return stalled_; }

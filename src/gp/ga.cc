@@ -1,29 +1,22 @@
 #include "gp/ga.hh"
 
-#include <algorithm>
-#include <cassert>
+#include "common/strict.hh"
+#include "gp/selection.hh"
 
 namespace mcversi::gp {
 
 std::size_t
 SteadyStateGa::tournamentSelect()
 {
-    assert(!population_.empty());
-    std::size_t best = static_cast<std::size_t>(
-        rng_.below(population_.size()));
-    for (int i = 1; i < ga_.tournamentSize; ++i) {
-        const std::size_t cand = static_cast<std::size_t>(
-            rng_.below(population_.size()));
-        if (population_[cand].fitness > population_[best].fitness)
-            best = cand;
-    }
-    return best;
+    return gp::tournamentSelect(population_, ga_.tournamentSize, rng_);
 }
 
 Test
 SteadyStateGa::nextTest()
 {
-    assert(!hasPending_ && "reportResult() missing for previous test");
+    checkApiContract(!hasPending_,
+                     "SteadyStateGa::nextTest(): the previous test is "
+                     "still pending; call reportResult() first");
     if (population_.size() < ga_.population) {
         // Still building the initial random population.
         pending_ = gen_.randomTest(rng_);
@@ -53,7 +46,9 @@ SteadyStateGa::nextTest()
 void
 SteadyStateGa::reportResult(double fitness, NdInfo nd)
 {
-    assert(hasPending_ && "no pending test");
+    checkApiContract(hasPending_,
+                     "SteadyStateGa::reportResult(): no pending test; "
+                     "call nextTest() first");
     hasPending_ = false;
     ++evaluated_;
 
@@ -68,12 +63,7 @@ SteadyStateGa::reportResult(double fitness, NdInfo nd)
         return;
     }
     // Delete-oldest replacement.
-    auto oldest = std::min_element(
-        population_.begin(), population_.end(),
-        [](const Individual &a, const Individual &b) {
-            return a.bornAt < b.bornAt;
-        });
-    *oldest = std::move(ind);
+    *oldestMember(population_) = std::move(ind);
 }
 
 double

@@ -12,6 +12,15 @@
  * reportResult(). The first `population` calls yield random individuals
  * (the initial population); afterwards every test is an offspring of two
  * tournament-selected parents.
+ *
+ * This is the serial reference engine; the production path is the
+ * island-model EvolutionEngine (gp/evolution.hh), which reduces to this
+ * exact evaluation sequence for islands=1 with a batch of one.
+ *
+ * Contract: nextTest() and reportResult() strictly alternate. In debug
+ * and sanitizer builds a violation throws std::logic_error naming the
+ * offending call (see common/strict.hh); release builds keep the
+ * assert-only behavior.
  */
 
 #ifndef MCVERSI_GP_GA_HH
@@ -43,11 +52,8 @@ struct Individual
 class SteadyStateGa
 {
   public:
-    /** Crossover operator variant. */
-    enum class XoMode {
-        Selective,   ///< Algorithm 1 (McVerSi-ALL)
-        SinglePoint, ///< standard flat-list crossover (McVerSi-Std.XO)
-    };
+    /** Crossover operator variant (alias of the shared gp::XoMode). */
+    using XoMode = gp::XoMode;
 
     SteadyStateGa(GaParams ga, GenParams gen, std::uint64_t seed,
                   XoMode mode = XoMode::Selective)

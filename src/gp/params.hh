@@ -42,6 +42,12 @@ struct GenParams
     }
 };
 
+/** Crossover operator variant, shared by every generation engine. */
+enum class XoMode {
+    Selective,   ///< Algorithm 1 (McVerSi-ALL)
+    SinglePoint, ///< standard flat-list crossover (McVerSi-Std.XO)
+};
+
 /** GA parameters (Table 3, lower half). */
 struct GaParams
 {

@@ -65,4 +65,19 @@ RandomTestGen::randomTest(Rng &rng) const
     return Test(std::move(nodes));
 }
 
+void
+RandomTestGen::randomTestInto(Rng &rng, Test &out) const
+{
+    out.resize(params_.testSize);
+    for (std::size_t i = 0; i < params_.testSize; ++i)
+        out.node(i) = randomNode(rng);
+}
+
+void
+RandomTestGen::randomTestInto(Rng &rng, std::span<Node> out) const
+{
+    for (Node &node : out)
+        node = randomNode(rng);
+}
+
 } // namespace mcversi::gp

@@ -47,6 +47,19 @@ class RandomTestGen
     /** A full random test of params().testSize genes. */
     Test randomTest(Rng &rng) const;
 
+    /**
+     * Fill @p out with params().testSize random genes, reusing the
+     * test's node capacity. Draw-for-draw identical to randomTest().
+     */
+    void randomTestInto(Rng &rng, Test &out) const;
+
+    /**
+     * Fill the gene span @p out with random genes (slab-backed genome
+     * storage). Draw-for-draw identical to randomTest() when out.size()
+     * == params().testSize.
+     */
+    void randomTestInto(Rng &rng, std::span<Node> out) const;
+
   private:
     GenParams params_;
 };

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared steady-state selection/replacement primitives.
+ *
+ * SteadyStateGa and the island-model EvolutionEngine must make
+ * identical decisions draw-for-draw (the engine's single-island
+ * configuration is pinned byte-equal to the serial GA), so the
+ * tournament and delete-oldest policies live here once, templated over
+ * the individual representation (heap-backed Individual vs pool-backed
+ * PoolIndividual — anything with `fitness` and `bornAt`).
+ */
+
+#ifndef MCVERSI_GP_SELECTION_HH
+#define MCVERSI_GP_SELECTION_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mcversi::gp {
+
+/**
+ * Tournament of size @p tournament_size over @p population; returns
+ * the index of the fittest sampled member. Draws exactly
+ * @p tournament_size times from @p rng.
+ */
+template <typename Ind>
+std::size_t
+tournamentSelect(const std::vector<Ind> &population,
+                 int tournament_size, Rng &rng)
+{
+    assert(!population.empty());
+    std::size_t best = static_cast<std::size_t>(
+        rng.below(population.size()));
+    for (int i = 1; i < tournament_size; ++i) {
+        const std::size_t cand = static_cast<std::size_t>(
+            rng.below(population.size()));
+        if (population[cand].fitness > population[best].fitness)
+            best = cand;
+    }
+    return best;
+}
+
+/** Iterator to the member with the smallest birth stamp. */
+template <typename Ind>
+typename std::vector<Ind>::iterator
+oldestMember(std::vector<Ind> &population)
+{
+    return std::min_element(population.begin(), population.end(),
+                            [](const Ind &a, const Ind &b) {
+                                return a.bornAt < b.bornAt;
+                            });
+}
+
+} // namespace mcversi::gp
+
+#endif // MCVERSI_GP_SELECTION_HH

@@ -2,17 +2,30 @@
 
 namespace mcversi::gp {
 
-std::vector<std::vector<std::size_t>>
-Test::threadSlots(int num_threads) const
+void
+Test::threadSlots(int num_threads, ThreadSlots &out) const
 {
-    std::vector<std::vector<std::size_t>> out(
-        static_cast<std::size_t>(num_threads));
+    const auto threads = static_cast<std::size_t>(num_threads);
+    out.offsets_.assign(threads + 1, 0);
+
+    // Counting sort: per-pid counts, prefix sums, then a fill pass via
+    // per-pid cursors. Every buffer keeps its capacity across calls.
+    for (const Node &node : nodes_) {
+        const Pid pid = node.pid;
+        if (pid >= 0 && pid < num_threads)
+            ++out.offsets_[static_cast<std::size_t>(pid) + 1];
+    }
+    for (std::size_t t = 0; t < threads; ++t)
+        out.offsets_[t + 1] += out.offsets_[t];
+
+    out.slots_.resize(out.offsets_[threads]);
+    out.cursor_.assign(out.offsets_.begin(),
+                       out.offsets_.end() - 1);
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const Pid pid = nodes_[i].pid;
         if (pid >= 0 && pid < num_threads)
-            out[static_cast<std::size_t>(pid)].push_back(i);
+            out.slots_[out.cursor_[static_cast<std::size_t>(pid)]++] = i;
     }
-    return out;
 }
 
 std::size_t
@@ -25,10 +38,10 @@ Test::countMemOps() const
     return n;
 }
 
-std::unordered_set<Addr>
+AddrSet
 Test::usedAddrs() const
 {
-    std::unordered_set<Addr> out;
+    AddrSet out;
     for (const Node &node : nodes_)
         if (node.op.isMem())
             out.insert(node.op.addr);
@@ -45,7 +58,7 @@ Test::countEvents() const
 }
 
 std::uint64_t
-Test::fingerprint() const
+fingerprintNodes(std::span<const Node> nodes)
 {
     // FNV-1a over the node contents.
     std::uint64_t h = 1469598103934665603ull;
@@ -53,13 +66,19 @@ Test::fingerprint() const
         h ^= v;
         h *= 1099511628211ull;
     };
-    for (const Node &node : nodes_) {
+    for (const Node &node : nodes) {
         mix(static_cast<std::uint64_t>(node.pid));
         mix(static_cast<std::uint64_t>(node.op.kind));
         mix(node.op.addr);
         mix(node.op.delay);
     }
     return h;
+}
+
+std::uint64_t
+Test::fingerprint() const
+{
+    return fingerprintNodes(nodes_);
 }
 
 } // namespace mcversi::gp

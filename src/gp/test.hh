@@ -14,9 +14,10 @@
 #define MCVERSI_GP_TEST_HH
 
 #include <cstdint>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
+#include "common/addrset.hh"
 #include "gp/ops.hh"
 
 namespace mcversi::gp {
@@ -40,6 +41,47 @@ staticEventNode(StaticEventId sid)
     return static_cast<std::size_t>(sid / 2);
 }
 
+/**
+ * Per-thread node-index table in CSR form: one flat slot array grouped
+ * by pid plus an offset table. A caller-owned instance is filled by
+ * Test::threadSlots() and keeps its capacity across runs, so the per
+ * test-run code emission allocates nothing in the steady state (unlike
+ * the nested std::vector table it replaces).
+ */
+class ThreadSlots
+{
+  public:
+    int
+    numThreads() const
+    {
+        return offsets_.empty() ? 0
+                                : static_cast<int>(offsets_.size() - 1);
+    }
+
+    /** Node indices of thread @p pid in code-sequence order. */
+    std::span<const std::size_t>
+    thread(int pid) const
+    {
+        const auto p = static_cast<std::size_t>(pid);
+        return std::span<const std::size_t>(slots_)
+            .subspan(offsets_[p], offsets_[p + 1] - offsets_[p]);
+    }
+
+    std::span<const std::size_t>
+    operator[](int pid) const
+    {
+        return thread(pid);
+    }
+
+  private:
+    friend class Test;
+    /** slots_ grouped by pid; offsets_ has numThreads+1 entries. */
+    std::vector<std::size_t> slots_;
+    std::vector<std::size_t> offsets_;
+    /** Fill cursors, reused across calls. */
+    std::vector<std::size_t> cursor_;
+};
+
 /** A test: fixed-length flat list of genes. */
 class Test
 {
@@ -52,19 +94,38 @@ class Test
     Node &node(std::size_t i) { return nodes_[i]; }
     const std::vector<Node> &nodes() const { return nodes_; }
 
+    /** Flat view of the genes (for slab-backed storage interop). */
+    std::span<const Node> genes() const { return nodes_; }
+    std::span<Node> genes() { return nodes_; }
+
+    /** Replace the contents, reusing this test's node capacity. */
+    void
+    assign(std::span<const Node> nodes)
+    {
+        nodes_.assign(nodes.begin(), nodes.end());
+    }
+
+    /** Resize to @p n genes (new genes value-initialized). */
+    void resize(std::size_t n) { nodes_.resize(n); }
+
     /**
-     * Node indices of each thread in code-sequence order.
+     * Fill @p out with the node indices of each thread in code-sequence
+     * order. @p out is caller-owned scratch whose capacity is reused
+     * across calls (allocation-free in the steady state).
      *
-     * @param num_threads size of the returned per-thread table
+     * @param num_threads size of the per-thread table
      */
-    std::vector<std::vector<std::size_t>>
-    threadSlots(int num_threads) const;
+    void threadSlots(int num_threads, ThreadSlots &out) const;
 
     /** Number of memory operations (Algorithm 1's mem_ops). */
     std::size_t countMemOps() const;
 
-    /** Distinct logical addresses referenced by memory operations. */
-    std::unordered_set<Addr> usedAddrs() const;
+    /**
+     * Distinct logical addresses referenced by memory operations, as a
+     * sorted flat set: iteration order is deterministic and identical
+     * across platforms, and building it performs no hashing.
+     */
+    AddrSet usedAddrs() const;
 
     /** Total MCM events the test maps to. */
     std::size_t countEvents() const;
@@ -75,6 +136,9 @@ class Test
   private:
     std::vector<Node> nodes_;
 };
+
+/** Content hash of a flat gene sequence (== Test::fingerprint()). */
+std::uint64_t fingerprintNodes(std::span<const Node> nodes);
 
 } // namespace mcversi::gp
 

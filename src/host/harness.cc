@@ -74,6 +74,7 @@ VerificationHarness::run(const Budget &budget)
     }
     result.wallSeconds = elapsed();
     result.totalCoverage = system_->coverage().totalCoverage();
+    result.meanFitness = source_.meanFitness();
     return result;
 }
 

@@ -53,6 +53,27 @@ struct HarnessResult
     std::vector<double> ndtHistory;
     /** Final total structural coverage per protocol prefix. */
     double totalCoverage = 0.0;
+
+    // -- Generation metrics (deterministic; timing-free) --------------
+    /** Final mean population fitness (0 for fitness-free sources). */
+    double meanFitness = 0.0;
+    /**
+     * Mean population fitness sampled at batch barriers (ParallelHarness
+     * only; capped at kMaxTrajectorySamples). Deterministic for a given
+     * spec: depends only on seed, batch size and test-run budget.
+     */
+    std::vector<double> fitnessTrajectory;
+
+    /** Aggregate generate->evaluate throughput (timing-dependent). */
+    double
+    testsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(testRuns) / wallSeconds
+                   : 0.0;
+    }
+
+    static constexpr std::size_t kMaxTrajectorySamples = 512;
 };
 
 /** One verification campaign on one simulated system. */

@@ -56,13 +56,12 @@ Workload::Workload(sim::System &system, mc::Checker &checker,
 }
 
 std::vector<sim::Program>
-Workload::emitPrograms(
-    const gp::Test &test,
-    std::vector<std::vector<std::size_t>> &slot_tables) const
+Workload::emitPrograms(const gp::Test &test,
+                       gp::ThreadSlots &slot_tables) const
 {
     const TestMemLayout &layout = services_.layout();
     const int num_threads = system_.numCores();
-    slot_tables = test.threadSlots(num_threads);
+    test.threadSlots(num_threads, slot_tables);
 
     std::vector<sim::Program> programs(
         static_cast<std::size_t>(num_threads));
@@ -73,8 +72,7 @@ Workload::emitPrograms(
         };
         prog.memSize = layout.memSize();
         prog.stride = layout.stride();
-        for (const std::size_t node_idx :
-             slot_tables[static_cast<std::size_t>(t)]) {
+        for (const std::size_t node_idx : slot_tables.thread(t)) {
             const gp::Op &op = test.node(node_idx).op;
             sim::ProgInstr instr;
             instr.kind = toInstrKind(op.kind);
@@ -88,24 +86,22 @@ Workload::emitPrograms(
 }
 
 gp::StaticEventId
-Workload::staticIdOf(
-    const mc::Event &ev,
-    const std::vector<std::vector<std::size_t>> &slots) const
+Workload::staticIdOf(const mc::Event &ev,
+                     const gp::ThreadSlots &slots) const
 {
     if (ev.isInit()) {
         const Addr logical = services_.layout().toLogical(ev.addr);
         return gp::initStaticEventId(logical);
     }
-    const auto &thread = slots[static_cast<std::size_t>(ev.iiid.pid)];
+    const auto thread = slots.thread(ev.iiid.pid);
     const std::size_t node_idx =
         thread[static_cast<std::size_t>(ev.iiid.poi)];
     return gp::staticEventId(node_idx, ev.sub);
 }
 
 void
-Workload::accumulateNd(
-    const mc::ExecWitness &witness,
-    const std::vector<std::vector<std::size_t>> &slots)
+Workload::accumulateNd(const mc::ExecWitness &witness,
+                       const gp::ThreadSlots &slots)
 {
     const TestMemLayout &layout = services_.layout();
     auto add = [&](mc::EventId from, mc::EventId to) {
@@ -141,8 +137,8 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     const auto t0 = std::chrono::steady_clock::now();
     RunResult result;
 
-    std::vector<std::vector<std::size_t>> slot_tables;
-    std::vector<sim::Program> programs = emitPrograms(test, slot_tables);
+    std::vector<sim::Program> programs =
+        emitPrograms(test, slotScratch_);
 
     // make_test_thread: host writes each thread's code.
     for (Pid p = 0; p < static_cast<Pid>(system_.numCores()); ++p)
@@ -219,7 +215,7 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
             break;
         }
 
-        accumulateNd(system_.witness(), slot_tables);
+        accumulateNd(system_.witness(), slotScratch_);
         result.iterationsRun = iter + 1;
     }
 

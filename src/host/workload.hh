@@ -116,25 +116,30 @@ class Workload
     const Params &params() const { return params_; }
     void setParams(Params p) { params_ = p; }
 
-    /** Translate one test into per-thread programs (code emission). */
+    /**
+     * Translate one test into per-thread programs (code emission).
+     * @p slot_tables is reusable scratch filled with the per-thread
+     * node-index table (allocation-free in the steady state).
+     */
     std::vector<sim::Program>
     emitPrograms(const gp::Test &test,
-                 std::vector<std::vector<std::size_t>> &slot_tables) const;
+                 gp::ThreadSlots &slot_tables) const;
 
   private:
     /** Map a witness event to its static event id. */
     gp::StaticEventId
-    staticIdOf(const mc::Event &ev,
-               const std::vector<std::vector<std::size_t>> &slots) const;
+    staticIdOf(const mc::Event &ev, const gp::ThreadSlots &slots) const;
 
     void accumulateNd(const mc::ExecWitness &witness,
-                      const std::vector<std::vector<std::size_t>> &slots);
+                      const gp::ThreadSlots &slots);
 
     sim::System &system_;
     mc::Checker &checker_;
     HostServices services_;
     Params params_;
     gp::NdAccumulator nd_;
+    /** Per-run thread-slot scratch, capacity reused across runs. */
+    gp::ThreadSlots slotScratch_;
 };
 
 } // namespace mcversi::host

@@ -71,6 +71,65 @@ TEST(CampaignRunner, WorkerCountDoesNotChangeTheSummary)
     EXPECT_EQ(s1.toJson(false), again.toJson(false));
 }
 
+TEST(CampaignRunner, SummaryByteIdenticalAcrossEvalThreadsAndIslands)
+{
+    // The ISSUE's determinism matrix: eval-threads {1, 8} x islands
+    // {1, 4}. For every island count, the timing-free summary must be
+    // byte-identical no matter how many workers evaluate each batch.
+    for (const std::size_t islands : {std::size_t{1}, std::size_t{4}}) {
+        CampaignSpec spec;
+        spec.bug = "none";
+        spec.generator = "McVerSi-ALL";
+        spec.testSize = 64;
+        spec.iterations = 2;
+        spec.memSize = 1024;
+        spec.population = 8;
+        spec.islands = islands;
+        spec.migration = 16;
+        spec.batch = islands > 1 ? 8 : 1;
+        spec.maxTestRuns = 32;
+        spec.seed = 5;
+
+        CampaignSummary byThreads[2];
+        const int thread_counts[2] = {1, 8};
+        for (int t = 0; t < 2; ++t) {
+            CampaignRunner::Options options;
+            options.threads = 1;
+            options.evalThreads = thread_counts[t];
+            byThreads[t] = CampaignRunner(options).run({spec});
+            ASSERT_EQ(byThreads[t].errors(), 0u)
+                << byThreads[t].results[0].error;
+        }
+        EXPECT_EQ(byThreads[0].toJson(false), byThreads[1].toJson(false))
+            << "islands=" << islands;
+        EXPECT_EQ(byThreads[0].toCsv(false), byThreads[1].toCsv(false))
+            << "islands=" << islands;
+    }
+}
+
+TEST(CampaignRunner, ParallelSpecFindsInjectedBugDeterministically)
+{
+    CampaignSpec spec;
+    spec.bug = "SQ+no-FIFO";
+    spec.generator = "McVerSi-RAND";
+    spec.testSize = 96;
+    spec.iterations = 3;
+    spec.memSize = 1024;
+    spec.seed = 2;
+    spec.islands = 2;
+    spec.batch = 8;
+    spec.maxTestRuns = 400;
+
+    const CampaignResult a = CampaignRunner::runOne(spec, 1);
+    const CampaignResult b = CampaignRunner::runOne(spec, 4);
+    ASSERT_TRUE(a.ok()) << a.error;
+    EXPECT_TRUE(a.harness.bugFound);
+    EXPECT_EQ(a.harness.testRunsToBug, b.harness.testRunsToBug);
+    EXPECT_EQ(a.harness.simTicks, b.harness.simTicks);
+    EXPECT_EQ(a.harness.detail, b.harness.detail);
+    EXPECT_EQ(a.protocolCoverage, b.protocolCoverage);
+}
+
 TEST(CampaignRunner, ResultsStayInSpecOrder)
 {
     const std::vector<CampaignSpec> specs = quickstartMatrix();

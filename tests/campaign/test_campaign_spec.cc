@@ -34,6 +34,9 @@ TEST(CampaignSpec, EveryFieldRoundTripsThroughString)
     spec.stride = 32;
     spec.guestThreads = 4;
     spec.population = 40;
+    spec.islands = 4;
+    spec.migration = 128;
+    spec.batch = 16;
     spec.maxTestRuns = 777;
     spec.maxWallSeconds = 2.5;
     spec.litmusIterations = 9;
@@ -44,6 +47,58 @@ TEST(CampaignSpec, EveryFieldRoundTripsThroughString)
     EXPECT_EQ(parsed, spec);
     // And the canonical form is a fixed point.
     EXPECT_EQ(parsed.toString(), spec.toString());
+}
+
+TEST(CampaignSpec, EvolutionKnobsParseAndValidate)
+{
+    CampaignSpec spec;
+    spec.set("islands=4");
+    spec.set("migration=64");
+    spec.set("batch=16");
+    EXPECT_EQ(spec.islands, 4u);
+    EXPECT_EQ(spec.migration, 64u);
+    EXPECT_EQ(spec.batch, 16u);
+    EXPECT_TRUE(spec.usesParallelHarness());
+    EXPECT_NO_THROW(spec.validate());
+
+    // migration=0 disables migration but stays valid.
+    spec.set("migration=0");
+    EXPECT_NO_THROW(spec.validate());
+
+    EXPECT_THROW(spec.set("islands=0"), std::invalid_argument);
+    EXPECT_THROW(spec.set("batch=0"), std::invalid_argument);
+    EXPECT_THROW(spec.set("islands=-3"), std::invalid_argument);
+
+    // Out-of-range topology is rejected by validate().
+    CampaignSpec big;
+    big.islands = 65;
+    EXPECT_THROW(big.validate(), std::invalid_argument);
+    CampaignSpec huge;
+    huge.batch = 5000;
+    EXPECT_THROW(huge.validate(), std::invalid_argument);
+
+    // The defaults keep the serial harness.
+    EXPECT_FALSE(CampaignSpec{}.usesParallelHarness());
+
+    // Litmus generators run the serial litmus loop: asking for the
+    // batched harness is a spec error, not a silent no-op.
+    CampaignSpec litmus;
+    litmus.generator = "diy-litmus";
+    litmus.islands = 4;
+    EXPECT_THROW(litmus.validate(), std::invalid_argument);
+    litmus.islands = 1;
+    litmus.batch = 8;
+    EXPECT_THROW(litmus.validate(), std::invalid_argument);
+    litmus.batch = 1;
+    EXPECT_NO_THROW(litmus.validate());
+
+    // Derived view forwards to the engine params.
+    CampaignSpec derived;
+    derived.islands = 3;
+    derived.migration = 99;
+    const gp::EvolutionParams evo = derived.evolutionParams();
+    EXPECT_EQ(evo.islands, 3u);
+    EXPECT_EQ(evo.migrationInterval, 99u);
 }
 
 TEST(CampaignSpec, KeyValueSettersParse)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strict.hh"
 #include "gp/ga.hh"
 
 namespace gp = mcversi::gp;
@@ -108,6 +109,22 @@ TEST(Ga, SinglePointModeRuns)
         ga.reportResult(0.1, {});
     }
     EXPECT_EQ(ga.mode(), SteadyStateGa::XoMode::SinglePoint);
+}
+
+TEST(Ga, PairingMisuseThrowsInStrictBuilds)
+{
+    if (!mcversi::strictApiChecks())
+        GTEST_SKIP() << "release build: contract checks are relaxed";
+
+    SteadyStateGa ga(smallGa(), smallGen(), 6);
+    // reportResult() before any nextTest(): misuse.
+    EXPECT_THROW(ga.reportResult(0.1, {}), std::logic_error);
+    ga.nextTest();
+    // nextTest() while a test is pending: misuse.
+    EXPECT_THROW(ga.nextTest(), std::logic_error);
+    // The pending test can still be reported and the GA keeps working.
+    EXPECT_NO_THROW(ga.reportResult(0.1, {}));
+    EXPECT_EQ(ga.evaluated(), 1u);
 }
 
 TEST(Ga, DeterministicWithSeed)

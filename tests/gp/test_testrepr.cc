@@ -31,12 +31,33 @@ makeTest()
 TEST(TestRepr, ThreadSlotsPreserveOrder)
 {
     GpTest t = makeTest();
-    auto slots = t.threadSlots(4);
-    ASSERT_EQ(slots.size(), 4u);
-    EXPECT_EQ(slots[0], (std::vector<std::size_t>{0, 2}));
-    EXPECT_EQ(slots[1], (std::vector<std::size_t>{1, 3}));
-    EXPECT_EQ(slots[2], (std::vector<std::size_t>{4}));
-    EXPECT_TRUE(slots[3].empty());
+    gp::ThreadSlots slots;
+    t.threadSlots(4, slots);
+    ASSERT_EQ(slots.numThreads(), 4);
+    auto asVec = [&](int pid) {
+        const auto s = slots.thread(pid);
+        return std::vector<std::size_t>(s.begin(), s.end());
+    };
+    EXPECT_EQ(asVec(0), (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(asVec(1), (std::vector<std::size_t>{1, 3}));
+    EXPECT_EQ(asVec(2), (std::vector<std::size_t>{4}));
+    EXPECT_TRUE(slots.thread(3).empty());
+}
+
+TEST(TestRepr, ThreadSlotsScratchIsReusedAcrossCalls)
+{
+    GpTest t = makeTest();
+    gp::ThreadSlots slots;
+    t.threadSlots(4, slots);
+    const auto first = std::vector<std::size_t>(slots.thread(1).begin(),
+                                                slots.thread(1).end());
+    // Refill with a different thread count, then back: same contents.
+    t.threadSlots(2, slots);
+    EXPECT_EQ(slots.numThreads(), 2);
+    t.threadSlots(4, slots);
+    EXPECT_EQ(std::vector<std::size_t>(slots.thread(1).begin(),
+                                       slots.thread(1).end()),
+              first);
 }
 
 TEST(TestRepr, CountMemOps)
@@ -52,11 +73,15 @@ TEST(TestRepr, CountEvents)
 
 TEST(TestRepr, UsedAddrs)
 {
-    auto addrs = makeTest().usedAddrs();
+    const mcversi::AddrSet addrs = makeTest().usedAddrs();
     EXPECT_EQ(addrs.size(), 3u);
     EXPECT_TRUE(addrs.count(0x10));
     EXPECT_TRUE(addrs.count(0x20));
     EXPECT_TRUE(addrs.count(0x30));
+    // Flat sorted set: iteration order is ascending and deterministic.
+    EXPECT_EQ(addrs[0], 0x10u);
+    EXPECT_EQ(addrs[1], 0x20u);
+    EXPECT_EQ(addrs[2], 0x30u);
 }
 
 TEST(TestRepr, FingerprintSensitivity)

@@ -70,8 +70,10 @@ TEST(Harness, GaSourceImprovesOrMatchesAndTracksNdt)
     budget.maxTestRuns = 30;
     HarnessResult result = harness.run(budget);
     EXPECT_EQ(result.testRuns, 30u);
-    EXPECT_GT(source.ga().evaluated(), 0u);
-    EXPECT_GT(source.ga().meanNdt(), 0.0);
+    EXPECT_GT(source.engine().evaluated(), 0u);
+    EXPECT_GT(source.engine().meanNdt(), 0.0);
+    EXPECT_TRUE(source.hasFitnessMetrics());
+    EXPECT_EQ(result.meanFitness, source.meanFitness());
 }
 
 TEST(Harness, SourceNames)

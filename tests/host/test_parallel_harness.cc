@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ParallelHarness tests: worker-count byte-determinism, serial-harness
+ * equivalence in the degenerate configuration, budget handling, lane
+ * sharding, and bug-stop batch semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strict.hh"
+#include "host/harness.hh"
+#include "host/parallel_harness.hh"
+
+using namespace mcversi;
+using namespace mcversi::host;
+
+namespace {
+
+VerificationHarness::Params
+smallParams(sim::BugId bug = sim::BugId::None, std::uint64_t seed = 5)
+{
+    VerificationHarness::Params p;
+    p.system.bug = bug;
+    p.system.seed = seed;
+    p.gen.testSize = 64;
+    p.gen.iterations = 2;
+    p.gen.memSize = 1024;
+    p.workload.iterations = 2;
+    return p;
+}
+
+gp::GaParams
+smallGa()
+{
+    gp::GaParams ga;
+    ga.population = 8;
+    return ga;
+}
+
+/** Timing-free comparison of two harness results. */
+void
+expectSameResult(const HarnessResult &a, const HarnessResult &b)
+{
+    EXPECT_EQ(a.bugFound, b.bugFound);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.testRuns, b.testRuns);
+    EXPECT_EQ(a.testRunsToBug, b.testRunsToBug);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.messagesSent, b.messagesSent);
+    EXPECT_EQ(a.ndtHistory, b.ndtHistory);
+    EXPECT_EQ(a.totalCoverage, b.totalCoverage);
+    EXPECT_EQ(a.meanFitness, b.meanFitness);
+    EXPECT_EQ(a.fitnessTrajectory, b.fitnessTrajectory);
+}
+
+HarnessResult
+runGaCampaign(std::size_t islands, std::size_t batch, int threads,
+              std::uint64_t budget_runs = 48)
+{
+    auto params = smallParams();
+    gp::EvolutionParams evo;
+    evo.islands = islands;
+    evo.migrationInterval = 16;
+    GaSource source(smallGa(), params.gen, 7, gp::XoMode::Selective,
+                    evo);
+    ParallelHarness::Params pp;
+    pp.harness = params;
+    pp.lanes = islands;
+    pp.batch = batch;
+    pp.threads = threads;
+    ParallelHarness harness(pp, source);
+    Budget budget;
+    budget.maxTestRuns = budget_runs;
+    return harness.run(budget);
+}
+
+} // namespace
+
+TEST(ParallelHarness, WorkerCountDoesNotChangeTheResult)
+{
+    const HarnessResult t1 = runGaCampaign(4, 8, 1);
+    const HarnessResult t8 = runGaCampaign(4, 8, 8);
+    expectSameResult(t1, t8);
+    EXPECT_EQ(t1.testRuns, 48u);
+    EXPECT_GT(t1.totalCoverage, 0.0);
+    EXPECT_GT(t1.meanFitness, 0.0);
+    // One trajectory sample per batch barrier.
+    EXPECT_EQ(t1.fitnessTrajectory.size(), 48u / 8u);
+}
+
+TEST(ParallelHarness, DegenerateConfigMatchesSerialHarness)
+{
+    // lanes=1, batch=1: same systems, same source decisions, same
+    // fitness-state updates as the serial VerificationHarness.
+    auto params = smallParams();
+    gp::EvolutionParams evo;
+    GaSource serial_source(smallGa(), params.gen, 7,
+                           gp::XoMode::Selective, evo);
+    VerificationHarness serial(params, serial_source);
+    Budget budget;
+    budget.maxTestRuns = 24;
+    const HarnessResult a = serial.run(budget);
+
+    GaSource batch_source(smallGa(), params.gen, 7,
+                          gp::XoMode::Selective, evo);
+    ParallelHarness::Params pp;
+    pp.harness = params;
+    pp.lanes = 1;
+    pp.batch = 1;
+    pp.threads = 1;
+    ParallelHarness parallel(pp, batch_source);
+    const HarnessResult b = parallel.run(budget);
+
+    EXPECT_EQ(a.testRuns, b.testRuns);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.ndtHistory, b.ndtHistory);
+    EXPECT_EQ(a.totalCoverage, b.totalCoverage);
+    EXPECT_EQ(a.meanFitness, b.meanFitness);
+}
+
+TEST(ParallelHarness, BudgetClampsTheFinalBatch)
+{
+    // 20 runs with batch 8: batches of 8, 8, 4.
+    const HarnessResult r = runGaCampaign(4, 8, 2, 20);
+    EXPECT_EQ(r.testRuns, 20u);
+    EXPECT_EQ(r.fitnessTrajectory.size(), 3u);
+}
+
+TEST(ParallelHarness, RandomSourceBatchesDeterministically)
+{
+    auto params = smallParams();
+    auto run = [&](int threads) {
+        RandomSource source(params.gen, 3);
+        ParallelHarness::Params pp;
+        pp.harness = params;
+        pp.lanes = 4;
+        pp.batch = 8;
+        pp.threads = threads;
+        ParallelHarness harness(pp, source);
+        Budget budget;
+        budget.maxTestRuns = 32;
+        return harness.run(budget);
+    };
+    const HarnessResult t1 = run(1);
+    const HarnessResult t4 = run(4);
+    expectSameResult(t1, t4);
+    EXPECT_EQ(t1.testRuns, 32u);
+    // Random sources carry no population fitness.
+    EXPECT_EQ(t1.meanFitness, 0.0);
+    EXPECT_TRUE(t1.fitnessTrajectory.empty());
+}
+
+TEST(ParallelHarness, LaneIslandMismatchThrowsInStrictBuilds)
+{
+    if (!strictApiChecks())
+        GTEST_SKIP() << "release build: contract checks are relaxed";
+
+    auto params = smallParams();
+    gp::EvolutionParams evo;
+    evo.islands = 4;
+    GaSource source(smallGa(), params.gen, 1, gp::XoMode::Selective,
+                    evo);
+    ParallelHarness::Params pp;
+    pp.harness = params;
+    pp.lanes = 2; // != the source's 4 islands
+    EXPECT_THROW((ParallelHarness{pp, source}), std::logic_error);
+    pp.lanes = 4;
+    EXPECT_NO_THROW((ParallelHarness{pp, source}));
+}
+
+TEST(ParallelHarness, FindsInjectedBugDeterministically)
+{
+    auto params = smallParams(sim::BugId::LqNoTso, 2);
+    params.gen.testSize = 96;
+    params.gen.iterations = 3;
+    params.workload.iterations = 3;
+    auto run = [&](int threads) {
+        RandomSource source(params.gen, 2);
+        ParallelHarness::Params pp;
+        pp.harness = params;
+        pp.lanes = 2;
+        pp.batch = 8;
+        pp.threads = threads;
+        ParallelHarness harness(pp, source);
+        Budget budget;
+        budget.maxTestRuns = 400;
+        return harness.run(budget);
+    };
+    const HarnessResult t1 = run(1);
+    const HarnessResult t3 = run(3);
+    ASSERT_TRUE(t1.bugFound);
+    expectSameResult(t1, t3);
+    EXPECT_GT(t1.testRunsToBug, 0u);
+    EXPECT_LE(t1.testRunsToBug, t1.testRuns);
+    // Batch semantics: the bug batch is merged in full, so the run
+    // count is the bug batch's end, at or past the bug slot.
+    EXPECT_FALSE(t1.detail.empty());
+}

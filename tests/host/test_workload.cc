@@ -82,7 +82,7 @@ TEST(Workload, EmitProgramsMapsThreadsAndAddresses)
     nodes.push_back({1, gp::Op{gp::OpKind::Read, 0x20}});
     nodes.push_back({0, gp::Op{gp::OpKind::Delay}});
     gp::Test test(std::move(nodes));
-    std::vector<std::vector<std::size_t>> slots;
+    gp::ThreadSlots slots;
     auto programs = f.workload->emitPrograms(test, slots);
     ASSERT_EQ(programs.size(), 8u);
     EXPECT_EQ(programs[0].instrs.size(), 2u);
@@ -90,8 +90,12 @@ TEST(Workload, EmitProgramsMapsThreadsAndAddresses)
     EXPECT_EQ(programs[0].instrs[0].kind, sim::InstrKind::Store);
     const TestMemLayout &layout = f.workload->services().layout();
     EXPECT_EQ(programs[0].instrs[0].addr, layout.toPhys(0x10));
-    EXPECT_EQ(slots[0], (std::vector<std::size_t>{0, 2}));
-    EXPECT_EQ(slots[1], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(std::vector<std::size_t>(slots.thread(0).begin(),
+                                       slots.thread(0).end()),
+              (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(std::vector<std::size_t>(slots.thread(1).begin(),
+                                       slots.thread(1).end()),
+              (std::vector<std::size_t>{1}));
 }
 
 TEST(Workload, DetectsInjectedLqBug)

@@ -35,7 +35,8 @@ TEST(Diy, MpBuilds)
     EXPECT_EQ(test->test.size(), 4u);
     EXPECT_EQ(test->forbidden.size(), 2u);
     // Writer thread: two writes; reader thread: two reads.
-    auto slots = test->test.threadSlots(2);
+    gp::ThreadSlots slots;
+    test->test.threadSlots(2, slots);
     ASSERT_EQ(slots[0].size(), 2u);
     ASSERT_EQ(slots[1].size(), 2u);
     EXPECT_EQ(test->test.node(slots[0][0]).op.kind, gp::OpKind::Write);

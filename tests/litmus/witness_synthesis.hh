@@ -38,16 +38,16 @@ using Coord = std::pair<Pid, int>;
 inline mc::ExecWitness
 forbiddenWitness(const LitmusTest &t)
 {
-    const auto slots = t.test.threadSlots(t.numThreads);
+    gp::ThreadSlots slots;
+    t.test.threadSlots(t.numThreads, slots);
     auto nodeAt = [&](Pid p, int s) -> const gp::Node & {
-        return t.test.node(slots[static_cast<std::size_t>(p)]
-                                [static_cast<std::size_t>(s)]);
+        return t.test.node(slots.thread(p)[static_cast<std::size_t>(s)]);
     };
 
     // Writes per address, in (pid, slot) scan order.
     std::map<Addr, std::vector<Coord>> writesAt;
     for (Pid p = 0; p < t.numThreads; ++p) {
-        const auto &th = slots[static_cast<std::size_t>(p)];
+        const auto th = slots.thread(p);
         for (int s = 0; s < static_cast<int>(th.size()); ++s) {
             const gp::Op &op = nodeAt(p, s).op;
             if (op.kind == gp::OpKind::Write ||
@@ -124,7 +124,7 @@ forbiddenWitness(const LitmusTest &t)
     // Emit events thread by thread in program order.
     mc::ExecWitness ew;
     for (Pid p = 0; p < t.numThreads; ++p) {
-        const auto &th = slots[static_cast<std::size_t>(p)];
+        const auto th = slots.thread(p);
         for (int s = 0; s < static_cast<int>(th.size()); ++s) {
             const gp::Op &op = nodeAt(p, s).op;
             const Coord here{p, s};
@@ -162,7 +162,8 @@ forbiddenWitness(const LitmusTest &t)
 inline mc::ExecWitness
 sequentialWitness(const LitmusTest &t)
 {
-    const auto slots = t.test.threadSlots(t.numThreads);
+    gp::ThreadSlots slots;
+    t.test.threadSlots(t.numThreads, slots);
     mc::ExecWitness ew;
     std::map<Addr, WriteVal> mem;
     WriteVal next = 1;
@@ -171,7 +172,7 @@ sequentialWitness(const LitmusTest &t)
         return it == mem.end() ? kInitVal : it->second;
     };
     for (Pid p = 0; p < t.numThreads; ++p) {
-        const auto &th = slots[static_cast<std::size_t>(p)];
+        const auto th = slots.thread(p);
         for (int s = 0; s < static_cast<int>(th.size()); ++s) {
             const gp::Op &op =
                 t.test.node(th[static_cast<std::size_t>(s)]).op;

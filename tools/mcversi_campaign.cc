@@ -45,19 +45,27 @@ printUsage()
         "  seeds=<lo..hi|s1;s2;...>        seed axis\n"
         "\n"
         "Runner keys:\n"
-        "  threads=N     worker threads (0 = hardware concurrency)\n"
-        "  json=FILE     write the JSON summary\n"
-        "  csv=FILE      write the CSV summary\n"
-        "  quiet=1       suppress per-campaign progress lines\n"
+        "  threads=N      worker threads across specs (0 = hardware)\n"
+        "  eval-threads=N worker threads inside one spec's batch\n"
+        "                 evaluation (0 = hardware; summaries are\n"
+        "                 byte-identical for any value)\n"
+        "  json=FILE      write the JSON summary\n"
+        "  csv=FILE       write the CSV summary\n"
+        "  quiet=1        suppress per-campaign progress lines\n"
         "\n"
         "Campaign spec keys (defaults in parentheses):\n"
         "  bug=NAME (none)            generator=NAME (McVerSi-ALL)\n"
         "  seed=N (1)                 protocol=auto|mesi|tsocc (auto)\n"
         "  test-size=N (256)          iterations=N (4)\n"
         "  mem-size=N[k] (8192)       stride=N (16)\n"
-        "  guest-threads=N (8)        population=N (50)\n"
+        "  guest-threads=N (8)        population=N (50, per island)\n"
+        "  islands=N (1)              migration=N evals (256, 0 = off)\n"
+        "  batch=N (1)                \n"
         "  max-runs=N (1000)          max-seconds=X (0 = unlimited)\n"
         "  litmus-iterations=N (12)   record-ndt=0|1 (0)\n"
+        "\n"
+        "islands>1 or batch>1 selects the batched multi-lane harness:\n"
+        "one simulation lane per island, eval-threads workers.\n"
         "\n"
         "Flags: --help, --list-bugs, --list-generators\n";
 }
@@ -104,6 +112,7 @@ main(int argc, char **argv)
 {
     campaign::CampaignMatrix matrix;
     int threads = 0;
+    int eval_threads = 1;
     bool quiet = false;
     std::string json_path;
     std::string csv_path;
@@ -136,6 +145,8 @@ main(int argc, char **argv)
                 matrix.seeds = campaign::parseSeedList(value);
             } else if (key == "threads") {
                 threads = std::stoi(value);
+            } else if (key == "eval-threads") {
+                eval_threads = std::stoi(value);
             } else if (key == "json") {
                 json_path = value;
             } else if (key == "csv") {
@@ -164,6 +175,7 @@ main(int argc, char **argv)
 
     campaign::CampaignRunner::Options options;
     options.threads = threads;
+    options.evalThreads = eval_threads;
     if (!quiet) {
         options.onResult = [](const campaign::CampaignResult &r,
                               std::size_t done, std::size_t total) {
@@ -202,12 +214,17 @@ main(int argc, char **argv)
                     r.harness.bugFound ? "yes" : "no", runs, coverage,
                     r.ok() ? "ok" : r.error.c_str());
     }
+    const double wall = summary.totalWallSeconds();
     std::printf("\n%zu campaigns, %zu bugs found, %zu errors, "
-                "%llu test-runs, %.1f s total sim wall-clock\n",
+                "%llu test-runs, %.1f s total sim wall-clock "
+                "(%.1f tests/s aggregate)\n",
                 summary.campaigns(), summary.bugsFound(),
                 summary.errors(),
                 static_cast<unsigned long long>(summary.totalTestRuns()),
-                summary.totalWallSeconds());
+                wall,
+                wall > 0.0
+                    ? static_cast<double>(summary.totalTestRuns()) / wall
+                    : 0.0);
 
     bool files_ok = true;
     if (!json_path.empty())
