@@ -17,16 +17,30 @@
  * model stores serializing after later loads retired (the out-of-order
  * recording case the witness must handle).
  *
+ * A repeated-seed scenario exercises collective checking: a fixed pool
+ * of pre-generated traces is cycled many times -- the shape of a
+ * campaign re-running its fittest tests -- once against a plain checker
+ * and once against a checker with the verdict cache enabled. Timing
+ * brackets only the check() call (the phase the cache can skip), and
+ * before any measurement every pool trace is checked uncached, as a
+ * cache miss, and as a cache hit; any divergence in kind, message, or
+ * cycle aborts the bench with exit code 2.
+ *
  * Output: a JSON document (schema below) written to BENCH_checker.json
  * (override with MCVERSI_BENCH_JSON). MCVERSI_BENCH_SCALE scales the
  * per-scenario repeat budget.
  *
  *   {
- *     "bench": "checker_throughput", "schema": 1,
+ *     "bench": "checker_throughput", "schema": 2,
  *     "scenarios": [{"name", "threads", "opsPerThread", "addrs",
  *                    "events", "repeats", "seconds",
  *                    "testsPerSec", "checkUsPerEvent"}, ...],
- *     "aggregate": {"testsPerSec", "checkUsPerEvent"}
+ *     "aggregate": {"testsPerSec", "checkUsPerEvent"},
+ *     "repeatedSeed": {"traces", "cycles", "repeats", "events",
+ *                      "distinctInterleavings", "hitRate",
+ *                      "uncached": {"seconds", "testsPerSec"},
+ *                      "cached": {"seconds", "testsPerSec"},
+ *                      "speedupTestsPerSec"}
  *   }
  */
 
@@ -215,12 +229,136 @@ runScenario(const Scenario &sc, const mc::Checker &checker, int repeats)
     return res;
 }
 
-std::string
-toJson(const std::vector<ScenarioResult> &results)
+/** Collective-checking scenario: one trace pool, two checkers. */
+struct RepeatedSeedResult
 {
-    char buf[256];
+    std::size_t traces = 0;
+    int cycles = 0;
+    int repeats = 0;          ///< traces * cycles check() calls per side
+    std::size_t events = 0;   ///< summed events of one pool pass
+    double uncachedSeconds = 0.0; ///< check() time only, full analysis
+    double cachedSeconds = 0.0;   ///< check() time only, memoized
+    std::uint64_t distinct = 0;
+    double hitRate = 0.0;
+
+    double
+    testsPerSec(double seconds) const
+    {
+        return seconds > 0.0 ? repeats / seconds : 0.0;
+    }
+
+    double
+    speedup() const
+    {
+        return cachedSeconds > 0.0 ? uncachedSeconds / cachedSeconds
+                                   : 0.0;
+    }
+};
+
+/** Abort with exit code 2 unless @p got is byte-identical to @p want. */
+void
+requireIdentical(const mc::CheckResult &want, const mc::CheckResult &got,
+                 std::size_t trace, const char *path)
+{
+    if (got.kind == want.kind && got.message == want.message &&
+        got.cycle == want.cycle) {
+        return;
+    }
+    std::fprintf(stderr,
+                 "verdict divergence on pool trace %zu (%s path): "
+                 "cached pipeline returned '%s', uncached '%s'\n",
+                 trace, path, mc::CheckResult::kindName(got.kind),
+                 mc::CheckResult::kindName(want.kind));
+    std::exit(2);
+}
+
+RepeatedSeedResult
+runRepeatedSeed(int cycles)
+{
+    // A campaign-shaped pool: the GA re-evaluates its fittest tests
+    // over and over, so a small set of interleaving shapes recurs for
+    // thousands of test-runs. 32 paper-sized traces stand in for that
+    // working set.
+    constexpr std::size_t kPoolSize = 32;
+    const Scenario shape{"repeated-seed", 4, 250, 16, 404};
+
+    std::vector<std::vector<RecordOp>> pool;
+    pool.reserve(kPoolSize);
+    for (std::size_t t = 0; t < kPoolSize; ++t) {
+        Scenario sc = shape;
+        sc.seed = shape.seed + t;
+        Rng rng(sc.seed);
+        pool.push_back(generateTrace(sc, rng));
+    }
+
+    const mc::Checker uncached(mc::makeTso());
+    mc::Checker cached(mc::makeTso());
+    cached.enableVerdictCache({.capacity = 4096});
+
+    RepeatedSeedResult res;
+    res.traces = kPoolSize;
+    res.cycles = cycles;
+    res.repeats = static_cast<int>(kPoolSize) * cycles;
+
+    // Divergence gate (and warmup): every pool trace checked uncached,
+    // then as a cache miss, then as a cache hit -- all three must be
+    // byte-identical verdicts.
+    mc::ExecWitness ew;
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+        replay(pool[t], ew);
+        const mc::CheckResult want = uncached.check(ew);
+        if (!want.ok()) {
+            std::fprintf(stderr,
+                         "bench trace 'repeated-seed/%zu' unexpectedly "
+                         "violates: %s\n",
+                         t, want.message.c_str());
+            std::exit(1);
+        }
+        requireIdentical(want, cached.check(ew), t, "miss");
+        requireIdentical(want, cached.check(ew), t, "hit");
+        res.events += ew.numEvents();
+    }
+    cached.verdictCache()->clear();
+
+    // Measured phase: identical replay loops; the timer brackets only
+    // the check() call -- the phase memoization can short-circuit.
+    // Replay and finalize (conflict-order resolution) happen with the
+    // clock stopped: the campaign pays them for every run regardless
+    // of caching, so they would only dilute the comparison.
+    auto measure = [&](const mc::Checker &checker) {
+        double seconds = 0.0;
+        for (int c = 0; c < cycles; ++c) {
+            for (const std::vector<RecordOp> &trace : pool) {
+                replay(trace, ew);
+                ew.finalize();
+                const auto t0 = std::chrono::steady_clock::now();
+                const mc::CheckResult check = checker.check(ew);
+                seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+                if (!check.ok())
+                    std::exit(1); // Unreachable; keeps check observable.
+            }
+        }
+        return seconds;
+    };
+
+    res.uncachedSeconds = measure(uncached);
+    res.cachedSeconds = measure(cached);
+
+    const mc::VerdictCache::Stats &st = cached.verdictCache()->stats();
+    res.distinct = st.distinct;
+    res.hitRate = st.hitRate();
+    return res;
+}
+
+std::string
+toJson(const std::vector<ScenarioResult> &results,
+       const RepeatedSeedResult &rs)
+{
+    char buf[512];
     std::string json = "{\n  \"bench\": \"checker_throughput\",\n"
-                       "  \"schema\": 1,\n  \"scenarios\": [\n";
+                       "  \"schema\": 2,\n  \"scenarios\": [\n";
     int total_repeats = 0;
     double total_seconds = 0.0;
     double total_events = 0.0;
@@ -243,12 +381,26 @@ toJson(const std::vector<ScenarioResult> &results)
     }
     std::snprintf(buf, sizeof(buf),
                   "  ],\n  \"aggregate\": {\"testsPerSec\": %.1f, "
-                  "\"checkUsPerEvent\": %.4f}\n}\n",
+                  "\"checkUsPerEvent\": %.4f},\n",
                   total_seconds > 0.0 ? total_repeats / total_seconds
                                       : 0.0,
                   total_events > 0.0
                       ? total_seconds * 1e6 / total_events
                       : 0.0);
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"repeatedSeed\": {\"traces\": %zu, \"cycles\": %d, "
+        "\"repeats\": %d, \"events\": %zu,\n"
+        "    \"distinctInterleavings\": %llu, \"hitRate\": %.4f,\n"
+        "    \"uncached\": {\"seconds\": %.6f, \"testsPerSec\": %.1f},\n"
+        "    \"cached\": {\"seconds\": %.6f, \"testsPerSec\": %.1f},\n"
+        "    \"speedupTestsPerSec\": %.2f}\n}\n",
+        rs.traces, rs.cycles, rs.repeats, rs.events,
+        static_cast<unsigned long long>(rs.distinct), rs.hitRate,
+        rs.uncachedSeconds, rs.testsPerSec(rs.uncachedSeconds),
+        rs.cachedSeconds, rs.testsPerSec(rs.cachedSeconds),
+        rs.speedup());
     json += buf;
     return json;
 }
@@ -283,6 +435,18 @@ main()
                     r.testsPerSec(), r.usPerEvent());
     }
 
+    const int cycles =
+        std::max(1, static_cast<int>(40 * scale));
+    const RepeatedSeedResult rs = runRepeatedSeed(cycles);
+    std::printf("%-10s %zu traces %6d repeats  uncached %8.1f "
+                "tests/s  cached %8.1f tests/s  %4.2fx  hit-rate %.3f "
+                "distinct %llu\n",
+                "repeated", rs.traces, rs.repeats,
+                rs.testsPerSec(rs.uncachedSeconds),
+                rs.testsPerSec(rs.cachedSeconds), rs.speedup(),
+                rs.hitRate,
+                static_cast<unsigned long long>(rs.distinct));
+
     const char *path = std::getenv("MCVERSI_BENCH_JSON");
     const std::string out = path ? path : "BENCH_checker.json";
     // Refuse to clobber the curated baseline-vs-current comparison
@@ -301,7 +465,7 @@ main()
         }
     }
     std::ofstream file(out, std::ios::binary);
-    file << toJson(results);
+    file << toJson(results, rs);
     if (!file) {
         std::fprintf(stderr, "failed to write %s\n", out.c_str());
         return 1;

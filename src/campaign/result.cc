@@ -1,5 +1,6 @@
 #include "campaign/result.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -7,13 +8,32 @@ namespace mcversi::campaign {
 
 namespace {
 
-/** Shortest deterministic decimal form for identical doubles. */
+/** Shortest deterministic decimal form for identical finite doubles. */
 std::string
 fmtDouble(double v)
 {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     return buf;
+}
+
+/**
+ * JSON rendering of a double: non-finite values (NaN from 0/0 fitness
+ * means, inf from zero-wall-time rates) have no JSON literal, so they
+ * serialize as null instead of the invalid bare nan/inf tokens
+ * "%.10g" would print.
+ */
+std::string
+jsonDouble(double v)
+{
+    return std::isfinite(v) ? fmtDouble(v) : "null";
+}
+
+/** CSV rendering of a double: non-finite values become empty fields. */
+std::string
+csvDouble(double v)
+{
+    return std::isfinite(v) ? fmtDouble(v) : std::string();
 }
 
 std::string
@@ -73,9 +93,10 @@ appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
         << ",\"migration\":" << spec.migration
         << ",\"batch\":" << spec.batch
         << ",\"max_runs\":" << spec.maxTestRuns
-        << ",\"max_seconds\":" << fmtDouble(spec.maxWallSeconds)
+        << ",\"max_seconds\":" << jsonDouble(spec.maxWallSeconds)
         << ",\"litmus_iterations\":" << spec.litmusIterations
         << ",\"record_ndt\":" << (spec.recordNdt ? "true" : "false")
+        << ",\"check_cache\":" << spec.checkCache
         << "}";
 }
 
@@ -135,27 +156,33 @@ CampaignSummary::toJson(bool include_timing) const
             << ",\"events_executed\":" << r.harness.eventsExecuted
             << ",\"sim_events\":" << r.harness.simEvents
             << ",\"messages_sent\":" << r.harness.messagesSent
-            << ",\"total_coverage\":" << fmtDouble(r.harness.totalCoverage)
-            << ",\"protocol_coverage\":" << fmtDouble(r.protocolCoverage)
-            << ",\"mean_fitness\":" << fmtDouble(r.harness.meanFitness)
+            << ",\"total_coverage\":" << jsonDouble(r.harness.totalCoverage)
+            << ",\"protocol_coverage\":" << jsonDouble(r.protocolCoverage)
+            << ",\"mean_fitness\":" << jsonDouble(r.harness.meanFitness)
+            << ",\"distinct_interleavings\":"
+            << r.harness.distinctInterleavings
+            << ",\"check_cache_hits\":" << r.harness.checkCacheHits
+            << ",\"check_cache_misses\":" << r.harness.checkCacheMisses
+            << ",\"check_cache_hit_rate\":"
+            << jsonDouble(r.harness.checkCacheHitRate())
             << ",\"fitness_trajectory\":[";
         for (std::size_t t = 0; t < r.harness.fitnessTrajectory.size();
              ++t) {
             if (t > 0)
                 out << ",";
-            out << fmtDouble(r.harness.fitnessTrajectory[t]);
+            out << jsonDouble(r.harness.fitnessTrajectory[t]);
         }
         out << "]"
             << ",\"detail\":\"" << jsonEscape(r.harness.detail) << "\""
             << ",\"error\":\"" << jsonEscape(r.error) << "\"";
         if (include_timing) {
-            out << ",\"wall_seconds\":" << fmtDouble(r.harness.wallSeconds)
+            out << ",\"wall_seconds\":" << jsonDouble(r.harness.wallSeconds)
                 << ",\"wall_seconds_to_bug\":"
-                << fmtDouble(r.harness.wallSecondsToBug)
+                << jsonDouble(r.harness.wallSecondsToBug)
                 << ",\"check_seconds\":"
-                << fmtDouble(r.harness.checkSeconds)
+                << jsonDouble(r.harness.checkSeconds)
                 << ",\"tests_per_sec\":"
-                << fmtDouble(r.harness.testsPerSec());
+                << jsonDouble(r.harness.testsPerSec());
         }
         out << "}";
     }
@@ -164,7 +191,7 @@ CampaignSummary::toJson(bool include_timing) const
         << ",\"errors\":" << errors()
         << ",\"test_runs\":" << totalTestRuns();
     if (include_timing)
-        out << ",\"wall_seconds\":" << fmtDouble(totalWallSeconds());
+        out << ",\"wall_seconds\":" << jsonDouble(totalWallSeconds());
     out << "}}\n";
     return out.str();
 }
@@ -176,9 +203,12 @@ CampaignSummary::toCsv(bool include_timing) const
     out << "bug,generator,seed,protocol,test_size,iterations,mem_size,"
            "stride,guest_threads,population,islands,migration,batch,"
            "max_runs,max_seconds,litmus_iterations,record_ndt,"
+           "check_cache,"
            "bug_found,test_runs,test_runs_to_bug,sim_ticks,"
            "events_executed,sim_events,messages_sent,total_coverage,"
-           "protocol_coverage,mean_fitness,error";
+           "protocol_coverage,mean_fitness,distinct_interleavings,"
+           "check_cache_hits,check_cache_misses,check_cache_hit_rate,"
+           "error";
     if (include_timing) {
         out << ",wall_seconds,wall_seconds_to_bug,check_seconds,"
                "tests_per_sec";
@@ -199,9 +229,10 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.spec.migration << ","
             << r.spec.batch << ","
             << r.spec.maxTestRuns << ","
-            << fmtDouble(r.spec.maxWallSeconds) << ","
+            << csvDouble(r.spec.maxWallSeconds) << ","
             << r.spec.litmusIterations << ","
             << (r.spec.recordNdt ? 1 : 0) << ","
+            << r.spec.checkCache << ","
             << (r.harness.bugFound ? 1 : 0) << ","
             << r.harness.testRuns << ","
             << r.harness.testRunsToBug << ","
@@ -209,15 +240,19 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.harness.eventsExecuted << ","
             << r.harness.simEvents << ","
             << r.harness.messagesSent << ","
-            << fmtDouble(r.harness.totalCoverage) << ","
-            << fmtDouble(r.protocolCoverage) << ","
-            << fmtDouble(r.harness.meanFitness) << ","
+            << csvDouble(r.harness.totalCoverage) << ","
+            << csvDouble(r.protocolCoverage) << ","
+            << csvDouble(r.harness.meanFitness) << ","
+            << r.harness.distinctInterleavings << ","
+            << r.harness.checkCacheHits << ","
+            << r.harness.checkCacheMisses << ","
+            << csvDouble(r.harness.checkCacheHitRate()) << ","
             << csvField(r.error);
         if (include_timing) {
-            out << "," << fmtDouble(r.harness.wallSeconds)
-                << "," << fmtDouble(r.harness.wallSecondsToBug)
-                << "," << fmtDouble(r.harness.checkSeconds)
-                << "," << fmtDouble(r.harness.testsPerSec());
+            out << "," << csvDouble(r.harness.wallSeconds)
+                << "," << csvDouble(r.harness.wallSecondsToBug)
+                << "," << csvDouble(r.harness.checkSeconds)
+                << "," << csvDouble(r.harness.testsPerSec());
         }
         out << "\n";
     }

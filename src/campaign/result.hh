@@ -9,6 +9,10 @@
  * are the only non-deterministic outputs, so both exporters can omit
  * them: toJson(false)/toCsv(false) are byte-identical across repeat
  * runs and worker-thread counts for the same spec vector.
+ *
+ * Non-finite doubles (e.g. a NaN mean or an inf rate on a degenerate
+ * cell) have no JSON literal; they export as null in JSON and as an
+ * empty field in CSV so the documents stay parseable.
  */
 
 #ifndef MCVERSI_CAMPAIGN_RESULT_HH

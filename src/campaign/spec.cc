@@ -154,6 +154,11 @@ CampaignSpec::set(const std::string &key, const std::string &value)
         litmusIterations = parsePositiveInt(key, value);
     } else if (k == "record-ndt") {
         recordNdt = parseBool(key, value);
+    } else if (k == "check-cache") {
+        checkCache = asciiLowered(value) == "off"
+                         ? 0
+                         : static_cast<std::size_t>(
+                               parseSize(key, value));
     } else {
         throw std::invalid_argument("campaign spec: unknown key '" + key +
                                     "'");
@@ -199,7 +204,8 @@ CampaignSpec::toString() const
         << " max-runs=" << maxTestRuns
         << " max-seconds=" << maxWallSeconds
         << " litmus-iterations=" << litmusIterations
-        << " record-ndt=" << (recordNdt ? 1 : 0);
+        << " record-ndt=" << (recordNdt ? 1 : 0)
+        << " check-cache=" << checkCache;
     return out.str();
 }
 
@@ -256,6 +262,11 @@ CampaignSpec::validate() const
     if (batch > 4096) {
         throw std::invalid_argument(
             "campaign spec: batch capped at 4096");
+    }
+    if (checkCache > (std::size_t{1} << 22)) {
+        throw std::invalid_argument(
+            "campaign spec: check-cache capped at 4M entries per "
+            "checker");
     }
 }
 
@@ -335,6 +346,7 @@ CampaignSpec::harnessParams() const
     params.gen = genParams();
     params.workload.iterations = iterations;
     params.recordNdt = recordNdt;
+    params.checkCacheEntries = checkCache;
     return params;
 }
 
@@ -403,6 +415,19 @@ parseSeedList(const std::string &text)
     if (seeds.empty())
         badValue("seeds", text, "empty seed list");
     return seeds;
+}
+
+int
+parseThreadCount(const std::string &key, const std::string &value)
+{
+    const std::uint64_t v = parseU64(key, value);
+    if (v < 1)
+        badValue(key, value,
+                 "expected at least 1 worker thread (omit the key for "
+                 "hardware concurrency)");
+    if (v > 4096)
+        badValue(key, value, "at most 4096 worker threads");
+    return static_cast<int>(v);
 }
 
 std::vector<std::string>

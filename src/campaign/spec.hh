@@ -69,6 +69,14 @@ struct CampaignSpec
     /** Record the per-run NDT history (costs memory on long runs). */
     bool recordNdt = false;
 
+    /**
+     * Verdict-cache entries per checker for collective checking
+     * ("check-cache=N|Nk|off"; 0 = off). Parallel harnesses size one
+     * cache per lane. Verdicts are byte-identical either way; the
+     * knob only trades memory for skipped re-checks.
+     */
+    std::size_t checkCache = 4096;
+
     bool operator==(const CampaignSpec &) const = default;
 
     /**
@@ -149,6 +157,14 @@ std::vector<std::uint64_t> parseSeedList(const std::string &text);
  * ';'-separated list of paper bug names.
  */
 std::vector<std::string> resolveBugList(const std::string &token);
+
+/**
+ * Parse a worker-thread count for the CLI's threads=/eval-threads=
+ * keys. Rejects signs, trailing garbage ("4x"), zero, and values
+ * above 4096 with std::invalid_argument naming @p key; omitting the
+ * key (not passing 0) is how callers select hardware concurrency.
+ */
+int parseThreadCount(const std::string &key, const std::string &value);
 
 } // namespace mcversi::campaign
 

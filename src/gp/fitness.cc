@@ -3,9 +3,9 @@
 namespace mcversi::gp {
 
 double
-AdaptiveCoverageFitness::score(
-    std::span<const std::uint64_t> pre_counts,
-    const std::vector<std::uint32_t> &covered) const
+AdaptiveCoverageFitness::score(std::span<const std::uint64_t> pre_counts,
+                               const std::vector<std::uint32_t> &covered,
+                               std::uint64_t new_interleavings) const
 {
     std::size_t considered = 0;
     for (const std::uint64_t c : pre_counts)
@@ -18,10 +18,16 @@ AdaptiveCoverageFitness::score(
             ++hit;
     }
 
-    return considered == 0
-               ? 0.0
-               : static_cast<double>(hit) /
-                     static_cast<double>(considered);
+    const double coverage =
+        considered == 0 ? 0.0
+                        : static_cast<double>(hit) /
+                              static_cast<double>(considered);
+
+    const double w = params_.interleavingWeight;
+    if (w <= 0.0)
+        return coverage;
+    const auto n = static_cast<double>(new_interleavings);
+    return (1.0 - w) * coverage + w * (n / (n + 1.0));
 }
 
 void
@@ -40,9 +46,10 @@ AdaptiveCoverageFitness::record(double fitness)
 double
 AdaptiveCoverageFitness::evaluate(
     std::span<const std::uint64_t> pre_counts,
-    const std::vector<std::uint32_t> &covered)
+    const std::vector<std::uint32_t> &covered,
+    std::uint64_t new_interleavings)
 {
-    const double fitness = score(pre_counts, covered);
+    const double fitness = score(pre_counts, covered, new_interleavings);
     record(fitness);
     return fitness;
 }

@@ -33,6 +33,15 @@ class AdaptiveCoverageFitness
         double stallThreshold = 0.02;
         /** Consecutive stalled evaluations before doubling cut-off. */
         int stallWindow = 50;
+        /**
+         * Weight in [0, 1] of the distinct-interleaving signal (new
+         * checking equivalence classes a run discovered, reported by
+         * the verdict cache): fitness becomes
+         *   (1 - w) * coverage + w * n / (n + 1).
+         * 0 (the default) ignores the signal entirely, keeping
+         * campaigns byte-identical whether or not the cache is on.
+         */
+        double interleavingWeight = 0.0;
     };
 
     explicit AdaptiveCoverageFitness(Params params)
@@ -50,10 +59,14 @@ class AdaptiveCoverageFitness
      *                   run start, indexed by transition id; read in
      *                   place (the counters are never copied)
      * @param covered    ids of transitions this run covered
+     * @param new_interleavings distinct checking equivalence classes
+     *                   this run discovered (0 when the verdict cache
+     *                   is off; ignored unless interleavingWeight > 0)
      * @return fitness in [0, 1]
      */
     double evaluate(std::span<const std::uint64_t> pre_counts,
-                    const std::vector<std::uint32_t> &covered);
+                    const std::vector<std::uint32_t> &covered,
+                    std::uint64_t new_interleavings = 0);
 
     /**
      * Fitness of one test-run against the *current* cut-off, without
@@ -64,7 +77,8 @@ class AdaptiveCoverageFitness
      * count).
      */
     double score(std::span<const std::uint64_t> pre_counts,
-                 const std::vector<std::uint32_t> &covered) const;
+                 const std::vector<std::uint32_t> &covered,
+                 std::uint64_t new_interleavings = 0) const;
 
     /**
      * Advance the adaptive cut-off state with one scored fitness.

@@ -16,6 +16,10 @@ VerificationHarness::VerificationHarness(Params params,
 {
     system_ = std::make_unique<sim::System>(params_.system);
     checker_ = std::make_unique<mc::Checker>(mc::makeTso());
+    if (params_.checkCacheEntries > 0) {
+        checker_->enableVerdictCache(
+            {.capacity = params_.checkCacheEntries});
+    }
     workload_ = std::make_unique<Workload>(*system_, *checker_,
                                            layoutFor(params_.gen),
                                            params_.workload);
@@ -60,7 +64,8 @@ VerificationHarness::run(const Budget &budget)
 
         RunFeedback feedback;
         feedback.coverageFitness =
-            fitness_.evaluate(run.preRunCounts, run.coveredTransitions);
+            fitness_.evaluate(run.preRunCounts, run.coveredTransitions,
+                              run.newInterleavings);
         feedback.nd = run.nd;
         source_.report(feedback);
 
@@ -75,6 +80,11 @@ VerificationHarness::run(const Budget &budget)
     result.wallSeconds = elapsed();
     result.totalCoverage = system_->coverage().totalCoverage();
     result.meanFitness = source_.meanFitness();
+    if (const mc::VerdictCache *cache = checker_->verdictCache()) {
+        result.checkCacheHits = cache->stats().hits;
+        result.checkCacheMisses = cache->stats().misses;
+        result.distinctInterleavings = cache->stats().distinct;
+    }
     return result;
 }
 

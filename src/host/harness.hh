@@ -54,6 +54,26 @@ struct HarnessResult
     /** Final total structural coverage per protocol prefix. */
     double totalCoverage = 0.0;
 
+    // -- Collective-checking metrics (deterministic; timing-free) -----
+    // Zero when the verdict cache is off. ParallelHarness sums its
+    // per-lane caches, so the totals are byte-identical for any
+    // eval-thread count.
+    /** Verdict-cache lookups that hit a known equivalence class. */
+    std::uint64_t checkCacheHits = 0;
+    /** Verdict-cache lookups that required a full check. */
+    std::uint64_t checkCacheMisses = 0;
+    /** Distinct interleaving (equivalence-class) signatures seen. */
+    std::uint64_t distinctInterleavings = 0;
+
+    double
+    checkCacheHitRate() const
+    {
+        const std::uint64_t lookups = checkCacheHits + checkCacheMisses;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(checkCacheHits) /
+                                  static_cast<double>(lookups);
+    }
+
     // -- Generation metrics (deterministic; timing-free) --------------
     /** Final mean population fitness (0 for fitness-free sources). */
     double meanFitness = 0.0;
@@ -89,6 +109,12 @@ class VerificationHarness
         gp::AdaptiveCoverageFitness::Params fitness{};
         /** Record per-run NDT history (costs memory on long runs). */
         bool recordNdt = true;
+        /**
+         * Verdict-cache capacity in entries (collective checking);
+         * 0 disables memoization. Parallel harnesses size one cache
+         * per lane with this many entries.
+         */
+        std::size_t checkCacheEntries = 4096;
     };
 
     VerificationHarness(Params params, TestSource &source);

@@ -116,6 +116,13 @@ ParallelHarness::ParallelHarness(Params params, TestSource &source)
         config.seed = Rng::streamSeed(config.seed, l);
         lane->system = std::make_unique<sim::System>(config);
         lane->checker = std::make_unique<mc::Checker>(mc::makeTso());
+        // One verdict cache per lane (a Checker is single-threaded);
+        // per-lane hit/distinct sequences depend only on that lane's
+        // slots, so the summed telemetry is worker-count-invariant.
+        if (params_.harness.checkCacheEntries > 0) {
+            lane->checker->enableVerdictCache(
+                {.capacity = params_.harness.checkCacheEntries});
+        }
         lane->workload = std::make_unique<Workload>(
             *lane->system, *lane->checker, layoutFor(params_.harness.gen),
             params_.harness.workload);
@@ -150,7 +157,8 @@ ParallelHarness::evaluateLane(std::size_t lane)
         // Score against the cut-off frozen at the batch barrier (const
         // read; record() replays in slot order at the merge).
         batchFeedback_[b].coverageFitness =
-            fitness_.score(run.preRunCounts, run.coveredTransitions);
+            fitness_.score(run.preRunCounts, run.coveredTransitions,
+                           run.newInterleavings);
         batchFeedback_[b].nd = std::move(run.nd);
     }
 }
@@ -257,6 +265,13 @@ ParallelHarness::run(const Budget &budget)
     result.wallSeconds = elapsed();
     result.totalCoverage = aggregateCoverage();
     result.meanFitness = source_.meanFitness();
+    for (const auto &lane : lanes_) {
+        if (const mc::VerdictCache *cache = lane->checker->verdictCache()) {
+            result.checkCacheHits += cache->stats().hits;
+            result.checkCacheMisses += cache->stats().misses;
+            result.distinctInterleavings += cache->stats().distinct;
+        }
+    }
     return result;
 }
 

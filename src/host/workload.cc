@@ -151,6 +151,9 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     const Tick ticks0 = system_.eventQueue().now();
     const std::uint64_t kernel_events0 = system_.eventQueue().processed();
     const std::uint64_t messages0 = system_.network().messagesSent();
+    const mc::VerdictCache *verdict_cache = checker_.verdictCache();
+    const std::uint64_t distinct0 =
+        verdict_cache != nullptr ? verdict_cache->stats().distinct : 0;
 
     for (int iter = 0; iter < params_.iterations; ++iter) {
         // reset_test_mem: initial values + cache flush.
@@ -223,6 +226,10 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     result.simEvents = system_.eventQueue().processed() - kernel_events0;
     result.messagesSent = system_.network().messagesSent() - messages0;
     result.coveredTransitions = system_.coverage().endRun();
+    if (verdict_cache != nullptr) {
+        result.newInterleavings =
+            verdict_cache->stats().distinct - distinct0;
+    }
     result.nd = nd_.info();
     result.totalSeconds = secondsSince(t0);
     return result;

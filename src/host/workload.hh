@@ -60,6 +60,12 @@ struct RunResult
     std::uint64_t simEvents = 0;
     /** Network messages injected during this run. */
     std::uint64_t messagesSent = 0;
+    /**
+     * Distinct checking equivalence classes this run added to the
+     * checker's verdict cache (0 when memoization is off). Feeds the
+     * optional interleaving term of the adaptive fitness.
+     */
+    std::uint64_t newInterleavings = 0;
     double checkSeconds = 0.0;
     double totalSeconds = 0.0;
 

@@ -39,6 +39,18 @@ Checker::cycleResult(CheckResult::Kind kind, const ExecWitness &ew,
     return res;
 }
 
+void
+Checker::enableVerdictCache(VerdictCache::Config config)
+{
+    cache_ = std::make_unique<VerdictCache>(config);
+}
+
+void
+Checker::disableVerdictCache()
+{
+    cache_.reset();
+}
+
 CheckResult
 Checker::check(ExecWitness &ew) const
 {
@@ -50,6 +62,31 @@ Checker::check(ExecWitness &ew) const
         return res;
     }
 
+    // Collective checking: a cached Ok verdict for this witness's
+    // equivalence class settles the check immediately (Ok carries no
+    // diagnostics, so returning a fresh Ok is byte-identical).
+    // Violation hits fall through to the full analysis, which rebuilds
+    // the message/cycle in this witness's event ids.
+    WitnessSignature sig;
+    if (cache_ != nullptr) {
+        sig = signatureScratch_.compute(ew);
+        std::uint8_t verdict = 0;
+        if (cache_->lookup(sig, verdict) &&
+            static_cast<CheckResult::Kind>(verdict) ==
+                CheckResult::Kind::Ok) {
+            return {};
+        }
+    }
+
+    const CheckResult res = fullCheck(ew);
+    if (cache_ != nullptr)
+        cache_->insert(sig, static_cast<std::uint8_t>(res.kind));
+    return res;
+}
+
+CheckResult
+Checker::fullCheck(const ExecWitness &ew) const
+{
     // Derive the immediate fr edges exactly once; both the uniproc and
     // the ghb phase stream them from this buffer.
     frScratch_.clear();

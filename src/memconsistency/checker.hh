@@ -19,6 +19,12 @@
  * witness's dense arrays straight into two scratch CycleGraphs owned by
  * the checker and reused across checks. A Checker is therefore NOT
  * thread-safe; concurrent campaigns own one checker each.
+ *
+ * Optionally the checker memoizes verdicts per witness equivalence
+ * class (enableVerdictCache): campaigns re-observe the same
+ * interleaving shapes constantly, and a cached Ok verdict settles a
+ * repeat check for the cost of a signature hash instead of the full
+ * cycle analysis. See signature.hh / verdict_cache.hh.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_CHECKER_HH
@@ -30,6 +36,8 @@
 
 #include "memconsistency/arch.hh"
 #include "memconsistency/execwitness.hh"
+#include "memconsistency/signature.hh"
+#include "memconsistency/verdict_cache.hh"
 
 namespace mcversi::mc {
 
@@ -72,9 +80,26 @@ class Checker
      */
     CheckResult check(ExecWitness &ew) const;
 
+    /**
+     * Enable collective checking: memoize verdicts per witness
+     * equivalence class (see signature.hh). Only Ok verdicts
+     * short-circuit the full analysis -- an Ok check carries no
+     * diagnostics, so the cached answer is byte-identical to a fresh
+     * one; violation hits still re-run the check to rebuild the
+     * message and cycle in the current witness's event ids. Anomalous
+     * witnesses always bypass the cache.
+     */
+    void enableVerdictCache(VerdictCache::Config config = {});
+    void disableVerdictCache();
+
+    /** The memoization cache, or nullptr when disabled. */
+    VerdictCache *verdictCache() const { return cache_.get(); }
+
     const Architecture &arch() const { return *arch_; }
 
   private:
+    /** The three-phase cycle analysis, bypassing the verdict cache. */
+    CheckResult fullCheck(const ExecWitness &ew) const;
     CheckResult checkUniproc(const ExecWitness &ew) const;
     CheckResult checkAtomicity(const ExecWitness &ew) const;
     CheckResult checkGhb(const ExecWitness &ew) const;
@@ -105,6 +130,12 @@ class Checker
     mutable std::vector<EventId> lastAtAddr_;
     mutable std::vector<std::uint64_t> addrStamp_;
     mutable std::uint64_t stamp_ = 0;
+
+    // Collective checking (optional): signature scratch plus the
+    // verdict cache. Mutable like the other scratch -- memoization is
+    // an implementation detail of the logically-const check().
+    mutable SignatureBuilder signatureScratch_;
+    mutable std::unique_ptr<VerdictCache> cache_;
 };
 
 } // namespace mcversi::mc

@@ -1,0 +1,119 @@
+#include "memconsistency/signature.hh"
+
+namespace mcversi::mc {
+
+namespace {
+
+constexpr std::int32_t kUnassigned = -1;
+
+/** Canonical encoding of "no conflict predecessor" (kNoEvent). No real
+ * canonical id reaches this value: ids are bounded by events + addrs,
+ * both int32. */
+constexpr std::uint64_t kNoneRef = 0xffffffffull;
+
+// Domain separators so a thread boundary can never be confused with an
+// event record or a conflict edge.
+constexpr std::uint64_t kThreadTag = 0x7464'0001ull;
+constexpr std::uint64_t kRfTag = 0x7264'0002ull;
+constexpr std::uint64_t kCoTag = 0x636f'0003ull;
+
+/** splitMix64 finalizer: full-avalanche 64-bit mix. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Two independently-mixed 64-bit accumulators. Each lane absorbs every
+ * fed word through a different injection (xor vs multiply-add), so a
+ * collision requires both 64-bit states to collide simultaneously.
+ */
+struct Mixer
+{
+    std::uint64_t lo = 0x243f6a8885a308d3ull;
+    std::uint64_t hi = 0x13198a2e03707344ull;
+
+    void
+    feed(std::uint64_t v)
+    {
+        lo = mix64(lo ^ v);
+        hi = mix64(hi + v * 0x9e3779b97f4a7c15ull + 0x165667b19e3779f9ull);
+    }
+};
+
+} // namespace
+
+WitnessSignature
+SignatureBuilder::compute(const ExecWitness &ew)
+{
+    canonEvent_.assign(ew.numEvents(), kUnassigned);
+    canonAddr_.assign(ew.numAddrs(), kUnassigned);
+    std::int32_t next_event = 0;
+    std::int32_t next_addr = 0;
+
+    Mixer mix;
+
+    // Canonical names are handed out by first occurrence -- own
+    // position or first reference -- in the single (ascending pid,
+    // program order) traversal. Init events and forward conflict
+    // references (a read observing a write later in the traversal) are
+    // therefore named at their first *reference*; the reference order
+    // is itself canonical, so the assignment stays renaming-invariant.
+    auto canonRef = [&](EventId target) -> std::uint64_t {
+        if (target == kNoEvent)
+            return kNoneRef;
+        std::int32_t &c = canonEvent_[static_cast<std::size_t>(target)];
+        if (c == kUnassigned)
+            c = next_event++;
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    };
+
+    // One pass hashes both the per-thread ppo shape -- (type, rmw, sub,
+    // address class) per event -- and the conflict orders: rf as each
+    // read's producing write, co as each write's immediate predecessor
+    // (the per-address chains are total, so the predecessor mapping
+    // determines them completely). Addresses are named by first touch
+    // in the same traversal, so raw address values never enter the
+    // hash. Tag and canonical reference pack into one word --
+    // references are 32-bit -- keeping the cost at two feeds per
+    // event; the cheaper the hash, the bigger the collective-checking
+    // win per cache hit.
+    for (const Pid pid : ew.threads()) {
+        mix.feed((kThreadTag << 32) |
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)));
+        for (const EventId id : ew.threadEvents(pid)) {
+            std::int32_t &ce = canonEvent_[static_cast<std::size_t>(id)];
+            if (ce == kUnassigned)
+                ce = next_event++;
+            const Event &ev = ew.event(id);
+            const AddrId aid = ew.addrId(id);
+            std::int32_t ca = kUnassigned; // address-less event
+            if (aid >= 0) {
+                std::int32_t &slot =
+                    canonAddr_[static_cast<std::size_t>(aid)];
+                if (slot == kUnassigned)
+                    slot = next_addr++;
+                ca = slot;
+            }
+            mix.feed(
+                (static_cast<std::uint64_t>(ev.type) << 48) |
+                (static_cast<std::uint64_t>(ev.rmw) << 40) |
+                (static_cast<std::uint64_t>(ev.sub) << 32) |
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(ca)));
+            if (ev.isRead())
+                mix.feed((kRfTag << 32) | canonRef(ew.rfSource(id)));
+            else
+                mix.feed((kCoTag << 32) | canonRef(ew.coPredecessor(id)));
+        }
+    }
+
+    return WitnessSignature{mix.lo, mix.hi};
+}
+
+} // namespace mcversi::mc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Canonical witness signatures for collective checking.
+ *
+ * Random campaigns re-observe the same interleavings constantly: a
+ * verification run of N test-runs x I iterations typically realizes far
+ * fewer than N*I *distinct* conflict-order shapes (MTraceCheck's key
+ * observation). The checker's verdict is a pure function of the
+ * witness's *shape* -- per-thread event sequences (type, rmw, sub,
+ * address equality classes), the rf mapping, and the co order -- and is
+ * invariant under renaming of event ids, raw addresses, and write
+ * values. A WitnessSignature is a 128-bit fingerprint of exactly that
+ * shape, so two executions with equal signatures belong to the same
+ * checking equivalence class and share one verdict.
+ *
+ * Canonicalization: events are renumbered by first occurrence -- own
+ * position or first conflict reference -- in one (thread,
+ * program-order) traversal, and addresses by first touch in the same
+ * traversal; init events, which sit outside the thread lists, are
+ * named at their first reference. Every quantity hashed is therefore
+ * independent of the record order the simulator happened to produce
+ * (stores serialize late, init events intern lazily), which is what
+ * makes repeated iterations of one test land in one class.
+ *
+ * The fingerprint is a hash, not an encoding, so distinct shapes can in
+ * principle collide; with two independently-mixed 64-bit lanes the
+ * probability of any collision among a billion distinct shapes is
+ * ~2^-68, far below the simulator's own soft-error rate. The
+ * completeness direction (equal shape => equal signature) is exact and
+ * pinned by tests/memconsistency/test_signature.cc.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_SIGNATURE_HH
+#define MCVERSI_MEMCONSISTENCY_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memconsistency/execwitness.hh"
+
+namespace mcversi::mc {
+
+/** 128-bit fingerprint of one witness's checking equivalence class. */
+struct WitnessSignature
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    friend bool operator==(const WitnessSignature &,
+                           const WitnessSignature &) = default;
+};
+
+/**
+ * Computes witness signatures; owns the canonical-renaming scratch so
+ * steady-state computations are allocation-free. Not thread-safe (one
+ * builder per checker, like the cycle-graph scratch).
+ */
+class SignatureBuilder
+{
+  public:
+    /**
+     * Signature of @p ew, which must be finalized and anomaly-free
+     * (anomalous witnesses carry record-order-dependent diagnostics and
+     * are never memoized).
+     */
+    WitnessSignature compute(const ExecWitness &ew);
+
+  private:
+    /** Canonical event ids, kUnassigned until visited. */
+    std::vector<std::int32_t> canonEvent_;
+    /** Canonical address ids per dense AddrId, kUnassigned until seen. */
+    std::vector<std::int32_t> canonAddr_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_SIGNATURE_HH

@@ -1,0 +1,190 @@
+#include "memconsistency/verdict_cache.hh"
+
+#include <algorithm>
+
+namespace mcversi::mc {
+
+namespace {
+
+/** Smallest power of two >= @p n (and >= 8). */
+std::size_t
+tableSizeFor(std::size_t n)
+{
+    std::size_t size = 8;
+    while (size < n)
+        size <<= 1;
+    return size;
+}
+
+} // namespace
+
+VerdictCache::VerdictCache(Config config)
+{
+    const std::size_t capacity = std::max<std::size_t>(config.capacity, 1);
+    const std::size_t shards =
+        std::clamp<std::size_t>(config.shards, 1, capacity);
+    const std::size_t per_shard = (capacity + shards - 1) / shards;
+
+    shards_.resize(shards);
+    for (Shard &sh : shards_) {
+        sh.slots.resize(per_shard);
+        // <= 50% load keeps linear-probe chains short.
+        sh.table.assign(tableSizeFor(2 * per_shard), kNil);
+        sh.mask = static_cast<std::uint32_t>(sh.table.size() - 1);
+    }
+}
+
+VerdictCache::Shard &
+VerdictCache::shardFor(const WitnessSignature &sig)
+{
+    // High bits pick the shard; findPos uses the low bits of sig.lo, so
+    // the two choices are independent.
+    return shards_[(sig.hi >> 32) % shards_.size()];
+}
+
+std::uint32_t
+VerdictCache::findPos(const Shard &sh, const WitnessSignature &sig)
+{
+    std::uint32_t pos = static_cast<std::uint32_t>(sig.lo) & sh.mask;
+    while (sh.table[pos] != kNil &&
+           !(sh.slots[sh.table[pos]].sig == sig)) {
+        pos = (pos + 1) & sh.mask;
+    }
+    return pos;
+}
+
+void
+VerdictCache::unlink(Shard &sh, std::uint32_t slot)
+{
+    Entry &e = sh.slots[slot];
+    if (e.prev != kNil)
+        sh.slots[e.prev].next = e.next;
+    else
+        sh.head = e.next;
+    if (e.next != kNil)
+        sh.slots[e.next].prev = e.prev;
+    else
+        sh.tail = e.prev;
+    e.prev = e.next = kNil;
+}
+
+void
+VerdictCache::pushFront(Shard &sh, std::uint32_t slot)
+{
+    Entry &e = sh.slots[slot];
+    e.prev = kNil;
+    e.next = sh.head;
+    if (sh.head != kNil)
+        sh.slots[sh.head].prev = slot;
+    sh.head = slot;
+    if (sh.tail == kNil)
+        sh.tail = slot;
+}
+
+void
+VerdictCache::eraseTableAt(Shard &sh, std::uint32_t pos)
+{
+    // Backward-shift deletion: walk the chain after the hole and move
+    // back any entry whose home position cannot reach it through the
+    // hole, keeping all probe chains gap-free without tombstones.
+    sh.table[pos] = kNil;
+    std::uint32_t next = (pos + 1) & sh.mask;
+    while (sh.table[next] != kNil) {
+        const std::uint32_t slot = sh.table[next];
+        const std::uint32_t home =
+            static_cast<std::uint32_t>(sh.slots[slot].sig.lo) & sh.mask;
+        // Movable iff home lies cyclically outside (pos, next].
+        if (((next - home) & sh.mask) >= ((next - pos) & sh.mask)) {
+            sh.table[pos] = slot;
+            sh.table[next] = kNil;
+            pos = next;
+        }
+        next = (next + 1) & sh.mask;
+    }
+}
+
+bool
+VerdictCache::lookup(const WitnessSignature &sig, std::uint8_t &verdict_out)
+{
+    ++stats_.lookups;
+    Shard &sh = shardFor(sig);
+    const std::uint32_t pos = findPos(sh, sig);
+    const std::uint32_t slot = sh.table[pos];
+    if (slot == kNil) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    verdict_out = sh.slots[slot].verdict;
+    if (sh.head != slot) {
+        unlink(sh, slot);
+        pushFront(sh, slot);
+    }
+    return true;
+}
+
+void
+VerdictCache::insert(const WitnessSignature &sig, std::uint8_t verdict)
+{
+    Shard &sh = shardFor(sig);
+    std::uint32_t pos = findPos(sh, sig);
+    std::uint32_t slot = sh.table[pos];
+    if (slot != kNil) {
+        // Refresh recency only: one class has one verdict.
+        if (sh.head != slot) {
+            unlink(sh, slot);
+            pushFront(sh, slot);
+        }
+        return;
+    }
+
+    if (sh.used < sh.slots.size()) {
+        slot = sh.used++;
+    } else {
+        // Evict the LRU entry; its table removal may shift the chain,
+        // so recompute the insert position afterwards.
+        slot = sh.tail;
+        unlink(sh, slot);
+        eraseTableAt(sh, findPos(sh, sh.slots[slot].sig));
+        ++stats_.evictions;
+        pos = findPos(sh, sig);
+    }
+
+    Entry &e = sh.slots[slot];
+    e.sig = sig;
+    e.verdict = verdict;
+    sh.table[pos] = slot;
+    pushFront(sh, slot);
+    ++stats_.distinct;
+}
+
+void
+VerdictCache::clear()
+{
+    for (Shard &sh : shards_) {
+        std::fill(sh.table.begin(), sh.table.end(), kNil);
+        sh.head = sh.tail = kNil;
+        sh.used = 0;
+    }
+    stats_ = Stats{};
+}
+
+std::size_t
+VerdictCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.used;
+    return total;
+}
+
+std::size_t
+VerdictCache::capacity() const
+{
+    std::size_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.slots.size();
+    return total;
+}
+
+} // namespace mcversi::mc

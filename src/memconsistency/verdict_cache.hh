@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sharded LRU cache of check verdicts per witness equivalence class.
+ *
+ * Collective checking: the checker consults this cache (keyed by
+ * WitnessSignature) before running the full cycle analysis, so a
+ * campaign pays the full check once per *distinct* interleaving shape
+ * and a signature computation for every repeat. The distinct-signature
+ * counter doubles as campaign telemetry: it measures how many checking
+ * equivalence classes the generator actually explored.
+ *
+ * Layout follows the repo's hot-path discipline: all storage is flat
+ * arrays sized at construction, so steady-state lookups and insertions
+ * (including evictions) are allocation-free. Each shard owns an
+ * open-addressing index (linear probing, backward-shift deletion) over
+ * an intrusive doubly-linked LRU list threaded through a fixed slot
+ * pool. Shards bound the probe-chain length under load; they are NOT a
+ * concurrency mechanism -- the cache, like its owning Checker, is
+ * single-threaded, and parallel harnesses own one cache per lane (which
+ * also keeps per-lane hit sequences, and hence campaign summaries,
+ * byte-identical across worker counts).
+ *
+ * Verdicts are stored as a CheckResult::Kind byte only. The checker
+ * short-circuits solely on Ok hits (an Ok verdict carries no message or
+ * cycle, so the cached answer is byte-identical to a fresh check);
+ * violation hits are advisory -- the checker re-runs the full analysis
+ * to rebuild the diagnostic in the current witness's event ids.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_VERDICT_CACHE_HH
+#define MCVERSI_MEMCONSISTENCY_VERDICT_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memconsistency/signature.hh"
+
+namespace mcversi::mc {
+
+/** Fixed-capacity sharded LRU map: WitnessSignature -> verdict byte. */
+class VerdictCache
+{
+  public:
+    struct Config
+    {
+        /** Total entries across all shards (rounded up per shard). */
+        std::size_t capacity = 4096;
+        /** Shard count (clamped to [1, capacity]). */
+        std::size_t shards = 8;
+    };
+
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        /**
+         * Distinct signatures inserted since the last clear().
+         * Monotonic: unlike size(), eviction does not decrease it.
+         * Exact while no eviction has occurred; afterwards an evicted
+         * class that reappears is counted again.
+         */
+        std::uint64_t distinct = 0;
+
+        double
+        hitRate() const
+        {
+            return lookups == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(lookups);
+        }
+    };
+
+    VerdictCache() : VerdictCache(Config{}) {}
+    explicit VerdictCache(Config config);
+
+    /**
+     * Look up @p sig; on a hit, stores the cached verdict byte in
+     * @p verdict_out, marks the entry most-recently-used, and returns
+     * true. Counts into stats either way.
+     */
+    bool lookup(const WitnessSignature &sig, std::uint8_t &verdict_out);
+
+    /**
+     * Insert (or refresh) @p sig -> @p verdict, evicting the shard's
+     * least-recently-used entry if full. A re-insert of a present key
+     * only touches recency (verdicts are immutable per class).
+     */
+    void insert(const WitnessSignature &sig, std::uint8_t verdict);
+
+    /** Drop all entries and reset stats; keeps allocated storage. */
+    void clear();
+
+    const Stats &stats() const { return stats_; }
+    /** Currently resident entries. */
+    std::size_t size() const;
+    /** Total entry capacity (per-shard rounding may exceed Config's). */
+    std::size_t capacity() const;
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Entry
+    {
+        WitnessSignature sig{};
+        std::uint32_t prev = kNil; ///< toward most-recently-used
+        std::uint32_t next = kNil; ///< toward least-recently-used
+        std::uint8_t verdict = 0;
+    };
+
+    struct Shard
+    {
+        std::vector<Entry> slots;        ///< fixed pool, [0, used) live
+        std::vector<std::uint32_t> table; ///< probe index -> slot | kNil
+        std::uint32_t mask = 0;          ///< table.size() - 1
+        std::uint32_t head = kNil;       ///< most-recently-used slot
+        std::uint32_t tail = kNil;       ///< least-recently-used slot
+        std::uint32_t used = 0;
+    };
+
+    Shard &shardFor(const WitnessSignature &sig);
+    /** Probe position holding @p sig, or the empty slot ending its
+     * chain. */
+    static std::uint32_t findPos(const Shard &sh,
+                                 const WitnessSignature &sig);
+    static void unlink(Shard &sh, std::uint32_t slot);
+    static void pushFront(Shard &sh, std::uint32_t slot);
+    /** Backward-shift deletion keeping every probe chain contiguous. */
+    static void eraseTableAt(Shard &sh, std::uint32_t pos);
+
+    std::vector<Shard> shards_;
+    Stats stats_;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_VERDICT_CACHE_HH

@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 
 #include "campaign/registry.hh"
 #include "campaign/runner.hh"
@@ -207,4 +209,63 @@ TEST(CampaignRunner, BugCampaignFindsTheBugDeterministically)
     EXPECT_EQ(a.harness.simTicks, b.harness.simTicks);
     EXPECT_EQ(a.harness.detail, b.harness.detail);
     EXPECT_EQ(a.protocolCoverage, b.protocolCoverage);
+}
+
+TEST(CampaignSummary, NonFiniteDoublesExportAsNullAndEmptyFields)
+{
+    // Degenerate cells (0/0 means, zero-wall-time rates) produce NaN
+    // and inf doubles; bare "nan"/"inf" tokens are not valid JSON and
+    // would poison downstream consumers of the CSV as well.
+    CampaignSummary summary;
+    CampaignResult r;
+    r.harness.meanFitness = std::nan("");
+    r.harness.totalCoverage = std::numeric_limits<double>::infinity();
+    r.harness.wallSeconds = -std::numeric_limits<double>::infinity();
+    r.protocolCoverage = 0.5;
+    summary.results.push_back(r);
+
+    const std::string json = summary.toJson(true);
+    EXPECT_NE(json.find("\"mean_fitness\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"total_coverage\":null"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\":null"), std::string::npos);
+    // Finite neighbours still print as numbers...
+    EXPECT_NE(json.find("\"protocol_coverage\":0.5"),
+              std::string::npos);
+    // ...and no bare non-JSON tokens survive anywhere.
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+
+    // CSV: the same cells round-trip as empty fields in the right
+    // columns.
+    const std::string csv = summary.toCsv(true);
+    const auto split = [](const std::string &line) {
+        std::vector<std::string> fields;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t comma = line.find(',', start);
+            fields.push_back(line.substr(start, comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        return fields;
+    };
+    const std::size_t eol = csv.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    const std::vector<std::string> header = split(csv.substr(0, eol));
+    const std::size_t eor = csv.find('\n', eol + 1);
+    const std::vector<std::string> row =
+        split(csv.substr(eol + 1, eor - eol - 1));
+    ASSERT_EQ(row.size(), header.size());
+    auto field = [&](const std::string &name) {
+        const auto it = std::find(header.begin(), header.end(), name);
+        EXPECT_NE(it, header.end()) << name;
+        return row[static_cast<std::size_t>(it - header.begin())];
+    };
+    EXPECT_EQ(field("mean_fitness"), "");
+    EXPECT_EQ(field("total_coverage"), "");
+    EXPECT_EQ(field("wall_seconds"), "");
+    EXPECT_EQ(field("protocol_coverage"), "0.5");
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+    EXPECT_EQ(csv.find("inf"), std::string::npos);
 }

@@ -274,3 +274,66 @@ TEST(CampaignRegistry, BuiltinsAndAliases)
 
     EXPECT_EQ(resolveGeneratorList("all"), registry.names());
 }
+
+TEST(CampaignSpec, CheckCacheKeyParsesAndRoundTrips)
+{
+    CampaignSpec spec;
+    EXPECT_EQ(spec.checkCache, 4096u); // collective checking default-on
+
+    spec.set("check-cache=8k");
+    EXPECT_EQ(spec.checkCache, 8u * 1024u);
+    spec.set("check-cache=off");
+    EXPECT_EQ(spec.checkCache, 0u);
+    spec.set("check-cache=0");
+    EXPECT_EQ(spec.checkCache, 0u);
+    EXPECT_THROW(spec.set("check-cache=maybe"), std::invalid_argument);
+    EXPECT_THROW(spec.set("check-cache=-1"), std::invalid_argument);
+
+    spec.checkCache = 512;
+    EXPECT_EQ(CampaignSpec::fromString(spec.toString()).checkCache,
+              512u);
+
+    // The knob reaches the harness params; 0 disables memoization.
+    EXPECT_EQ(spec.harnessParams().checkCacheEntries, 512u);
+    spec.checkCache = 0;
+    EXPECT_EQ(spec.harnessParams().checkCacheEntries, 0u);
+
+    // validate() caps the per-checker footprint.
+    CampaignSpec capped;
+    capped.checkCache = (1u << 22) + 1;
+    EXPECT_THROW(capped.validate(), std::invalid_argument);
+    capped.checkCache = 1u << 22;
+    EXPECT_NO_THROW(capped.validate());
+}
+
+TEST(CampaignListHelpers, ThreadCountParsing)
+{
+    EXPECT_EQ(parseThreadCount("threads", "4"), 4);
+    EXPECT_EQ(parseThreadCount("eval-threads", "1"), 1);
+    EXPECT_EQ(parseThreadCount("threads", "0x10"), 16);
+
+    // Explicit zero is rejected: hardware concurrency is selected by
+    // omitting the key, never by a sentinel value.
+    EXPECT_THROW(parseThreadCount("threads", "0"),
+                 std::invalid_argument);
+    // Negatives must not wrap through unsigned parsing...
+    EXPECT_THROW(parseThreadCount("threads", "-2"),
+                 std::invalid_argument);
+    // ...and trailing garbage must not silently truncate ("4x" -> 4,
+    // the old std::stoi behavior).
+    EXPECT_THROW(parseThreadCount("threads", "4x"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseThreadCount("eval-threads", ""),
+                 std::invalid_argument);
+    EXPECT_THROW(parseThreadCount("threads", "5000"),
+                 std::invalid_argument);
+
+    // The error names the offending key.
+    try {
+        parseThreadCount("eval-threads", "-2");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("eval-threads"),
+                  std::string::npos);
+    }
+}

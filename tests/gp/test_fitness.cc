@@ -83,3 +83,31 @@ TEST(Fitness, NormalizedNdtMonotone)
     EXPECT_GT(normalizedNdt(3.0), normalizedNdt(2.0));
     EXPECT_LT(normalizedNdt(100.0), 1.0);
 }
+
+TEST(Fitness, InterleavingSignalBlend)
+{
+    AdaptiveCoverageFitness::Params p;
+    p.interleavingWeight = 0.25;
+    AdaptiveCoverageFitness fit(p);
+    std::vector<std::uint64_t> pre{0, 1, 2, 3};
+    std::vector<std::uint32_t> covered{0, 2};
+    // coverage = 0.5; 3 new classes => saturating term 3/4.
+    EXPECT_DOUBLE_EQ(fit.score(pre, covered, 3),
+                     0.75 * 0.5 + 0.25 * 0.75);
+    // No new classes: the signal term vanishes but keeps its weight.
+    EXPECT_DOUBLE_EQ(fit.score(pre, covered, 0), 0.75 * 0.5);
+    // The blend stays within [0, 1] even as the signal saturates.
+    EXPECT_LE(fit.score(pre, covered, 1u << 30), 1.0);
+}
+
+TEST(Fitness, InterleavingSignalOffByDefault)
+{
+    // Default weight 0: the signal is ignored entirely, so campaigns
+    // score identically whether or not the verdict cache feeds it.
+    AdaptiveCoverageFitness fit({4, 0.02, 50});
+    std::vector<std::uint64_t> pre{0, 1, 2, 3};
+    std::vector<std::uint32_t> covered{0, 2};
+    EXPECT_DOUBLE_EQ(fit.score(pre, covered, 1000),
+                     fit.score(pre, covered, 0));
+    EXPECT_DOUBLE_EQ(fit.evaluate(pre, covered, 1000), 0.5);
+}

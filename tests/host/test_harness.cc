@@ -125,3 +125,45 @@ TEST(Harness, StatsAccumulate)
     EXPECT_GT(result.eventsExecuted, 0u);
     EXPECT_GT(result.checkSeconds, 0.0);
 }
+
+TEST(Harness, VerdictCacheStatsAndIdenticalOutcomes)
+{
+    auto params = smallParams(sim::BugId::None);
+    ASSERT_GT(params.checkCacheEntries, 0u); // collective checking on
+
+    RandomSource cached_src(params.gen, 7);
+    VerificationHarness cached(params, cached_src);
+    Budget budget;
+    budget.maxTestRuns = 8;
+    const HarnessResult with_cache = cached.run(budget);
+
+    auto off = params;
+    off.checkCacheEntries = 0;
+    RandomSource plain_src(off.gen, 7);
+    VerificationHarness plain(off, plain_src);
+    const HarnessResult without = plain.run(budget);
+
+    // Memoization must not change any deterministic outcome.
+    EXPECT_EQ(with_cache.bugFound, without.bugFound);
+    EXPECT_EQ(with_cache.testRuns, without.testRuns);
+    EXPECT_EQ(with_cache.simTicks, without.simTicks);
+    EXPECT_EQ(with_cache.eventsExecuted, without.eventsExecuted);
+    EXPECT_EQ(with_cache.ndtHistory, without.ndtHistory);
+    EXPECT_EQ(with_cache.totalCoverage, without.totalCoverage);
+    EXPECT_EQ(with_cache.meanFitness, without.meanFitness);
+
+    // Telemetry flows through: every iteration consulted the cache and
+    // the distinct-class counter is bounded by the miss count (each
+    // new class is first a miss).
+    EXPECT_GT(with_cache.checkCacheHits + with_cache.checkCacheMisses,
+              0u);
+    EXPECT_GT(with_cache.distinctInterleavings, 0u);
+    EXPECT_LE(with_cache.distinctInterleavings,
+              with_cache.checkCacheMisses);
+
+    // With the cache off, the metrics stay zero.
+    EXPECT_EQ(without.checkCacheHits, 0u);
+    EXPECT_EQ(without.checkCacheMisses, 0u);
+    EXPECT_EQ(without.distinctInterleavings, 0u);
+    EXPECT_DOUBLE_EQ(without.checkCacheHitRate(), 0.0);
+}

@@ -53,6 +53,11 @@ expectSameResult(const HarnessResult &a, const HarnessResult &b)
     EXPECT_EQ(a.totalCoverage, b.totalCoverage);
     EXPECT_EQ(a.meanFitness, b.meanFitness);
     EXPECT_EQ(a.fitnessTrajectory, b.fitnessTrajectory);
+    // Collective-checking telemetry is per-lane, so it too must be
+    // byte-identical for any worker count.
+    EXPECT_EQ(a.checkCacheHits, b.checkCacheHits);
+    EXPECT_EQ(a.checkCacheMisses, b.checkCacheMisses);
+    EXPECT_EQ(a.distinctInterleavings, b.distinctInterleavings);
 }
 
 HarnessResult
@@ -86,6 +91,9 @@ TEST(ParallelHarness, WorkerCountDoesNotChangeTheResult)
     EXPECT_EQ(t1.testRuns, 48u);
     EXPECT_GT(t1.totalCoverage, 0.0);
     EXPECT_GT(t1.meanFitness, 0.0);
+    // The default-on verdict caches feed the summed telemetry.
+    EXPECT_GT(t1.checkCacheHits + t1.checkCacheMisses, 0u);
+    EXPECT_GT(t1.distinctInterleavings, 0u);
     // One trajectory sample per batch barrier.
     EXPECT_EQ(t1.fitnessTrajectory.size(), 48u / 8u);
 }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Witness-signature contract (signature.hh).
+ *
+ * Completeness (the direction collective checking relies on): two
+ * witnesses of the same checking equivalence class -- same per-thread
+ * shape, same rf/co structure -- hash to the same signature even when
+ * event ids, record order, raw addresses, write values, or init-event
+ * interning order differ. Distinctness (best-effort, but what makes
+ * the cache useful): perturbing any hashed dimension -- rf source, co
+ * order, event type, rmw pairing, thread split, address equality
+ * classes -- changes the signature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memconsistency/signature.hh"
+
+using namespace mcversi;
+
+namespace {
+
+mc::WitnessSignature
+sigOf(mc::ExecWitness &ew)
+{
+    ew.finalize();
+    EXPECT_EQ(ew.anomaly(), mc::WitnessAnomaly::None);
+    mc::SignatureBuilder builder;
+    return builder.compute(ew);
+}
+
+} // namespace
+
+TEST(WitnessSignature, RecordOrderInvariance)
+{
+    // Message passing, recorded producer-first...
+    mc::ExecWitness a;
+    a.recordWrite(0, 0, 0x100, 1, kInitVal);
+    a.recordWrite(0, 1, 0x140, 2, kInitVal);
+    a.recordRead(1, 0, 0x140, 2);
+    a.recordRead(1, 1, 0x100, 1);
+
+    // ...consumer-first...
+    mc::ExecWitness b;
+    b.recordRead(1, 0, 0x140, 2);
+    b.recordRead(1, 1, 0x100, 1);
+    b.recordWrite(0, 0, 0x100, 1, kInitVal);
+    b.recordWrite(0, 1, 0x140, 2, kInitVal);
+
+    // ...and fully interleaved, with per-thread poi order reversed.
+    mc::ExecWitness c;
+    c.recordRead(1, 1, 0x100, 1);
+    c.recordWrite(0, 1, 0x140, 2, kInitVal);
+    c.recordRead(1, 0, 0x140, 2);
+    c.recordWrite(0, 0, 0x100, 1, kInitVal);
+
+    const mc::WitnessSignature sa = sigOf(a);
+    EXPECT_EQ(sa, sigOf(b));
+    EXPECT_EQ(sa, sigOf(c));
+}
+
+TEST(WitnessSignature, AddressRenamingInvariance)
+{
+    auto build = [](Addr x, Addr y) {
+        mc::ExecWitness ew;
+        ew.recordWrite(0, 0, x, 1, kInitVal);
+        ew.recordWrite(0, 1, y, 2, kInitVal);
+        ew.recordRead(1, 0, y, 2);
+        ew.recordRead(1, 1, x, 1);
+        return ew;
+    };
+    mc::ExecWitness a = build(0x100, 0x140);
+    mc::ExecWitness b = build(0x9000, 0x40);
+    EXPECT_EQ(sigOf(a), sigOf(b));
+
+    // Collapsing the two addresses into one changes the equality
+    // classes (and the conflict orders), hence the signature.
+    mc::ExecWitness c;
+    c.recordWrite(0, 0, 0x100, 1, kInitVal);
+    c.recordWrite(0, 1, 0x100, 2, 1);
+    c.recordRead(1, 0, 0x100, 2);
+    c.recordRead(1, 1, 0x100, 2);
+    EXPECT_NE(sigOf(a), sigOf(c));
+}
+
+TEST(WitnessSignature, ValueRenamingInvariance)
+{
+    auto build = [](WriteVal v1, WriteVal v2) {
+        mc::ExecWitness ew;
+        ew.recordWrite(0, 0, 0x100, v1, kInitVal);
+        ew.recordWrite(1, 0, 0x100, v2, v1);
+        ew.recordRead(2, 0, 0x100, v2);
+        return ew;
+    };
+    mc::ExecWitness a = build(1, 2);
+    mc::ExecWitness b = build(7777, 31);
+    EXPECT_EQ(sigOf(a), sigOf(b));
+}
+
+TEST(WitnessSignature, InitEventInterningOrderInvariance)
+{
+    // The init event of 0x100 is interned at a different moment in the
+    // two record orders (before vs after the witness has seen other
+    // events), so its raw EventId differs; the canonical name is
+    // assigned by first *reference* in the rf/co pass and must agree.
+    mc::ExecWitness a;
+    a.recordRead(0, 0, 0x100, kInitVal);
+    a.recordWrite(1, 0, 0x140, 5, kInitVal);
+    a.recordRead(1, 1, 0x100, kInitVal);
+
+    mc::ExecWitness b;
+    b.recordWrite(1, 0, 0x140, 5, kInitVal);
+    b.recordRead(1, 1, 0x100, kInitVal);
+    b.recordRead(0, 0, 0x100, kInitVal);
+
+    EXPECT_EQ(sigOf(a), sigOf(b));
+}
+
+TEST(WitnessSignature, RfShapeDistinguishes)
+{
+    // Same programs; the only difference is which write the second
+    // read observes (the store buffer outcome vs the SC one).
+    auto build = [](bool stale) {
+        mc::ExecWitness ew;
+        ew.recordWrite(0, 0, 0x100, 1, kInitVal);
+        ew.recordRead(0, 1, 0x140, stale ? kInitVal : 2);
+        ew.recordWrite(1, 0, 0x140, 2, kInitVal);
+        ew.recordRead(1, 1, 0x100, 1);
+        return ew;
+    };
+    mc::ExecWitness fresh = build(false);
+    mc::ExecWitness stale = build(true);
+    EXPECT_NE(sigOf(fresh), sigOf(stale));
+}
+
+TEST(WitnessSignature, CoShapeDistinguishes)
+{
+    auto build = [](bool w0_first) {
+        mc::ExecWitness ew;
+        if (w0_first) {
+            ew.recordWrite(0, 0, 0x100, 1, kInitVal);
+            ew.recordWrite(1, 0, 0x100, 2, 1);
+        } else {
+            ew.recordWrite(0, 0, 0x100, 1, 2);
+            ew.recordWrite(1, 0, 0x100, 2, kInitVal);
+        }
+        ew.recordRead(2, 0, 0x100, w0_first ? 2 : 1);
+        return ew;
+    };
+    mc::ExecWitness a = build(true);
+    mc::ExecWitness b = build(false);
+    EXPECT_NE(sigOf(a), sigOf(b));
+}
+
+TEST(WitnessSignature, EventTypeAndRmwDistinguish)
+{
+    mc::ExecWitness read;
+    read.recordWrite(0, 0, 0x100, 1, kInitVal);
+    read.recordRead(1, 0, 0x100, 1);
+
+    mc::ExecWitness write;
+    write.recordWrite(0, 0, 0x100, 1, kInitVal);
+    write.recordWrite(1, 0, 0x100, 2, 1);
+
+    EXPECT_NE(sigOf(read), sigOf(write));
+
+    // A read+write poi pair vs the same pair marked as an atomic RMW.
+    auto pair = [](bool rmw) {
+        mc::ExecWitness ew;
+        ew.recordWrite(0, 0, 0x100, 1, kInitVal);
+        ew.recordRead(1, 0, 0x100, 1, rmw);
+        ew.recordWrite(1, 0, 0x100, 2, 1, rmw);
+        return ew;
+    };
+    mc::ExecWitness plain = pair(false);
+    mc::ExecWitness atomic = pair(true);
+    EXPECT_NE(sigOf(plain), sigOf(atomic));
+}
+
+TEST(WitnessSignature, ThreadShapeDistinguishes)
+{
+    // Same multiset of events, different thread assignment.
+    mc::ExecWitness one;
+    one.recordWrite(0, 0, 0x100, 1, kInitVal);
+    one.recordRead(0, 1, 0x100, 1);
+
+    mc::ExecWitness two;
+    two.recordWrite(0, 0, 0x100, 1, kInitVal);
+    two.recordRead(1, 0, 0x100, 1);
+
+    EXPECT_NE(sigOf(one), sigOf(two));
+}
+
+TEST(WitnessSignature, DeterministicAcrossBuildersAndRepeats)
+{
+    auto build = [] {
+        mc::ExecWitness ew;
+        ew.recordWrite(0, 0, 0x100, 1, kInitVal);
+        ew.recordRead(1, 0, 0x100, 1);
+        return ew;
+    };
+    mc::ExecWitness a = build();
+    mc::ExecWitness b = build();
+    a.finalize();
+    b.finalize();
+
+    mc::SignatureBuilder b1;
+    mc::SignatureBuilder b2;
+    const mc::WitnessSignature s1 = b1.compute(a);
+    // Builder scratch must fully reset between computations.
+    b1.compute(b);
+    EXPECT_EQ(b1.compute(a), s1);
+    EXPECT_EQ(b2.compute(a), s1);
+}

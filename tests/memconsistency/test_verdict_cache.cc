@@ -1,0 +1,202 @@
+/**
+ * @file
+ * VerdictCache contract (verdict_cache.hh): hit/miss accounting, LRU
+ * eviction order, recency refresh on lookup and re-insert, the
+ * monotonic distinct counter, backward-shift deletion on the collision
+ * path, clear(), and shard/capacity geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "memconsistency/verdict_cache.hh"
+
+using namespace mcversi;
+
+namespace {
+
+/** Deterministic distinct signatures. The single-shard configs below
+ * make every key land in shard 0 regardless of sig.hi. */
+mc::WitnessSignature
+sig(std::uint64_t n)
+{
+    return mc::WitnessSignature{n * 0x9e3779b97f4a7c15ull + 1, n};
+}
+
+bool
+contains(mc::VerdictCache &cache, std::uint64_t n)
+{
+    std::uint8_t verdict = 0;
+    return cache.lookup(sig(n), verdict);
+}
+
+} // namespace
+
+TEST(VerdictCache, LookupInsertRoundTrip)
+{
+    mc::VerdictCache cache({.capacity = 16, .shards = 2});
+    std::uint8_t verdict = 0xff;
+
+    EXPECT_FALSE(cache.lookup(sig(1), verdict));
+    cache.insert(sig(1), 3);
+    ASSERT_TRUE(cache.lookup(sig(1), verdict));
+    EXPECT_EQ(verdict, 3);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const mc::VerdictCache::Stats &st = cache.stats();
+    EXPECT_EQ(st.lookups, 2u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.distinct, 1u);
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.5);
+}
+
+TEST(VerdictCache, EvictsLeastRecentlyUsed)
+{
+    mc::VerdictCache cache({.capacity = 4, .shards = 1});
+    ASSERT_EQ(cache.capacity(), 4u);
+    for (std::uint64_t n = 0; n < 4; ++n)
+        cache.insert(sig(n), static_cast<std::uint8_t>(n));
+
+    // Touch 0 so 1 becomes the LRU entry, then overflow.
+    ASSERT_TRUE(contains(cache, 0));
+    cache.insert(sig(4), 4);
+
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(contains(cache, 1)); // evicted
+    EXPECT_TRUE(contains(cache, 0));
+    EXPECT_TRUE(contains(cache, 2));
+    EXPECT_TRUE(contains(cache, 3));
+    EXPECT_TRUE(contains(cache, 4));
+}
+
+TEST(VerdictCache, ReinsertRefreshesRecencyOnly)
+{
+    mc::VerdictCache cache({.capacity = 2, .shards = 1});
+    cache.insert(sig(0), 7);
+    cache.insert(sig(1), 1);
+
+    // Re-insert 0: no new entry, but 0 is now most-recently-used, so
+    // the next overflow evicts 1. The verdict stays the original one
+    // (verdicts are immutable per equivalence class).
+    cache.insert(sig(0), 9);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().distinct, 2u);
+
+    cache.insert(sig(2), 2);
+    EXPECT_FALSE(contains(cache, 1));
+    std::uint8_t verdict = 0;
+    ASSERT_TRUE(cache.lookup(sig(0), verdict));
+    EXPECT_EQ(verdict, 7);
+}
+
+TEST(VerdictCache, DistinctCountsEvictedReappearances)
+{
+    mc::VerdictCache cache({.capacity = 2, .shards = 1});
+    cache.insert(sig(0), 0);
+    cache.insert(sig(1), 0);
+    EXPECT_EQ(cache.stats().distinct, 2u);
+
+    // Exact while nothing is evicted...
+    cache.insert(sig(0), 0);
+    cache.insert(sig(1), 0);
+    EXPECT_EQ(cache.stats().distinct, 2u);
+
+    // ...after eviction a returning class is counted again.
+    cache.insert(sig(2), 0); // evicts 0
+    EXPECT_EQ(cache.stats().distinct, 3u);
+    cache.insert(sig(0), 0); // 0 returns, evicting 1
+    EXPECT_EQ(cache.stats().distinct, 4u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(VerdictCache, CollisionChainsSurviveEviction)
+{
+    // One shard, tiny capacity: every insert past the fourth both
+    // evicts and backward-shifts the probe table. Interleave lookups
+    // to verify chains stay contiguous across deletions.
+    mc::VerdictCache cache({.capacity = 4, .shards = 1});
+    const std::uint64_t keys = 64;
+    for (std::uint64_t n = 0; n < keys; ++n) {
+        cache.insert(sig(n), static_cast<std::uint8_t>(n & 0xff));
+        // The four most recent keys must all be resident and return
+        // their own verdicts. Touch oldest-first so the lookups
+        // themselves preserve the insertion recency order.
+        const std::uint64_t oldest = n < 3 ? 0 : n - 3;
+        for (std::uint64_t k = oldest; k <= n; ++k) {
+            std::uint8_t verdict = 0;
+            ASSERT_TRUE(cache.lookup(sig(k), verdict))
+                << "n=" << n << " k=" << k;
+            ASSERT_EQ(verdict, static_cast<std::uint8_t>(k & 0xff));
+        }
+        ASSERT_EQ(cache.size(), std::min<std::uint64_t>(n + 1, 4));
+    }
+    EXPECT_EQ(cache.stats().evictions, keys - 4);
+    EXPECT_EQ(cache.stats().distinct, keys);
+}
+
+TEST(VerdictCache, ClusteredLowBitsProbeCorrectly)
+{
+    // Home slot is sig.lo & mask: keys with identical low bits force
+    // maximal linear-probe clustering in one shard.
+    mc::VerdictCache cache({.capacity = 8, .shards = 1});
+    auto clustered = [](std::uint64_t n) {
+        return mc::WitnessSignature{n << 40, n};
+    };
+    for (std::uint64_t n = 0; n < 8; ++n)
+        cache.insert(clustered(n), static_cast<std::uint8_t>(n));
+    for (std::uint64_t n = 0; n < 8; ++n) {
+        std::uint8_t verdict = 0xff;
+        ASSERT_TRUE(cache.lookup(clustered(n), verdict)) << n;
+        EXPECT_EQ(verdict, static_cast<std::uint8_t>(n));
+    }
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(VerdictCache, ClearDropsEntriesAndStats)
+{
+    mc::VerdictCache cache({.capacity = 8, .shards = 2});
+    for (std::uint64_t n = 0; n < 6; ++n)
+        cache.insert(sig(n), 1);
+    ASSERT_GT(cache.size(), 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().lookups, 0u);
+    EXPECT_EQ(cache.stats().distinct, 0u);
+    EXPECT_FALSE(contains(cache, 0));
+
+    // Still fully usable after clear().
+    cache.insert(sig(42), 2);
+    std::uint8_t verdict = 0;
+    EXPECT_TRUE(cache.lookup(sig(42), verdict));
+    EXPECT_EQ(verdict, 2);
+}
+
+TEST(VerdictCache, GeometryClampsAndRounding)
+{
+    // Shards clamp to capacity; per-shard rounding may raise capacity.
+    mc::VerdictCache tiny({.capacity = 1, .shards = 8});
+    EXPECT_EQ(tiny.shardCount(), 1u);
+    EXPECT_GE(tiny.capacity(), 1u);
+
+    mc::VerdictCache odd({.capacity = 10, .shards = 4});
+    EXPECT_EQ(odd.shardCount(), 4u);
+    EXPECT_GE(odd.capacity(), 10u);
+
+    // Default config matches the documented knobs.
+    mc::VerdictCache def;
+    EXPECT_EQ(def.shardCount(), 8u);
+    EXPECT_GE(def.capacity(), 4096u);
+
+    // Keys spread across shards: fill past one shard's share and
+    // verify everything stays resident up to total capacity.
+    mc::VerdictCache spread({.capacity = 64, .shards = 8});
+    for (std::uint64_t n = 0; n < 64; ++n)
+        spread.insert(mc::WitnessSignature{n, n << 32}, 1);
+    EXPECT_EQ(spread.size(), 64u);
+}

@@ -10,7 +10,7 @@
  *   bugs=<name;...|all|mesi|tsocc>   generators=<name;...|all>
  *   seeds=<lo..hi|s;s;...>
  * Runner keys:
- *   threads=N (0 = hardware)  json=FILE  csv=FILE  quiet=1
+ *   threads=N (>= 1; omit for hardware)  json=FILE  csv=FILE  quiet=1
  * Every other key=value is a CampaignSpec setting (see --help).
  *
  * Example (the CI datapoint):
@@ -45,10 +45,11 @@ printUsage()
         "  seeds=<lo..hi|s1;s2;...>        seed axis\n"
         "\n"
         "Runner keys:\n"
-        "  threads=N      worker threads across specs (0 = hardware)\n"
+        "  threads=N      worker threads across specs, N >= 1 (omit\n"
+        "                 the key for hardware concurrency)\n"
         "  eval-threads=N worker threads inside one spec's batch\n"
-        "                 evaluation (0 = hardware; summaries are\n"
-        "                 byte-identical for any value)\n"
+        "                 evaluation, N >= 1 (default 1; summaries\n"
+        "                 are byte-identical for any value)\n"
         "  json=FILE      write the JSON summary\n"
         "  csv=FILE       write the CSV summary\n"
         "  quiet=1        suppress per-campaign progress lines\n"
@@ -63,6 +64,8 @@ printUsage()
         "  batch=N (1)                \n"
         "  max-runs=N (1000)          max-seconds=X (0 = unlimited)\n"
         "  litmus-iterations=N (12)   record-ndt=0|1 (0)\n"
+        "  check-cache=N[k]|off (4096)  verdict-cache entries per\n"
+        "                             checker (collective checking)\n"
         "\n"
         "islands>1 or batch>1 selects the batched multi-lane harness:\n"
         "one simulation lane per island, eval-threads workers.\n"
@@ -144,9 +147,9 @@ main(int argc, char **argv)
             } else if (key == "seeds") {
                 matrix.seeds = campaign::parseSeedList(value);
             } else if (key == "threads") {
-                threads = std::stoi(value);
+                threads = campaign::parseThreadCount(key, value);
             } else if (key == "eval-threads") {
-                eval_threads = std::stoi(value);
+                eval_threads = campaign::parseThreadCount(key, value);
             } else if (key == "json") {
                 json_path = value;
             } else if (key == "csv") {
