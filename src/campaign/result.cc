@@ -83,6 +83,7 @@ appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
         << ",\"generator\":\"" << jsonEscape(spec.generator) << "\""
         << ",\"seed\":" << spec.seed
         << ",\"protocol\":\"" << jsonEscape(spec.protocol) << "\""
+        << ",\"model\":\"" << jsonEscape(spec.model) << "\""
         << ",\"test_size\":" << spec.testSize
         << ",\"iterations\":" << spec.iterations
         << ",\"mem_size\":" << spec.memSize
@@ -200,7 +201,8 @@ std::string
 CampaignSummary::toCsv(bool include_timing) const
 {
     std::ostringstream out;
-    out << "bug,generator,seed,protocol,test_size,iterations,mem_size,"
+    out << "bug,generator,seed,protocol,model,test_size,iterations,"
+           "mem_size,"
            "stride,guest_threads,population,islands,migration,batch,"
            "max_runs,max_seconds,litmus_iterations,record_ndt,"
            "check_cache,"
@@ -219,6 +221,7 @@ CampaignSummary::toCsv(bool include_timing) const
             << csvField(r.spec.generator) << ","
             << r.spec.seed << ","
             << r.spec.protocol << ","
+            << r.spec.model << ","
             << r.spec.testSize << ","
             << r.spec.iterations << ","
             << r.spec.memSize << ","

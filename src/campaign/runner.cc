@@ -9,7 +9,7 @@
 #include "campaign/registry.hh"
 #include "host/parallel_harness.hh"
 #include "litmus/runner.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 namespace mcversi::campaign {
 
@@ -25,7 +25,9 @@ CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
             litmus::LitmusRunner::Params params;
             params.system = spec.systemConfig();
             params.iterationsPerRun = spec.litmusIterations;
-            litmus::LitmusRunner runner(params, litmus::x86TsoSuite());
+            params.model = spec.model;
+            litmus::LitmusRunner runner(
+                params, litmus::suiteForModel(spec.model));
             result.harness = runner.run(spec.budget());
             result.protocolCoverage =
                 runner.system().coverage().totalCoverage(

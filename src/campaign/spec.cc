@@ -5,6 +5,7 @@
 
 #include "campaign/registry.hh"
 #include "common/strings.hh"
+#include "memconsistency/models/registry.hh"
 #include "sim/bugs.hh"
 
 namespace mcversi::campaign {
@@ -87,6 +88,17 @@ parseBool(const std::string &key, const std::string &value)
 }
 
 std::string
+parseModel(const std::string &key, const std::string &value)
+{
+    const std::string v = asciiLowered(value);
+    if (!mc::hasModel(v)) {
+        badValue(key, value,
+                 "registered models: " + mc::modelNamesJoined());
+    }
+    return v;
+}
+
+std::string
 parseProtocol(const std::string &key, const std::string &value)
 {
     const std::string v = asciiLowered(value);
@@ -124,6 +136,8 @@ CampaignSpec::set(const std::string &key, const std::string &value)
         seed = parseU64(key, value);
     } else if (k == "protocol") {
         protocol = parseProtocol(key, value);
+    } else if (k == "model") {
+        model = parseModel(key, value);
     } else if (k == "test-size") {
         testSize = static_cast<std::size_t>(
             parsePositiveInt(key, value));
@@ -192,6 +206,7 @@ CampaignSpec::toString() const
         << " generator=" << generator
         << " seed=" << seed
         << " protocol=" << protocol
+        << " model=" << model
         << " test-size=" << testSize
         << " iterations=" << iterations
         << " mem-size=" << memSize
@@ -227,6 +242,13 @@ CampaignSpec::validate() const
         throw std::invalid_argument(
             "campaign spec: protocol must be auto, mesi, or tsocc "
             "(got '" + protocol + "')");
+    }
+    // Directly-assigned model strings likewise bypass set().
+    if (!mc::hasModel(model)) {
+        throw std::invalid_argument(
+            "campaign spec: unknown model '" + model +
+            "' for key 'model' (registered models: " +
+            mc::modelNamesJoined() + ")");
     }
     if (stride == 0 || memSize == 0 || memSize % stride != 0) {
         throw std::invalid_argument(
@@ -345,6 +367,7 @@ CampaignSpec::harnessParams() const
     params.system = systemConfig();
     params.gen = genParams();
     params.workload.iterations = iterations;
+    params.model = model;
     params.recordNdt = recordNdt;
     params.checkCacheEntries = checkCache;
     return params;
@@ -358,19 +381,25 @@ CampaignMatrix::expand() const
     const std::vector<std::string> gen_list =
         generators.empty() ? std::vector<std::string>{base.generator}
                            : generators;
+    const std::vector<std::string> model_list =
+        models.empty() ? std::vector<std::string>{base.model} : models;
     const std::vector<std::uint64_t> seed_list =
         seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
 
     std::vector<CampaignSpec> specs;
-    specs.reserve(bug_list.size() * gen_list.size() * seed_list.size());
+    specs.reserve(bug_list.size() * gen_list.size() *
+                  model_list.size() * seed_list.size());
     for (const std::string &bug : bug_list) {
         for (const std::string &generator : gen_list) {
-            for (const std::uint64_t seed : seed_list) {
-                CampaignSpec spec = base;
-                spec.bug = bug;
-                spec.generator = generator;
-                spec.seed = seed;
-                specs.push_back(std::move(spec));
+            for (const std::string &model : model_list) {
+                for (const std::uint64_t seed : seed_list) {
+                    CampaignSpec spec = base;
+                    spec.bug = bug;
+                    spec.generator = generator;
+                    spec.model = model;
+                    spec.seed = seed;
+                    specs.push_back(std::move(spec));
+                }
             }
         }
     }

@@ -9,9 +9,11 @@
  * "key=value" strings (CLI / config files), and serializable back via
  * toString() -- parse(toString()) round-trips exactly.
  *
- * CampaignMatrix expands bug-lists x generator-lists x seed-lists into
- * the flat vector of specs a CampaignRunner consumes, mirroring the
- * paper's {protocol} x {bug} x {generator} x {seed} sweep.
+ * CampaignMatrix expands bug x generator x model x seed lists into the
+ * flat vector of specs a CampaignRunner consumes, mirroring the paper's
+ * {protocol} x {bug} x {generator} x {seed} sweep with a consistency-
+ * model axis on top (the checker verifies against any registered
+ * model, not just x86-TSO).
  */
 
 #ifndef MCVERSI_CAMPAIGN_SPEC_HH
@@ -39,6 +41,12 @@ struct CampaignSpec
     std::uint64_t seed = 1;
     /** Protocol selection: "auto" derives it from the bug. */
     std::string protocol = "auto";
+    /**
+     * Consistency model the checker verifies against: a registered
+     * model name (see memconsistency/models/registry.hh). The litmus
+     * generator also draws its suite per model.
+     */
+    std::string model = "tso";
 
     // Test generation (Table 3 upper half, scaled-down defaults).
     std::size_t testSize = 256;
@@ -124,18 +132,20 @@ struct CampaignSpec
     }
 };
 
-/** Matrix of campaigns: base spec x bugs x generators x seeds. */
+/** Matrix of campaigns: base spec x bugs x generators x models x seeds. */
 struct CampaignMatrix
 {
     CampaignSpec base{};
     /** Empty list => the base spec's value is used (cardinality 1). */
     std::vector<std::string> bugs;
     std::vector<std::string> generators;
+    std::vector<std::string> models;
     std::vector<std::uint64_t> seeds;
 
     /**
-     * Expand to |bugs| x |generators| x |seeds| specs, bug-major then
-     * generator then seed (deterministic order).
+     * Expand to |bugs| x |generators| x |models| x |seeds| specs,
+     * bug-major then generator then model then seed (deterministic
+     * order).
      */
     std::vector<CampaignSpec> expand() const;
 };

@@ -15,7 +15,7 @@ VerificationHarness::VerificationHarness(Params params,
     : params_(params), source_(source), fitness_(params.fitness)
 {
     system_ = std::make_unique<sim::System>(params_.system);
-    checker_ = std::make_unique<mc::Checker>(mc::makeTso());
+    checker_ = std::make_unique<mc::Checker>(mc::makeModel(params_.model));
     if (params_.checkCacheEntries > 0) {
         checker_->enableVerdictCache(
             {.capacity = params_.checkCacheEntries});

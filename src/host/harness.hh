@@ -107,6 +107,11 @@ class VerificationHarness
         gp::GenParams gen{};
         Workload::Params workload{};
         gp::AdaptiveCoverageFitness::Params fitness{};
+        /**
+         * Registered consistency model the checker verifies executions
+         * against (memconsistency/models/registry.hh).
+         */
+        std::string model = "tso";
         /** Record per-run NDT history (costs memory on long runs). */
         bool recordNdt = true;
         /**

@@ -115,7 +115,8 @@ ParallelHarness::ParallelHarness(Params params, TestSource &source)
         // seed, so a single lane reproduces the serial harness exactly.
         config.seed = Rng::streamSeed(config.seed, l);
         lane->system = std::make_unique<sim::System>(config);
-        lane->checker = std::make_unique<mc::Checker>(mc::makeTso());
+        lane->checker =
+            std::make_unique<mc::Checker>(mc::makeModel(params_.harness.model));
         // One verdict cache per lane (a Checker is single-threaded);
         // per-lane hit/distinct sequences depend only on that lane's
         // slots, so the summed telemetry is worker-count-invariant.

@@ -16,6 +16,7 @@ edgeName(EdgeType e)
       case EdgeType::PodRW: return "PodRW";
       case EdgeType::PodWW: return "PodWW";
       case EdgeType::MFencedWR: return "MFencedWR";
+      case EdgeType::PodWR: return "PodWR";
     }
     return "?";
 }
@@ -35,6 +36,7 @@ edgeSrcIsWrite(EdgeType e)
       case EdgeType::Coe:
       case EdgeType::PodWW:
       case EdgeType::MFencedWR:
+      case EdgeType::PodWR:
         return true;
       default:
         return false;

@@ -31,7 +31,12 @@
 
 namespace mcversi::litmus {
 
-/** Relaxation edge alphabet (x86-TSO forbidden cycles only). */
+/**
+ * Relaxation edge alphabet. The cycle enumerator uses the x86-TSO
+ * subset (everything but PodWR: TSO never orders a plain write before
+ * a po-later read, so no forbidden TSO cycle contains one); PodWR
+ * exists for hand-built tests of stricter models (SC's SB).
+ */
 enum class EdgeType : std::uint8_t {
     Rfe,       ///< external read-from            (W -> R, same addr)
     Fre,       ///< external from-read            (R -> W, same addr)
@@ -40,6 +45,7 @@ enum class EdgeType : std::uint8_t {
     PodRW,     ///< program order read-write      (different addr)
     PodWW,     ///< program order write-write     (different addr)
     MFencedWR, ///< fenced write-read             (different addr)
+    PodWR,     ///< program order write-read      (different addr)
 };
 
 const char *edgeName(EdgeType e);

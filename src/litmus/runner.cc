@@ -8,7 +8,7 @@ LitmusRunner::LitmusRunner(Params params, std::vector<LitmusTest> suite)
     : params_(params)
 {
     system_ = std::make_unique<sim::System>(params_.system);
-    checker_ = std::make_unique<mc::Checker>(mc::makeTso());
+    checker_ = std::make_unique<mc::Checker>(mc::makeModel(params_.model));
 
     // Unroll every test into its array form (diy -s semantics).
     Addr max_addrs = 1;

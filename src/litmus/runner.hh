@@ -43,6 +43,12 @@ class LitmusRunner
         int instances = 24;
         /** Variable spacing: one cache line. */
         Addr addrStride = kLineBytes;
+        /**
+         * Consistency model the (crash-only) checker instance is tied
+         * to; suites are supplied by the caller, typically
+         * suiteForModel() of the same name.
+         */
+        std::string model = "tso";
     };
 
     LitmusRunner(Params params, std::vector<LitmusTest> suite);

@@ -1,0 +1,232 @@
+#include "litmus/suites.hh"
+
+#include <stdexcept>
+
+#include "memconsistency/models/registry.hh"
+
+namespace mcversi::litmus {
+
+namespace {
+
+LitmusTest
+mustBuild(const CycleSpec &spec, const char *name)
+{
+    auto test = buildTest(spec);
+    if (!test)
+        throw std::logic_error(std::string("invalid litmus spec: ") +
+                               name);
+    return *test;
+}
+
+/**
+ * Classify one enumerated cycle: walk it thread by thread (comm edges
+ * advance the thread, exactly as buildTest lays events out) collecting
+ * the program-order edges. If every po edge lies in one thread, the
+ * cycle's comm edges chain back onto that thread's own accesses and the
+ * forbidden outcome contradicts coherence alone (po-loc), making it
+ * forbidden under every model.
+ */
+SuiteEntry
+classify(const CycleSpec &spec, LitmusTest test)
+{
+    SuiteEntry entry;
+    entry.test = std::move(test);
+    int tid = 0;
+    int po_tid = -1;
+    bool uniproc = true;
+    for (const EdgeType e : spec) {
+        if (isCommEdge(e)) {
+            ++tid;
+            continue;
+        }
+        entry.poEdges.push_back(e);
+        if (po_tid < 0)
+            po_tid = tid;
+        else if (po_tid != tid)
+            uniproc = false;
+    }
+    entry.uniproc = uniproc;
+    if (uniproc)
+        entry.poEdges.clear();
+    return entry;
+}
+
+} // namespace
+
+const std::vector<SuiteEntry> &
+litmusPool()
+{
+    static const std::vector<SuiteEntry> pool = [] {
+        std::vector<SuiteEntry> entries;
+        for (const CycleSpec &spec : enumerateCycles(6, kX86SuiteSize)) {
+            if (entries.size() >= kX86SuiteSize)
+                break;
+            if (auto test = buildTest(spec))
+                entries.push_back(classify(spec, std::move(*test)));
+        }
+
+        SuiteEntry sb;
+        sb.test = storeBuffering();
+        sb.poEdges = {EdgeType::PodWR, EdgeType::PodWR};
+        entries.push_back(std::move(sb));
+
+        SuiteEntry mp_sync;
+        mp_sync.test = messagePassingRelAcq();
+        mp_sync.needsRelAcq = true;
+        entries.push_back(std::move(mp_sync));
+
+        return entries;
+    }();
+    return pool;
+}
+
+bool
+forbiddenUnder(const SuiteEntry &entry, const mc::ModelProfile &model)
+{
+    if (entry.uniproc)
+        return true;
+    if (entry.needsRelAcq) {
+        // Any RMW fencing (full or release/acquire) orders the
+        // synchronization pair; a fence-free model needs the full ppo.
+        return model.rmwFence != mc::RmwSemantics::None ||
+               (model.orderRR && model.orderRW && model.orderWR &&
+                model.orderWW);
+    }
+    for (const EdgeType e : entry.poEdges) {
+        bool ordered = true;
+        switch (e) {
+          case EdgeType::PodRR: ordered = model.orderRR; break;
+          case EdgeType::PodRW: ordered = model.orderRW; break;
+          case EdgeType::PodWW: ordered = model.orderWW; break;
+          case EdgeType::PodWR: ordered = model.orderWR; break;
+          case EdgeType::MFencedWR:
+            // A full fence bridges the W -> R; so does plain ppo in a
+            // model that never relaxes write-to-read in the first
+            // place. Release/acquire alone does not: the release edge
+            // ends at the RMW's write, the acquire edge starts at its
+            // read, and nothing connects the two downward.
+            ordered = model.rmwFence == mc::RmwSemantics::Full ||
+                      model.orderWR;
+            break;
+          default:
+            break; // comm edges never appear in poEdges
+        }
+        if (!ordered)
+            return false;
+    }
+    return true;
+}
+
+std::vector<LitmusTest>
+suiteForModel(const std::string &model)
+{
+    const mc::ModelProfile profile = mc::modelProfile(model);
+    std::vector<LitmusTest> suite;
+    for (const SuiteEntry &entry : litmusPool())
+        if (forbiddenUnder(entry, profile))
+            suite.push_back(entry.test);
+    return suite;
+}
+
+std::vector<LitmusTest>
+x86TsoSuite()
+{
+    std::vector<LitmusTest> suite;
+    for (const CycleSpec &spec : enumerateCycles(6, kX86SuiteSize)) {
+        if (auto test = buildTest(spec))
+            suite.push_back(std::move(*test));
+        if (suite.size() >= kX86SuiteSize)
+            break;
+    }
+    return suite;
+}
+
+LitmusTest
+messagePassing()
+{
+    LitmusTest t = mustBuild({EdgeType::PodWW, EdgeType::Rfe,
+                              EdgeType::PodRR, EdgeType::Fre},
+                             "MP");
+    t.name = "MP (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+storeBuffering()
+{
+    LitmusTest t = mustBuild({EdgeType::PodWR, EdgeType::Fre,
+                              EdgeType::PodWR, EdgeType::Fre},
+                             "SB");
+    t.name = "SB (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+storeBufferingFenced()
+{
+    LitmusTest t = mustBuild({EdgeType::MFencedWR, EdgeType::Fre,
+                              EdgeType::MFencedWR, EdgeType::Fre},
+                             "SB+fences");
+    t.name = "SB+fences (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+loadBuffering()
+{
+    LitmusTest t = mustBuild({EdgeType::PodRW, EdgeType::Rfe,
+                              EdgeType::PodRW, EdgeType::Rfe},
+                             "LB");
+    t.name = "LB (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+twoPlusTwoW()
+{
+    LitmusTest t = mustBuild({EdgeType::PodWW, EdgeType::Coe,
+                              EdgeType::PodWW, EdgeType::Coe},
+                             "2+2W");
+    t.name = "2+2W (" + t.name + ")";
+    return t;
+}
+
+LitmusTest
+messagePassingRelAcq()
+{
+    LitmusTest t;
+    t.name = "MP+rel-acq";
+    t.numThreads = 2;
+    t.numAddrs = 2;
+
+    std::vector<gp::Node> flat;
+    const auto add = [&](Pid pid, gp::OpKind kind, Addr addr) {
+        gp::Node node;
+        node.pid = pid;
+        node.op.kind = kind;
+        node.op.addr = addr;
+        flat.push_back(node);
+    };
+    add(0, gp::OpKind::Write, 0);                     // t0: x = 1
+    add(0, gp::OpKind::ReadModifyWrite, kLineBytes);  // t0: release s
+    add(1, gp::OpKind::ReadModifyWrite, kLineBytes);  // t1: acquire s
+    add(1, gp::OpKind::Read, 0);                      // t1: load x
+    t.test = gp::Test(std::move(flat));
+
+    // t1's RMW reads t0's RMW write, yet the po-later load of x still
+    // sees the initial value.
+    CondAtom sync;
+    sync.kind = CondAtom::Kind::ReadsFrom;
+    sync.pid = 1;
+    sync.slot = 0;
+    sync.otherPid = 0;
+    sync.otherSlot = 1;
+    CondAtom stale;
+    stale.kind = CondAtom::Kind::ReadsInit;
+    stale.pid = 1;
+    stale.slot = 1;
+    t.forbidden = {sync, stale};
+    return t;
+}
+
+} // namespace mcversi::litmus

@@ -39,6 +39,9 @@
 #include "memconsistency/event.hh"
 #include "memconsistency/execwitness.hh"
 #include "memconsistency/graph.hh"
+#include "memconsistency/models/engine.hh"
+#include "memconsistency/models/profile.hh"
+#include "memconsistency/models/registry.hh"
 #include "memconsistency/relation.hh"
 
 #include "sim/bugs.hh"
@@ -64,7 +67,7 @@
 #include "litmus/diy.hh"
 #include "litmus/litmus.hh"
 #include "litmus/runner.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 #include "campaign/registry.hh"
 #include "campaign/result.hh"

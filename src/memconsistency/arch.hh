@@ -57,6 +57,14 @@ class Architecture
     virtual bool ghbIncludesRfi() const = 0;
 };
 
+/**
+ * Instantiate a registered consistency model (models/registry.hh) by
+ * name, case-insensitively: "sc", "tso", "pso", "rmo", "rc". Throws
+ * std::invalid_argument listing the registered models on an unknown
+ * name.
+ */
+std::unique_ptr<Architecture> makeModel(const std::string &name);
+
 /** Sequential Consistency: ppo = po, all rf global. */
 std::unique_ptr<Architecture> makeSc();
 

@@ -72,6 +72,9 @@ class Checker
     explicit Checker(std::unique_ptr<Architecture> arch)
         : arch_(std::move(arch))
     {
+        // Key memoized verdicts by model: a verdict cached under one
+        // architecture must never short-circuit a check under another.
+        signatureScratch_.setModelSalt(modelSalt(arch_->name()));
     }
 
     /**

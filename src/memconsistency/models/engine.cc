@@ -1,0 +1,213 @@
+#include "memconsistency/models/engine.hh"
+
+#include <stdexcept>
+
+namespace mcversi::mc {
+
+const char *
+rmwSemanticsName(RmwSemantics s)
+{
+    switch (s) {
+      case RmwSemantics::Full: return "full-fence";
+      case RmwSemantics::AcquireRelease: return "acquire-release";
+      case RmwSemantics::None: return "none";
+    }
+    return "?";
+}
+
+void
+ModelProfile::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument("model profile: empty name");
+    if (orderRW && !orderRR) {
+        throw std::invalid_argument(
+            "model profile '" + name +
+            "': orderRW requires orderRR (earlier reads reach later "
+            "writes through the read chain)");
+    }
+    if (orderWR && !orderRR && !orderWW) {
+        throw std::invalid_argument(
+            "model profile '" + name +
+            "': orderWR requires orderRR or orderWW (one side must "
+            "chain)");
+    }
+    if (rmwFence == RmwSemantics::AcquireRelease &&
+        (orderRR || orderRW || orderWR || orderWW)) {
+        throw std::invalid_argument(
+            "model profile '" + name +
+            "': acquire-release RMWs describe fence-free ppo profiles "
+            "(with plain ppo preserved, use full-fence or none)");
+    }
+}
+
+namespace {
+
+/**
+ * Fence strength implied by the profile: a profile preserving all of
+ * po orders everything a full fence would, whatever its rmwFence says
+ * (SC declares None to skip redundant fence nodes).
+ */
+int
+effectiveRmwRank(const ModelProfile &p)
+{
+    if (p.orderRR && p.orderRW && p.orderWR && p.orderWW)
+        return 2;
+    switch (p.rmwFence) {
+      case RmwSemantics::Full: return 2;
+      case RmwSemantics::AcquireRelease: return 1;
+      case RmwSemantics::None: return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+bool
+ModelProfile::atLeastAsStrongAs(const ModelProfile &weaker) const
+{
+    const bool ppo_superset =
+        (orderRR || !weaker.orderRR) && (orderRW || !weaker.orderRW) &&
+        (orderWR || !weaker.orderWR) && (orderWW || !weaker.orderWW);
+    return ppo_superset && (rfiGlobal || !weaker.rfiGlobal) &&
+           effectiveRmwRank(*this) >= effectiveRmwRank(weaker);
+}
+
+ProfileModel::ProfileModel(ModelProfile profile)
+    : profile_(std::move(profile))
+{
+    profile_.validate();
+    chainRR_ = profile_.orderRR;
+    chainWW_ = profile_.orderWW;
+    oneshotRW_ = profile_.orderRW && profile_.orderWW;
+    persistRW_ = profile_.orderRW && !profile_.orderWW;
+    oneshotWR_ = profile_.orderWR && profile_.orderRR;
+    persistWR_ = profile_.orderWR && !profile_.orderRR;
+    const bool full = profile_.rmwFence == RmwSemantics::Full;
+    const bool acqrel = profile_.rmwFence == RmwSemantics::AcquireRelease;
+    // Fences collect chainless upstream classes from accumulator
+    // lists; releases collect both classes (acq/rel profiles are
+    // chainless by validation).
+    trackReads_ = (full && !chainRR_) || acqrel;
+    trackWrites_ = (full && !chainWW_) || acqrel;
+    // The pair's internal read->write order: implied by ppo (oneshot /
+    // persistent RW) or by the acquire's downstream edge; with a
+    // chainless Full profile the fences sit outside the pair, so the
+    // edge must be explicit.
+    pairEdge_ = !profile_.orderRW && !acqrel;
+}
+
+void
+ProfileModel::addProgramOrderEdges(const ExecWitness &ew,
+                                   const std::vector<EventId> &thread,
+                                   CycleGraph &g) const
+{
+    EventId last_read = kNoEvent;
+    EventId last_write = kNoEvent;
+    CycleGraph::Node last_fence = kNoEvent;
+    // Persistent downstream sources for chainless classes: the latest
+    // fence/acquire node, wired to every subsequent read/write.
+    CycleGraph::Node down_read_src = kNoEvent;
+    CycleGraph::Node down_write_src = kNoEvent;
+    EventId pending_rmw_read = kNoEvent;
+    // Pending sources wanting an edge to the next read/write.
+    std::vector<CycleGraph::Node> want_next_read;
+    std::vector<CycleGraph::Node> want_next_write;
+    // Events since the last fence/release, for chainless upstream
+    // classes.
+    std::vector<CycleGraph::Node> reads_since;
+    std::vector<CycleGraph::Node> writes_since;
+
+    auto flush_to = [&g](std::vector<CycleGraph::Node> &pending,
+                         CycleGraph::Node dst) {
+        for (const CycleGraph::Node n : pending)
+            g.addEdge(n, dst);
+        pending.clear();
+    };
+
+    auto add_fence = [&]() {
+        const CycleGraph::Node f = g.addNode();
+        if (chainRR_) {
+            if (last_read != kNoEvent)
+                g.addEdge(last_read, f);
+        } else {
+            flush_to(reads_since, f);
+        }
+        if (chainWW_) {
+            if (last_write != kNoEvent)
+                g.addEdge(last_write, f);
+        } else {
+            flush_to(writes_since, f);
+        }
+        if (last_fence != kNoEvent)
+            g.addEdge(last_fence, f);
+        last_fence = f;
+        if (chainRR_)
+            want_next_read.push_back(f);
+        else
+            down_read_src = f;
+        if (chainWW_)
+            want_next_write.push_back(f);
+        else
+            down_write_src = f;
+    };
+
+    const bool full = profile_.rmwFence == RmwSemantics::Full;
+    const bool acqrel = profile_.rmwFence == RmwSemantics::AcquireRelease;
+
+    for (const EventId id : thread) {
+        const Event &ev = ew.event(id);
+        // A full fence precedes the read part of each RMW.
+        if (ev.rmw && ev.isRead() && full)
+            add_fence();
+        if (ev.isRead()) {
+            if (chainRR_ && last_read != kNoEvent)
+                g.addEdge(last_read, id);
+            if (persistWR_ && last_write != kNoEvent)
+                g.addEdge(last_write, id);
+            if (down_read_src != kNoEvent)
+                g.addEdge(down_read_src, id);
+            flush_to(want_next_read, id);
+            if (trackReads_)
+                reads_since.push_back(id);
+            last_read = id;
+            if (oneshotRW_)
+                want_next_write.push_back(id);
+            if (ev.rmw) {
+                pending_rmw_read = id;
+                if (acqrel) {
+                    // Acquire: ordered before everything po-later.
+                    down_read_src = id;
+                    down_write_src = id;
+                }
+            }
+        } else {
+            if (ev.rmw && acqrel) {
+                // Release: everything po-earlier is ordered before it.
+                flush_to(reads_since, id);
+                flush_to(writes_since, id);
+            }
+            if (chainWW_ && last_write != kNoEvent)
+                g.addEdge(last_write, id);
+            if (persistRW_ && last_read != kNoEvent)
+                g.addEdge(last_read, id);
+            if (down_write_src != kNoEvent)
+                g.addEdge(down_write_src, id);
+            flush_to(want_next_write, id);
+            if (ev.rmw && pairEdge_ && pending_rmw_read != kNoEvent)
+                g.addEdge(pending_rmw_read, id);
+            if (ev.rmw)
+                pending_rmw_read = kNoEvent;
+            if (trackWrites_)
+                writes_since.push_back(id);
+            last_write = id;
+            if (oneshotWR_)
+                want_next_read.push_back(id);
+            // A full fence follows the write part of each RMW.
+            if (ev.rmw && ev.isWrite() && full)
+                add_fence();
+        }
+    }
+}
+
+} // namespace mcversi::mc

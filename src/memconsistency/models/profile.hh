@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Declarative consistency-model axiom profiles.
+ *
+ * Following the herding-cats decomposition, a hardware model is
+ * determined by (a) which program-order pairs it preserves per
+ * access-type pair, (b) what ordering its fence-ish operations provide
+ * (here: the atomic RMW, the only fence the op set has), and (c)
+ * whether internal read-from participates in global happens-before
+ * (store atomicity). A ModelProfile states exactly those axioms as
+ * data; one shared constraint engine (engine.hh) interprets any valid
+ * profile, so adding a model means writing a profile, not a checker.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_MODELS_PROFILE_HH
+#define MCVERSI_MEMCONSISTENCY_MODELS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcversi::mc {
+
+/** Ordering semantics of atomic RMW instructions. */
+enum class RmwSemantics : std::uint8_t {
+    /**
+     * Full fence around the pair (x86 lock prefix): everything
+     * po-before is ordered before the read part, everything po-after
+     * after the write part.
+     */
+    Full,
+    /**
+     * Release/acquire pair: the read part is an acquire (ordered
+     * before everything po-later), the write part a release (ordered
+     * after everything po-earlier). No W->R crossing edge.
+     */
+    AcquireRelease,
+    /** No fence semantics beyond the profile's plain ppo. */
+    None,
+};
+
+const char *rmwSemanticsName(RmwSemantics s);
+
+/** Axiom profile of one memory consistency model. */
+struct ModelProfile
+{
+    /** Display name, e.g. "TSO"; registry lookup is case-insensitive. */
+    std::string name;
+
+    // Preserved program order per (source, destination) access types.
+    bool orderRR = false; ///< read  -> po-later read
+    bool orderRW = false; ///< read  -> po-later write
+    bool orderWR = false; ///< write -> po-later read
+    bool orderWW = false; ///< write -> po-later write
+
+    RmwSemantics rmwFence = RmwSemantics::Full;
+
+    /** Internal rf participates in ghb (multi-copy store atomicity). */
+    bool rfiGlobal = false;
+
+    bool operator==(const ModelProfile &) const = default;
+
+    /**
+     * Check the profile is one the shared engine can interpret with
+     * O(events) generator edges. Throws std::invalid_argument:
+     *
+     *  - orderRW requires orderRR (earlier reads reach a later write
+     *    through the read chain),
+     *  - orderWR requires orderRR or orderWW (one side must chain),
+     *  - AcquireRelease describes fence-free ppo profiles only (with
+     *    plain ppo present, use Full or None).
+     */
+    void validate() const;
+
+    /**
+     * Structural strictness: true if every execution this profile
+     * permits is permitted by @p weaker too (ppo superset, store
+     * atomicity at least as strong, RMW fencing at least as strong;
+     * a profile preserving all of po subsumes any fence semantics).
+     */
+    bool atLeastAsStrongAs(const ModelProfile &weaker) const;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_MODELS_PROFILE_HH

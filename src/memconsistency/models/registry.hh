@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Consistency-model registry: name -> axiom profile.
+ *
+ * The built-in zoo covers the classic relaxation ladder -- SC, x86-ish
+ * TSO, SPARC-ish PSO and RMO, and a release/acquire (RC-like) model --
+ * each a ModelProfile interpreted by the shared engine. Lookup is
+ * case-insensitive. Campaigns select a model with the "model=" spec
+ * key; everything above the checker identifies models by these names.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_MODELS_REGISTRY_HH
+#define MCVERSI_MEMCONSISTENCY_MODELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "memconsistency/models/profile.hh"
+
+namespace mcversi::mc {
+
+/** True if @p name (case-insensitive) is a registered model. */
+bool hasModel(const std::string &name);
+
+/**
+ * Profile of a registered model. Throws std::invalid_argument naming
+ * the registered models on an unknown name.
+ */
+const ModelProfile &modelProfile(const std::string &name);
+
+/** Registered model names in strictness order (sc, tso, pso, rmo, rc). */
+const std::vector<std::string> &modelNames();
+
+/** The registered names joined as "sc, tso, pso, rmo, rc". */
+std::string modelNamesJoined();
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_MODELS_REGISTRY_HH

@@ -49,6 +49,19 @@ struct Mixer
 
 } // namespace
 
+std::uint64_t
+modelSalt(const std::string &model_name)
+{
+    // FNV-1a over the name bytes; never returns 0, the "no salt"
+    // sentinel that keeps model-free signatures byte-stable.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : model_name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
 WitnessSignature
 SignatureBuilder::compute(const ExecWitness &ew)
 {
@@ -58,6 +71,10 @@ SignatureBuilder::compute(const ExecWitness &ew)
     std::int32_t next_addr = 0;
 
     Mixer mix;
+    // Model keying: identical shapes checked under different models
+    // belong to different verdict equivalence classes.
+    if (salt_ != 0)
+        mix.feed(salt_);
 
     // Canonical names are handed out by first occurrence -- own
     // position or first reference -- in the single (ascending pid,

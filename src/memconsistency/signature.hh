@@ -51,6 +51,14 @@ struct WitnessSignature
 };
 
 /**
+ * Non-zero salt identifying a consistency model, for keying verdict
+ * memoization per model: a verdict is a function of (shape, model), so
+ * signatures computed under different models must never collide by
+ * construction. Derived from the model's display name.
+ */
+std::uint64_t modelSalt(const std::string &model_name);
+
+/**
  * Computes witness signatures; owns the canonical-renaming scratch so
  * steady-state computations are allocation-free. Not thread-safe (one
  * builder per checker, like the cycle-graph scratch).
@@ -65,7 +73,14 @@ class SignatureBuilder
      */
     WitnessSignature compute(const ExecWitness &ew);
 
+    /**
+     * Mix @p salt into every subsequent signature (see modelSalt). The
+     * default salt 0 leaves the model-free fingerprint unchanged.
+     */
+    void setModelSalt(std::uint64_t salt) { salt_ = salt; }
+
   private:
+    std::uint64_t salt_ = 0;
     /** Canonical event ids, kUnassigned until visited. */
     std::vector<std::int32_t> canonEvent_;
     /** Canonical address ids per dense AddrId, kUnassigned until seen. */

@@ -306,6 +306,61 @@ TEST(CampaignSpec, CheckCacheKeyParsesAndRoundTrips)
     EXPECT_NO_THROW(capped.validate());
 }
 
+TEST(CampaignSpec, ModelKeyParsesValidatesAndExpands)
+{
+    CampaignSpec spec;
+    EXPECT_EQ(spec.model, "tso"); // the paper's target model
+
+    // set() lower-cases and round-trips through toString().
+    spec.set("model=PSO");
+    EXPECT_EQ(spec.model, "pso");
+    EXPECT_EQ(CampaignSpec::fromString(spec.toString()).model, "pso");
+    EXPECT_NO_THROW(spec.validate());
+
+    // Unknown models are rejected at set() time, naming the key and
+    // listing what is registered.
+    try {
+        spec.set("model=alpha");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("model"), std::string::npos) << what;
+        EXPECT_NE(what.find("sc, tso, pso, rmo, rc"),
+                  std::string::npos)
+            << what;
+    }
+
+    // Direct assignment (bypassing set()) is caught by validate().
+    CampaignSpec direct;
+    direct.model = "alpha";
+    EXPECT_THROW(direct.validate(), std::invalid_argument);
+
+    // The model reaches the harness checker configuration.
+    CampaignSpec weak;
+    weak.set("model=rmo");
+    EXPECT_EQ(weak.harnessParams().model, "rmo");
+
+    // Matrix: models expand between generators and seeds.
+    CampaignMatrix matrix;
+    matrix.generators = {"McVerSi-ALL", "McVerSi-RAND"};
+    matrix.models = {"tso", "pso", "rmo"};
+    matrix.seeds = {1, 2};
+    const std::vector<CampaignSpec> specs = matrix.expand();
+    ASSERT_EQ(specs.size(), 2u * 3u * 2u);
+    EXPECT_EQ(specs[0].model, "tso");
+    EXPECT_EQ(specs[1].model, "tso");
+    EXPECT_EQ(specs[2].model, "pso");
+    EXPECT_EQ(specs[4].model, "rmo");
+    EXPECT_EQ(specs[6].generator, "McVerSi-RAND");
+    EXPECT_EQ(specs[6].model, "tso");
+
+    // An empty axis inherits the base spec's model.
+    CampaignMatrix plain;
+    plain.base.set("model=rc");
+    ASSERT_EQ(plain.expand().size(), 1u);
+    EXPECT_EQ(plain.expand()[0].model, "rc");
+}
+
 TEST(CampaignListHelpers, ThreadCountParsing)
 {
     EXPECT_EQ(parseThreadCount("threads", "4"), 4);

@@ -10,7 +10,7 @@
 
 #include "host/harness.hh"
 #include "litmus/runner.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 using namespace mcversi;
 using namespace mcversi::host;

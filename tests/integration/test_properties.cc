@@ -13,7 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "host/harness.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 using namespace mcversi;
 

@@ -16,8 +16,9 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 #include "memconsistency/checker.hh"
+#include "memconsistency/models/registry.hh"
 #include "witness_synthesis.hh"
 
 using namespace mcversi;
@@ -208,6 +209,48 @@ TEST(CheckerCacheDifferential, RepeatedIterationsLandInOneClass)
     EXPECT_EQ(st.distinct, 1u);
     EXPECT_EQ(st.hits, 9u);
     EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(CheckerCacheDifferential, VerdictsAreKeyedByModel)
+{
+    // Regression: verdict memoization is keyed by (shape, model), not
+    // shape alone. SB's forbidden outcome is Ok under TSO (W->R
+    // relaxed), so the TSO checker caches an Ok verdict for it; a
+    // lookup of the same witness fingerprinted for RMO must miss --
+    // with an unsalted fingerprint it would alias the TSO entry and
+    // leak the Ok short-circuit across models.
+    const LitmusTest sb = storeBuffering();
+    mc::ExecWitness ew = testsupport::forbiddenWitness(sb);
+
+    mc::Checker tso(mc::makeModel("tso"));
+    tso.enableVerdictCache({.capacity = 64, .shards = 1});
+    ASSERT_TRUE(tso.check(ew).ok());
+    ASSERT_EQ(tso.verdictCache()->stats().distinct, 1u);
+
+    // Positive control: re-fingerprinting with the TSO salt hits.
+    mc::SignatureBuilder builder;
+    builder.setModelSalt(mc::modelSalt(mc::makeModel("tso")->name()));
+    std::uint8_t verdict = 0xff;
+    ASSERT_TRUE(tso.verdictCache()->lookup(builder.compute(ew), verdict));
+    EXPECT_EQ(verdict,
+              static_cast<std::uint8_t>(mc::CheckResult::Kind::Ok));
+
+    // The same witness under the RMO salt belongs to a different
+    // equivalence class and must not see TSO's verdict.
+    builder.setModelSalt(mc::modelSalt(mc::makeModel("rmo")->name()));
+    EXPECT_FALSE(
+        tso.verdictCache()->lookup(builder.compute(ew), verdict));
+
+    // Sanity: model salts are non-zero and pairwise distinct, so no
+    // two registered models can share a signature space.
+    std::vector<std::uint64_t> salts;
+    for (const std::string &name : mc::modelNames()) {
+        salts.push_back(mc::modelSalt(mc::makeModel(name)->name()));
+        EXPECT_NE(salts.back(), 0u) << name;
+    }
+    for (std::size_t i = 0; i < salts.size(); ++i)
+        for (std::size_t j = i + 1; j < salts.size(); ++j)
+            EXPECT_NE(salts[i], salts[j]);
 }
 
 TEST(CheckerCacheDifferential, AnomalousWitnessesBypassTheCache)

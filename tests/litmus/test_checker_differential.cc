@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 #include "memconsistency/checker.hh"
 #include "witness_synthesis.hh"
 

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "litmus/diy.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 using namespace mcversi::litmus;
 using namespace mcversi;

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "litmus/runner.hh"
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 
 using namespace mcversi;
 using namespace mcversi::litmus;

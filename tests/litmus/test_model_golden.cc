@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Per-model golden litmus regression for the consistency-model zoo.
+ *
+ * Pins, for every entry of the shared litmus pool (38 enumerated
+ * x86-TSO cycles + SB + MP through a release/acquire RMW pair) and
+ * every registered model, the checker's verdict on the forbidden
+ * witness -- one character per model in registry (strictness) order
+ * sc, tso, pso, rmo, rc:
+ *
+ *   U  UniprocViolation (coherence alone; model-independent)
+ *   G  GhbViolation     (the model's ppo/fences forbid the cycle)
+ *   O  Ok               (the model permits the relaxed outcome)
+ *
+ * The table is the observable definition of each model: any change to
+ * a profile, the shared engine, or the pool shows up as a cell diff.
+ * It also pins the zoo's separating tests -- each adjacent model pair
+ * disagrees on at least one entry -- and the strictness ladder
+ * (verdicts weaken monotonically left to right), which a second test
+ * re-checks dynamically over random witnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "litmus/suites.hh"
+#include "memconsistency/checker.hh"
+#include "memconsistency/models/registry.hh"
+#include "witness_synthesis.hh"
+
+using namespace mcversi;
+using namespace mcversi::litmus;
+
+namespace {
+
+struct GoldenRow
+{
+    const char *name;
+    /** Verdict per model, registry order (sc, tso, pso, rmo, rc). */
+    const char *verdicts;
+};
+
+constexpr GoldenRow kModelGolden[] = {
+    {"Rfe PodRR PodRR Fre", "UUUUU"},
+    {"Rfe PodRR PodRW Coe", "UUUUU"},
+    {"Rfe PodRW PodWW Coe", "UUUUU"},
+    {"Rfe PodRW MFencedWR Fre", "UUUUU"},
+    {"Fre PodWW PodWW Rfe", "UUUUU"},
+    {"Fre MFencedWR PodRW Rfe", "UUUUU"},
+    {"Coe PodWW PodWW Coe", "UUUUU"},
+    {"Coe PodWW MFencedWR Fre", "UUUUU"},
+    {"Coe MFencedWR PodRR Fre", "UUUUU"},
+    {"Coe MFencedWR PodRW Coe", "UUUUU"},
+    {"PodRR Fre PodWW Rfe", "GGOOO"},
+    {"PodRW Rfe PodRW Rfe", "GGGOO"},
+    {"PodRW Coe PodWW Rfe", "GGOOO"},
+    {"PodWW Coe PodWW Coe", "GGOOO"},
+    {"PodWW Coe MFencedWR Fre", "GGOOO"},
+    {"MFencedWR Fre MFencedWR Fre", "GGGGO"},
+    {"Rfe Fre PodWW PodWW Coe", "UUUUU"},
+    {"Rfe Fre PodWW MFencedWR Fre", "UUUUU"},
+    {"Rfe Fre MFencedWR PodRR Fre", "UUUUU"},
+    {"Rfe Fre MFencedWR PodRW Coe", "UUUUU"},
+    {"Rfe PodRR Fre PodWW Coe", "GGOOO"},
+    {"Rfe PodRR Fre MFencedWR Fre", "GGGOO"},
+    {"Rfe PodRR PodRR Fre Coe", "UUUUU"},
+    {"Rfe PodRR PodRR PodRR Fre", "UUUUU"},
+    {"Rfe PodRR PodRR PodRW Coe", "UUUUU"},
+    {"Rfe PodRR PodRW Rfe Fre", "UUUUU"},
+    {"Rfe PodRR PodRW Coe Coe", "UUUUU"},
+    {"Rfe PodRR PodRW PodWW Coe", "UUUUU"},
+    {"Rfe PodRR PodRW MFencedWR Fre", "UUUUU"},
+    {"Rfe PodRW Rfe PodRR Fre", "GGGOO"},
+    {"Rfe PodRW Rfe PodRW Coe", "GGGOO"},
+    {"Rfe PodRW Coe PodWW Coe", "GGOOO"},
+    {"Rfe PodRW Coe MFencedWR Fre", "GGGOO"},
+    {"Rfe PodRW PodWW Rfe Fre", "UUUUU"},
+    {"Rfe PodRW PodWW Coe Coe", "UUUUU"},
+    {"Rfe PodRW PodWW PodWW Coe", "UUUUU"},
+    {"Rfe PodRW PodWW MFencedWR Fre", "UUUUU"},
+    {"Rfe PodRW MFencedWR Fre Coe", "UUUUU"},
+    {"SB (PodWR Fre PodWR Fre)", "GOOOO"},
+    {"MP+rel-acq", "GGGGG"},
+};
+
+constexpr std::size_t kPoolSize = std::size(kModelGolden);
+
+/** Expected suiteForModel sizes (non-Ok columns of the table). */
+constexpr std::array<std::size_t, 5> kSuiteSizes = {40, 39, 33, 28, 27};
+
+char
+verdictChar(mc::CheckResult::Kind kind)
+{
+    switch (kind) {
+      case mc::CheckResult::Kind::Ok: return 'O';
+      case mc::CheckResult::Kind::UniprocViolation: return 'U';
+      case mc::CheckResult::Kind::AtomicityViolation: return 'A';
+      case mc::CheckResult::Kind::GhbViolation: return 'G';
+      default: return '?';
+    }
+}
+
+/** Same witness generator family as the cache differential test,
+ * consistent-by-construction (every read sees the current value). */
+mc::ExecWitness
+randomConsistentWitness(Rng &rng, int threads, int ops, int addrs)
+{
+    mc::ExecWitness ew;
+    std::vector<WriteVal> memory(static_cast<std::size_t>(addrs),
+                                 kInitVal);
+    std::vector<std::int32_t> poi(static_cast<std::size_t>(threads), 0);
+    WriteVal next = 1;
+    for (int i = 0; i < ops; ++i) {
+        const Pid pid = static_cast<Pid>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        const auto ai = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(addrs)));
+        const Addr addr = 0x100 + 64 * static_cast<Addr>(ai);
+        const std::int32_t p = poi[static_cast<std::size_t>(pid)]++;
+        const double roll = rng.uniform();
+        if (roll < 0.5) {
+            ew.recordRead(pid, p, addr, memory[ai]);
+        } else if (roll < 0.85) {
+            const WriteVal v = next++;
+            ew.recordWrite(pid, p, addr, v, memory[ai]);
+            memory[ai] = v;
+        } else {
+            const WriteVal v = next++;
+            ew.recordRead(pid, p, addr, memory[ai], /*rmw=*/true);
+            ew.recordWrite(pid, p, addr, v, memory[ai], /*rmw=*/true);
+            memory[ai] = v;
+        }
+    }
+    return ew;
+}
+
+std::vector<std::unique_ptr<mc::Checker>>
+ladderCheckers()
+{
+    std::vector<std::unique_ptr<mc::Checker>> checkers;
+    for (const std::string &name : mc::modelNames())
+        checkers.push_back(
+            std::make_unique<mc::Checker>(mc::makeModel(name)));
+    return checkers;
+}
+
+} // namespace
+
+TEST(ModelGolden, PoolNamesAreStable)
+{
+    const auto &pool = litmusPool();
+    ASSERT_EQ(pool.size(), kPoolSize);
+    // The first kX86SuiteSize entries are the generated TSO suite.
+    const std::vector<LitmusTest> tso = x86TsoSuite();
+    ASSERT_EQ(tso.size(), kX86SuiteSize);
+    for (std::size_t i = 0; i < kX86SuiteSize; ++i)
+        EXPECT_EQ(pool[i].test.name, tso[i].name) << i;
+    for (std::size_t i = 0; i < kPoolSize; ++i)
+        EXPECT_EQ(pool[i].test.name, kModelGolden[i].name) << i;
+}
+
+TEST(ModelGolden, ForbiddenVerdictsMatchGoldenTable)
+{
+    const auto &pool = litmusPool();
+    ASSERT_EQ(pool.size(), kPoolSize);
+    const auto checkers = ladderCheckers();
+    ASSERT_EQ(checkers.size(), 5u);
+
+    for (std::size_t i = 0; i < kPoolSize; ++i) {
+        std::string row;
+        for (const auto &checker : checkers) {
+            mc::ExecWitness ew =
+                testsupport::forbiddenWitness(pool[i].test);
+            row += verdictChar(checker->check(ew).kind);
+        }
+        EXPECT_EQ(row, kModelGolden[i].verdicts)
+            << pool[i].test.name << ": verdict drift (models "
+            << mc::modelNamesJoined() << ")";
+
+        // The static classification must agree with the checkers: an
+        // entry is in a model's suite iff its verdict is a violation.
+        for (std::size_t m = 0; m < checkers.size(); ++m) {
+            const bool forbidden = forbiddenUnder(
+                pool[i], mc::modelProfile(mc::modelNames()[m]));
+            EXPECT_EQ(forbidden, kModelGolden[i].verdicts[m] != 'O')
+                << pool[i].test.name << " under "
+                << mc::modelNames()[m];
+        }
+    }
+}
+
+TEST(ModelGolden, SequentialOutcomesPermittedEverywhere)
+{
+    const auto checkers = ladderCheckers();
+    for (const SuiteEntry &entry : litmusPool()) {
+        for (const auto &checker : checkers) {
+            mc::ExecWitness ew =
+                testsupport::sequentialWitness(entry.test);
+            EXPECT_TRUE(checker->check(ew).ok())
+                << entry.test.name << " under "
+                << checker->arch().name();
+        }
+    }
+}
+
+TEST(ModelGolden, AdjacentModelsAreDistinct)
+{
+    // One separating pool entry per adjacent pair of the ladder: the
+    // stricter model rejects the forbidden outcome, the weaker permits
+    // it. These cells double as the zoo's documentation.
+    const struct
+    {
+        const char *test;
+        const char *strict;
+        const char *weak;
+    } kSeparators[] = {
+        {"SB (PodWR Fre PodWR Fre)", "sc", "tso"},
+        {"PodRR Fre PodWW Rfe", "tso", "pso"},
+        {"PodRW Rfe PodRW Rfe", "pso", "rmo"},
+        {"MFencedWR Fre MFencedWR Fre", "rmo", "rc"},
+    };
+    for (const auto &sep : kSeparators) {
+        const SuiteEntry *entry = nullptr;
+        for (const SuiteEntry &e : litmusPool())
+            if (e.test.name == sep.test)
+                entry = &e;
+        ASSERT_NE(entry, nullptr) << sep.test;
+        const mc::Checker strict(mc::makeModel(sep.strict));
+        const mc::Checker weak(mc::makeModel(sep.weak));
+        mc::ExecWitness ew1 = testsupport::forbiddenWitness(entry->test);
+        mc::ExecWitness ew2 = testsupport::forbiddenWitness(entry->test);
+        EXPECT_EQ(strict.check(ew1).kind,
+                  mc::CheckResult::Kind::GhbViolation)
+            << sep.test << " under " << sep.strict;
+        EXPECT_TRUE(weak.check(ew2).ok())
+            << sep.test << " under " << sep.weak;
+    }
+}
+
+TEST(ModelGolden, VerdictsMonotoneAlongStrictnessLadder)
+{
+    // Structural strictness decreases along registry order...
+    const auto &names = mc::modelNames();
+    for (std::size_t i = 0; i + 1 < names.size(); ++i) {
+        EXPECT_TRUE(mc::modelProfile(names[i]).atLeastAsStrongAs(
+            mc::modelProfile(names[i + 1])))
+            << names[i] << " !>= " << names[i + 1];
+        EXPECT_FALSE(mc::modelProfile(names[i + 1]).atLeastAsStrongAs(
+            mc::modelProfile(names[i])))
+            << names[i + 1] << " >= " << names[i];
+    }
+
+    // ...and so must the verdicts: Ok under a stricter model implies
+    // Ok under every weaker one (a weaker model permits strictly more
+    // executions). Checked over the pool's forbidden witnesses plus
+    // seeded random well-formed witnesses.
+    const auto checkers = ladderCheckers();
+    auto expect_monotone = [&](mc::ExecWitness &ew,
+                               const std::string &label) {
+        bool ok_seen = false;
+        for (std::size_t m = 0; m < checkers.size(); ++m) {
+            const mc::CheckResult r = checkers[m]->check(ew);
+            ASSERT_NE(r.kind, mc::CheckResult::Kind::WitnessAnomaly)
+                << label;
+            if (ok_seen) {
+                EXPECT_TRUE(r.ok())
+                    << label << ": Ok under a stricter model but '"
+                    << mc::CheckResult::kindName(r.kind) << "' under "
+                    << names[m];
+            }
+            ok_seen = ok_seen || r.ok();
+        }
+    };
+
+    for (const SuiteEntry &entry : litmusPool()) {
+        mc::ExecWitness ew = testsupport::forbiddenWitness(entry.test);
+        expect_monotone(ew, entry.test.name);
+    }
+
+    Rng rng(0x3a2b1c);
+    for (int i = 0; i < 80; ++i) {
+        const int threads = 2 + static_cast<int>(rng.below(4));
+        const int ops = 16 + static_cast<int>(rng.below(100));
+        const int addrs = 1 + static_cast<int>(rng.below(5));
+        mc::ExecWitness ew =
+            randomConsistentWitness(rng, threads, ops, addrs);
+        expect_monotone(ew, "random witness #" + std::to_string(i));
+    }
+}
+
+TEST(ModelGolden, SuiteForModelSelectsTheNonOkRows)
+{
+    const auto &names = mc::modelNames();
+    ASSERT_EQ(names.size(), kSuiteSizes.size());
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        const std::vector<LitmusTest> suite = suiteForModel(names[m]);
+        EXPECT_EQ(suite.size(), kSuiteSizes[m]) << names[m];
+        // The suite is exactly the pool rows whose golden verdict for
+        // this model is a violation, in pool order.
+        std::size_t s = 0;
+        for (std::size_t i = 0; i < kPoolSize; ++i) {
+            if (kModelGolden[i].verdicts[m] == 'O')
+                continue;
+            ASSERT_LT(s, suite.size()) << names[m];
+            EXPECT_EQ(suite[s].name, kModelGolden[i].name)
+                << names[m] << " row " << s;
+            ++s;
+        }
+        EXPECT_EQ(s, suite.size()) << names[m];
+    }
+    EXPECT_THROW(suiteForModel("alpha"), std::invalid_argument);
+}

@@ -26,7 +26,7 @@
 #include <utility>
 #include <vector>
 
-#include "litmus/x86_suite.hh"
+#include "litmus/suites.hh"
 #include "memconsistency/checker.hh"
 #include "witness_synthesis.hh"
 

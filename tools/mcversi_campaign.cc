@@ -8,7 +8,7 @@
  *
  * Matrix keys (lists are ';'-separated since bug names contain commas):
  *   bugs=<name;...|all|mesi|tsocc>   generators=<name;...|all>
- *   seeds=<lo..hi|s;s;...>
+ *   models=<name;...|all>            seeds=<lo..hi|s;s;...>
  * Runner keys:
  *   threads=N (>= 1; omit for hardware)  json=FILE  csv=FILE  quiet=1
  * Every other key=value is a CampaignSpec setting (see --help).
@@ -42,6 +42,7 @@ printUsage()
         "Matrix keys (lists use ';' separators):\n"
         "  bugs=<name;...|all|mesi|tsocc>  bug axis (default: base bug)\n"
         "  generators=<name;...|all>       generator axis\n"
+        "  models=<name;...|all>           consistency-model axis\n"
         "  seeds=<lo..hi|s1;s2;...>        seed axis\n"
         "\n"
         "Runner keys:\n"
@@ -57,6 +58,8 @@ printUsage()
         "Campaign spec keys (defaults in parentheses):\n"
         "  bug=NAME (none)            generator=NAME (McVerSi-ALL)\n"
         "  seed=N (1)                 protocol=auto|mesi|tsocc (auto)\n"
+        "  model=NAME (tso)           consistency model the checker\n"
+        "                             verifies against (--list-models)\n"
         "  test-size=N (256)          iterations=N (4)\n"
         "  mem-size=N[k] (8192)       stride=N (16)\n"
         "  guest-threads=N (8)        population=N (50, per island)\n"
@@ -70,7 +73,7 @@ printUsage()
         "islands>1 or batch>1 selects the batched multi-lane harness:\n"
         "one simulation lane per island, eval-threads workers.\n"
         "\n"
-        "Flags: --help, --list-bugs, --list-generators\n";
+        "Flags: --help, --list-bugs, --list-generators, --list-models\n";
 }
 
 void
@@ -94,6 +97,22 @@ listGenerators()
          campaign::SourceRegistry::instance().names()) {
         std::cout << name << "\n";
     }
+}
+
+void
+listModels()
+{
+    for (const std::string &name : mc::modelNames())
+        std::cout << name << "\n";
+}
+
+/** Resolve a models= token: "all" => every registered model. */
+std::vector<std::string>
+resolveModelList(const std::string &token)
+{
+    if (token == "all")
+        return mc::modelNames();
+    return campaign::splitList(token);
 }
 
 bool
@@ -135,6 +154,10 @@ main(int argc, char **argv)
                 listGenerators();
                 return 0;
             }
+            if (arg == "--list-models") {
+                listModels();
+                return 0;
+            }
             const std::size_t eq = arg.find('=');
             const std::string key = arg.substr(0, eq);
             const std::string value =
@@ -144,6 +167,8 @@ main(int argc, char **argv)
             } else if (key == "generators") {
                 matrix.generators =
                     campaign::resolveGeneratorList(value);
+            } else if (key == "models") {
+                matrix.models = resolveModelList(value);
             } else if (key == "seeds") {
                 matrix.seeds = campaign::parseSeedList(value);
             } else if (key == "threads") {
@@ -182,9 +207,9 @@ main(int argc, char **argv)
     if (!quiet) {
         options.onResult = [](const campaign::CampaignResult &r,
                               std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "[%zu/%zu] %s %s seed=%llu: %s\n",
+            std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s\n",
                          done, total, r.spec.bug.c_str(),
-                         r.spec.generator.c_str(),
+                         r.spec.generator.c_str(), r.spec.model.c_str(),
                          static_cast<unsigned long long>(r.spec.seed),
                          !r.ok() ? "ERROR"
                          : r.harness.bugFound
@@ -196,9 +221,9 @@ main(int argc, char **argv)
     const campaign::CampaignRunner runner(options);
     const campaign::CampaignSummary summary = runner.run(specs);
 
-    std::printf("%-24s %-16s %-8s %-6s %-10s %-12s %s\n", "Bug",
-                "Generator", "Seed", "Found", "Runs(bug)", "Coverage",
-                "Status");
+    std::printf("%-24s %-16s %-6s %-8s %-6s %-10s %-12s %s\n", "Bug",
+                "Generator", "Model", "Seed", "Found", "Runs(bug)",
+                "Coverage", "Status");
     for (const campaign::CampaignResult &r : summary.results) {
         char runs[24];
         if (r.harness.bugFound) {
@@ -211,8 +236,9 @@ main(int argc, char **argv)
         char coverage[16];
         std::snprintf(coverage, sizeof(coverage), "%.1f%%",
                       100.0 * r.protocolCoverage);
-        std::printf("%-24s %-16s %-8llu %-6s %-10s %-12s %s\n",
+        std::printf("%-24s %-16s %-6s %-8llu %-6s %-10s %-12s %s\n",
                     r.spec.bug.c_str(), r.spec.generator.c_str(),
+                    r.spec.model.c_str(),
                     static_cast<unsigned long long>(r.spec.seed),
                     r.harness.bugFound ? "yes" : "no", runs, coverage,
                     r.ok() ? "ok" : r.error.c_str());
