@@ -14,10 +14,13 @@
 namespace mcversi::campaign {
 
 CampaignResult
-CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
+CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads,
+                       std::function<bool()> cancel)
 {
     CampaignResult result;
     result.spec = spec;
+    host::Budget budget = spec.budget();
+    budget.interrupted = std::move(cancel);
     try {
         spec.validate();
         const SourceRegistry &registry = SourceRegistry::instance();
@@ -28,7 +31,7 @@ CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
             params.model = spec.model;
             litmus::LitmusRunner runner(
                 params, litmus::suiteForModel(spec.model));
-            result.harness = runner.run(spec.budget());
+            result.harness = runner.run(budget);
             result.protocolCoverage =
                 runner.system().coverage().totalCoverage(
                     spec.protocolPrefix());
@@ -43,7 +46,7 @@ CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
             params.batch = spec.batch;
             params.threads = eval_threads;
             host::ParallelHarness harness(params, *source);
-            result.harness = harness.run(spec.budget());
+            result.harness = harness.run(budget);
             result.protocolCoverage =
                 harness.aggregateCoverage(spec.protocolPrefix());
         } else {
@@ -51,7 +54,7 @@ CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads)
                 registry.make(spec.generator, spec);
             host::VerificationHarness harness(spec.harnessParams(),
                                               *source);
-            result.harness = harness.run(spec.budget());
+            result.harness = harness.run(budget);
             result.protocolCoverage =
                 harness.system().coverage().totalCoverage(
                     spec.protocolPrefix());

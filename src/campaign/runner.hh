@@ -71,9 +71,16 @@ class CampaignRunner
      * batch-evaluation workers when the spec asks for the parallel
      * harness). Never throws: a bad spec or a run-time failure is
      * reported via CampaignResult::error.
+     *
+     * @p cancel, if set, is polled between test-runs (see
+     * host::Budget::interrupted): returning true stops the campaign
+     * early with a PARTIAL result. Fleet workers use it to drain on
+     * SIGTERM and then discard the partial result; anything that needs
+     * deterministic summaries must do the same.
      */
-    static CampaignResult runOne(const CampaignSpec &spec,
-                                 int eval_threads = 1);
+    static CampaignResult
+    runOne(const CampaignSpec &spec, int eval_threads = 1,
+           std::function<bool()> cancel = nullptr);
 
   private:
     Options options_{};

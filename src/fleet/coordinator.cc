@@ -1,0 +1,787 @@
+#include "fleet/coordinator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/fs.hh"
+#include "fleet/journal.hh"
+#include "fleet/worker.hh"
+
+namespace mcversi::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Largest response frame the coordinator will believe. */
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+/** Stderr bytes attached to an error row. */
+constexpr std::size_t kStderrTailBytes = 4096;
+/** Grace period between SIGTERM and SIGKILL at shutdown. */
+constexpr int kShutdownGraceMs = 5000;
+
+// SIGINT/SIGTERM reach the coordinator through a self-pipe so poll()
+// wakes immediately; the flag alone would race a blocking poll.
+volatile std::sig_atomic_t g_signalled = 0;
+int g_selfPipeWrite = -1;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+    if (g_selfPipeWrite >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(g_selfPipeWrite, &byte, 1);
+    }
+}
+
+std::string
+describeStatus(int status)
+{
+    if (WIFEXITED(status)) {
+        return "exited with status " +
+               std::to_string(WEXITSTATUS(status));
+    }
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        return std::string("killed by signal ") + std::to_string(sig) +
+               " (" + strsignal(sig) + ")";
+    }
+    return "stopped with status " + std::to_string(status);
+}
+
+/** One byte per escape-worthy char is enough: exporters escape again. */
+std::string
+sanitizeTail(std::string tail)
+{
+    while (!tail.empty() &&
+           (tail.back() == '\n' || tail.back() == '\r' ||
+            tail.back() == ' ')) {
+        tail.pop_back();
+    }
+    return tail;
+}
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int requestFd = -1;
+    int responseFd = -1;
+    bool alive = false;
+    /** In-flight cell index, or -1 when idle. */
+    long inFlight = -1;
+    std::uint32_t attempt = 0;
+    Clock::time_point deadline{};
+    bool hasDeadline = false;
+    /** Stderr-log size at dispatch: the failure capture window. */
+    std::uint64_t logOffset = 0;
+    /** Partial response frame. */
+    std::string buf;
+};
+
+/** Installs the coordinator signal handlers; restores on destruction. */
+class SignalGuard
+{
+  public:
+    SignalGuard(int self_pipe_write)
+    {
+        g_signalled = 0;
+        g_selfPipeWrite = self_pipe_write;
+        struct sigaction sa{};
+        sa.sa_handler = onSignal;
+        ::sigaction(SIGINT, &sa, &oldInt_);
+        ::sigaction(SIGTERM, &sa, &oldTerm_);
+        oldPipe_ = ::signal(SIGPIPE, SIG_IGN);
+    }
+    ~SignalGuard()
+    {
+        ::sigaction(SIGINT, &oldInt_, nullptr);
+        ::sigaction(SIGTERM, &oldTerm_, nullptr);
+        ::signal(SIGPIPE, oldPipe_);
+        g_selfPipeWrite = -1;
+    }
+
+  private:
+    struct sigaction oldInt_{};
+    struct sigaction oldTerm_{};
+    sighandler_t oldPipe_ = SIG_DFL;
+};
+
+std::string
+workerLogPath(const std::string &run_dir, int slot)
+{
+    return run_dir + "/worker-" + std::to_string(slot) + ".log";
+}
+
+/** The whole mutable state of one fleet run. */
+struct FleetRun
+{
+    const FleetCoordinator::Options &options;
+    const std::vector<campaign::CampaignSpec> &specs;
+    FleetReport report;
+
+    JournalWriter journal;
+    std::map<std::size_t, campaign::CampaignResult> completed;
+    std::deque<std::size_t> queue;
+    /** Attempts dispatched so far, per cell. */
+    std::vector<int> attempts;
+    std::vector<WorkerProc> workers;
+    int selfPipe[2] = {-1, -1};
+    std::size_t respawnBudget = 0;
+
+    FleetRun(const FleetCoordinator::Options &opts,
+             const std::vector<campaign::CampaignSpec> &s)
+        : options(opts), specs(s), attempts(s.size(), 0)
+    {
+    }
+
+    ~FleetRun()
+    {
+        // Emergency path (exception unwinding): make sure no child
+        // outlives the coordinator.
+        for (WorkerProc &w : workers) {
+            if (w.alive && w.pid > 0)
+                ::kill(w.pid, SIGKILL);
+        }
+        for (WorkerProc &w : workers) {
+            if (w.alive && w.pid > 0) {
+                int status = 0;
+                ::waitpid(w.pid, &status, 0);
+                w.alive = false;
+            }
+            closeFds(w);
+        }
+        for (const int fd : selfPipe) {
+            if (fd >= 0)
+                ::close(fd);
+        }
+    }
+
+    static void
+    closeFds(WorkerProc &w)
+    {
+        if (w.requestFd >= 0) {
+            ::close(w.requestFd);
+            w.requestFd = -1;
+        }
+        if (w.responseFd >= 0) {
+            ::close(w.responseFd);
+            w.responseFd = -1;
+        }
+    }
+
+    std::size_t
+    aliveCount() const
+    {
+        std::size_t n = 0;
+        for (const WorkerProc &w : workers)
+            n += w.alive ? 1 : 0;
+        return n;
+    }
+
+    std::size_t
+    inFlightCount() const
+    {
+        std::size_t n = 0;
+        for (const WorkerProc &w : workers)
+            n += (w.alive && w.inFlight >= 0) ? 1 : 0;
+        return n;
+    }
+
+    void
+    spawnWorker(int slot)
+    {
+        int req[2] = {-1, -1};
+        int resp[2] = {-1, -1};
+        if (::pipe(req) != 0 || ::pipe(resp) != 0) {
+            if (req[0] >= 0) {
+                ::close(req[0]);
+                ::close(req[1]);
+            }
+            throw FleetError(std::string("fleet: pipe failed: ") +
+                             std::strerror(errno));
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(req[0]);
+            ::close(req[1]);
+            ::close(resp[0]);
+            ::close(resp[1]);
+            throw FleetError(std::string("fleet: fork failed: ") +
+                             std::strerror(errno));
+        }
+        if (pid == 0) {
+            // Child: drop every coordinator-side fd so a sibling's
+            // pipe EOF is decided solely by the coordinator, then
+            // point stdout/stderr at the per-slot log and serve cells.
+            ::close(req[1]);
+            ::close(resp[0]);
+            for (const int fd : selfPipe) {
+                if (fd >= 0)
+                    ::close(fd);
+            }
+            journal.close();
+            for (WorkerProc &other : workers)
+                closeFds(other);
+            const std::string log =
+                workerLogPath(options.runDir, slot);
+            const int logfd = ::open(log.c_str(),
+                                     O_WRONLY | O_CREAT | O_APPEND,
+                                     0644);
+            if (logfd >= 0) {
+                ::dup2(logfd, STDOUT_FILENO);
+                ::dup2(logfd, STDERR_FILENO);
+                ::close(logfd);
+            }
+            WorkerConfig config;
+            config.requestFd = req[0];
+            config.responseFd = resp[1];
+            config.evalThreads = options.evalThreads;
+            ::_exit(runWorkerLoop(config, specs));
+        }
+        ::close(req[0]);
+        ::close(resp[1]);
+        WorkerProc &w = workers[static_cast<std::size_t>(slot)];
+        w = WorkerProc{};
+        w.pid = pid;
+        w.requestFd = req[1];
+        w.responseFd = resp[0];
+        w.alive = true;
+        if (options.onWorkerSpawn)
+            options.onWorkerSpawn(slot, pid);
+    }
+
+    void
+    attachSpec(std::size_t cell, campaign::CampaignResult &result) const
+    {
+        result.spec = specs[cell];
+    }
+
+    void
+    recordCompleted(std::size_t cell, campaign::CampaignResult result)
+    {
+        attachSpec(cell, result);
+        completed[cell] = std::move(result);
+        ++report.cellsRun;
+        if (options.onResult) {
+            options.onResult(completed[cell], completed.size(),
+                             specs.size());
+        }
+    }
+
+    void
+    dispatch(WorkerProc &w)
+    {
+        const std::size_t cell = queue.front();
+        queue.pop_front();
+        ++attempts[cell];
+        w.logOffset =
+            fileSize(workerLogPath(options.runDir, slotOf(w)));
+        std::uint32_t frame[2] = {
+            static_cast<std::uint32_t>(cell),
+            static_cast<std::uint32_t>(attempts[cell]),
+        };
+        const char *bytes = reinterpret_cast<const char *>(frame);
+        std::size_t written = 0;
+        while (written < sizeof(frame)) {
+            const ssize_t n = ::write(w.requestFd, bytes + written,
+                                      sizeof(frame) - written);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                // The worker died before taking the cell: run the
+                // normal failure path with the cell back in flight.
+                w.inFlight = static_cast<long>(cell);
+                w.attempt = frame[1];
+                ++report.workerCrashes;
+                failWorker(w, "request write failed (" +
+                                  std::string(std::strerror(errno)) +
+                                  ")");
+                return;
+            }
+            written += static_cast<std::size_t>(n);
+        }
+        w.inFlight = static_cast<long>(cell);
+        w.attempt = frame[1];
+        if (options.cellTimeoutSeconds > 0.0) {
+            w.deadline =
+                Clock::now() +
+                std::chrono::microseconds(static_cast<std::int64_t>(
+                    options.cellTimeoutSeconds * 1e6));
+            w.hasDeadline = true;
+        }
+    }
+
+    int
+    slotOf(const WorkerProc &w) const
+    {
+        return static_cast<int>(&w - workers.data());
+    }
+
+    /** Reap @p w (killing it first if @p force), return a status
+     * description. */
+    std::string
+    reap(WorkerProc &w, bool force)
+    {
+        if (force)
+            ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.alive = false;
+        closeFds(w);
+        return describeStatus(status);
+    }
+
+    /**
+     * A worker is gone (crash, timeout kill, protocol damage): retry
+     * or degrade its in-flight cell, then refill the pool if work
+     * remains.
+     */
+    void
+    failWorker(WorkerProc &w, const std::string &reason,
+               bool force_kill = true)
+    {
+        const std::string status = reap(w, force_kill);
+        const std::string tail = sanitizeTail(readFileRange(
+            workerLogPath(options.runDir, slotOf(w)), w.logOffset,
+            kStderrTailBytes));
+        if (w.inFlight >= 0) {
+            const std::size_t cell =
+                static_cast<std::size_t>(w.inFlight);
+            w.inFlight = -1;
+            w.hasDeadline = false;
+            const std::string why = reason + "; worker " + status;
+            if (attempts[cell] <= options.retries) {
+                // Back of the queue: surviving workers pick it up
+                // without stalling cells that have never run.
+                queue.push_back(cell);
+                ++report.retriesScheduled;
+                if (options.onRetry)
+                    options.onRetry(cell, attempts[cell], why);
+            } else {
+                campaign::CampaignResult error_row;
+                error_row.error =
+                    "fleet: cell failed after " +
+                    std::to_string(attempts[cell]) + " attempt(s): " +
+                    why +
+                    (tail.empty() ? std::string()
+                                  : "; worker stderr: " + tail);
+                CellRecord record;
+                record.cell = cell;
+                record.attempt =
+                    static_cast<std::uint32_t>(attempts[cell]);
+                record.spec = specs[cell].toString();
+                record.result = error_row;
+                journal.append(encodeCell(record));
+                ++report.cellErrors;
+                if (options.onRetry) {
+                    options.onRetry(cell, attempts[cell],
+                                    "degraded to error row: " + why);
+                }
+                recordCompleted(cell, std::move(error_row));
+            }
+        }
+        maybeRespawn(slotOf(w));
+    }
+
+    void
+    maybeRespawn(int slot)
+    {
+        if (queue.empty() || g_signalled || sliceReached())
+            return;
+        if (respawnBudget == 0) {
+            throw FleetError(
+                "fleet: worker respawn budget exhausted (workers are "
+                "dying faster than cells complete)");
+        }
+        --respawnBudget;
+        spawnWorker(slot);
+        ++report.respawns;
+    }
+
+    bool
+    sliceReached() const
+    {
+        return options.maxCells > 0 &&
+               report.cellsRun >= options.maxCells;
+    }
+
+    /** A full response frame arrived: validate, journal, complete. */
+    void
+    completeFromFrame(WorkerProc &w, const std::string &payload)
+    {
+        CellRecord record;
+        std::string err;
+        if (!decodeCell(payload, record, &err) ||
+            w.inFlight < 0 ||
+            record.cell != static_cast<std::size_t>(w.inFlight) ||
+            record.spec != specs[record.cell].toString()) {
+            ++report.workerCrashes;
+            failWorker(w, "protocol error in response (" +
+                              (err.empty() ? "cell/spec mismatch" : err) +
+                              ")");
+            return;
+        }
+        // Journal the worker's exact bytes before acknowledging: once
+        // append() returns the record is fsync-durable, so a
+        // coordinator crash after this point cannot lose the cell.
+        journal.append(payload);
+        w.inFlight = -1;
+        w.hasDeadline = false;
+        recordCompleted(record.cell, std::move(record.result));
+    }
+
+    /** Pull whatever the worker wrote; frame up and process. */
+    void
+    onReadable(WorkerProc &w)
+    {
+        char chunk[1 << 16];
+        const ssize_t n = ::read(w.responseFd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            return;
+        if (n <= 0) {
+            ++report.workerCrashes;
+            failWorker(w, "worker pipe closed unexpectedly",
+                       /*force_kill=*/true);
+            return;
+        }
+        w.buf.append(chunk, static_cast<std::size_t>(n));
+        while (w.alive && w.buf.size() >= 4) {
+            std::uint32_t length = 0;
+            std::memcpy(&length, w.buf.data(), 4);
+            if (length > kMaxFrameBytes) {
+                ++report.workerCrashes;
+                failWorker(w, "oversized response frame");
+                return;
+            }
+            if (w.buf.size() < 4u + length)
+                break;
+            const std::string payload = w.buf.substr(4, length);
+            w.buf.erase(0, 4u + length);
+            completeFromFrame(w, payload);
+        }
+    }
+
+    void
+    killTimedOut()
+    {
+        if (options.cellTimeoutSeconds <= 0.0)
+            return;
+        const Clock::time_point now = Clock::now();
+        for (WorkerProc &w : workers) {
+            if (w.alive && w.hasDeadline && now >= w.deadline) {
+                ++report.timeouts;
+                failWorker(
+                    w,
+                    "exceeded cell-timeout (" +
+                        std::to_string(options.cellTimeoutSeconds) +
+                        " s)");
+            }
+        }
+    }
+
+    /** Milliseconds until the earliest deadline (-1 = no deadline). */
+    int
+    pollTimeoutMs() const
+    {
+        if (options.cellTimeoutSeconds <= 0.0)
+            return -1;
+        const Clock::time_point now = Clock::now();
+        std::int64_t best = -1;
+        for (const WorkerProc &w : workers) {
+            if (!w.alive || !w.hasDeadline)
+                continue;
+            const std::int64_t ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    w.deadline - now)
+                    .count();
+            const std::int64_t clamped = std::max<std::int64_t>(ms, 0);
+            best = best < 0 ? clamped : std::min(best, clamped);
+        }
+        if (best < 0)
+            return -1;
+        return static_cast<int>(std::min<std::int64_t>(best + 10, 60000));
+    }
+
+    /** Graceful shutdown: EOF + SIGTERM, grace, SIGKILL stragglers. */
+    void
+    shutdownWorkers()
+    {
+        for (WorkerProc &w : workers) {
+            if (!w.alive)
+                continue;
+            if (w.requestFd >= 0) {
+                ::close(w.requestFd);
+                w.requestFd = -1;
+            }
+            ::kill(w.pid, SIGTERM);
+        }
+        const Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(kShutdownGraceMs);
+        for (;;) {
+            bool any_alive = false;
+            for (WorkerProc &w : workers) {
+                if (!w.alive)
+                    continue;
+                int status = 0;
+                const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+                if (got == w.pid || (got < 0 && errno == ECHILD)) {
+                    w.alive = false;
+                    closeFds(w);
+                } else {
+                    any_alive = true;
+                }
+            }
+            if (!any_alive)
+                return;
+            if (Clock::now() >= deadline)
+                break;
+            ::usleep(20000);
+        }
+        for (WorkerProc &w : workers) {
+            if (w.alive) {
+                reap(w, /*force=*/true);
+            }
+        }
+    }
+
+    campaign::CampaignSummary
+    merge() const
+    {
+        campaign::CampaignSummary summary;
+        summary.results.resize(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const auto it = completed.find(i);
+            if (it != completed.end()) {
+                summary.results[i] = it->second;
+            } else {
+                summary.results[i].spec = specs[i];
+                summary.results[i].error =
+                    "fleet: cell not run (run interrupted; pass "
+                    "resume=1 to continue)";
+            }
+        }
+        return summary;
+    }
+};
+
+} // namespace
+
+std::string
+journalPath(const std::string &run_dir)
+{
+    return run_dir + "/journal.mcvj";
+}
+
+ReplayStats
+replayJournal(const std::string &journal_path,
+              const std::vector<campaign::CampaignSpec> &specs,
+              std::map<std::size_t, campaign::CampaignResult> &completed)
+{
+    ReplayStats stats;
+    const JournalReadResult read = readJournal(journal_path);
+    stats.droppedTornTail = read.droppedTornTail;
+    stats.corruptSkipped = read.corruptSkipped;
+    if (read.payloads.empty()) {
+        if (read.droppedTornTail || read.corruptSkipped > 0)
+            return stats; // Journal died before its meta record: empty.
+        return stats;
+    }
+    MetaRecord meta;
+    if (!decodeMeta(read.payloads.front(), meta)) {
+        throw FleetError("fleet: journal " + journal_path +
+                         " has no meta record (not a fleet journal?)");
+    }
+    if (meta.cells != specs.size() ||
+        meta.fingerprint != matrixFingerprint(specs)) {
+        throw FleetError(
+            "fleet: journal " + journal_path +
+            " belongs to a different campaign matrix (cells/" +
+            "fingerprint mismatch); use a fresh run directory");
+    }
+    for (std::size_t i = 1; i < read.payloads.size(); ++i) {
+        CellRecord record;
+        std::string err;
+        if (!decodeCell(read.payloads[i], record, &err)) {
+            ++stats.corruptSkipped;
+            continue;
+        }
+        ++stats.records;
+        if (record.cell >= specs.size()) {
+            throw FleetError("fleet: journal record for cell " +
+                             std::to_string(record.cell) +
+                             " is outside the matrix");
+        }
+        if (record.spec != specs[record.cell].toString()) {
+            throw FleetError(
+                "fleet: journal record for cell " +
+                std::to_string(record.cell) +
+                " does not match its spec (journal from a different "
+                "matrix?)");
+        }
+        record.result.spec = specs[record.cell];
+        // Last-wins: duplicates are legal (a retry raced a crash).
+        if (completed.count(record.cell) > 0)
+            ++stats.duplicates;
+        completed[record.cell] = std::move(record.result);
+        ++stats.applied;
+    }
+    return stats;
+}
+
+FleetCoordinator::FleetCoordinator(Options options)
+    : options_(std::move(options))
+{
+}
+
+FleetReport
+FleetCoordinator::run(const std::vector<campaign::CampaignSpec> &specs)
+{
+    if (options_.workers < 1)
+        throw FleetError("fleet: workers must be >= 1");
+    if (options_.retries < 0)
+        throw FleetError("fleet: retries must be >= 0");
+    if (options_.runDir.empty())
+        throw FleetError("fleet: a run directory is required");
+
+    std::string err;
+    if (!ensureDir(options_.runDir, &err))
+        throw FleetError("fleet: " + err);
+
+    FleetRun run(options_, specs);
+    run.report.cellsTotal = specs.size();
+
+    const std::string journal_path = journalPath(options_.runDir);
+    const bool journal_exists = nonEmptyFileExists(journal_path);
+    if (!options_.resume && journal_exists) {
+        throw FleetError(
+            "fleet: " + journal_path +
+            " already exists; pass resume=1 to continue that run or "
+            "use a fresh run directory");
+    }
+    if (options_.resume && journal_exists) {
+        const ReplayStats stats =
+            replayJournal(journal_path, specs, run.completed);
+        run.report.cellsResumed = run.completed.size();
+        run.report.journalDropped =
+            stats.corruptSkipped + (stats.droppedTornTail ? 1 : 0);
+    }
+
+    run.journal.open(journal_path);
+    if (!journal_exists || fileSize(journal_path) == 0) {
+        MetaRecord meta;
+        meta.cells = specs.size();
+        meta.fingerprint = matrixFingerprint(specs);
+        run.journal.append(encodeMeta(meta));
+    }
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (run.completed.count(i) == 0)
+            run.queue.push_back(i);
+    }
+
+    if (run.queue.empty()) {
+        run.report.summary = run.merge();
+        return std::move(run.report);
+    }
+
+    if (::pipe(run.selfPipe) != 0) {
+        throw FleetError(std::string("fleet: pipe failed: ") +
+                         std::strerror(errno));
+    }
+    ::fcntl(run.selfPipe[1], F_SETFL, O_NONBLOCK);
+    SignalGuard signals(run.selfPipe[1]);
+
+    const std::size_t worker_count =
+        std::min<std::size_t>(static_cast<std::size_t>(options_.workers),
+                              run.queue.size());
+    run.respawnBudget =
+        specs.size() *
+            (static_cast<std::size_t>(options_.retries) + 1) +
+        worker_count * 4;
+    run.workers.resize(worker_count);
+    for (std::size_t slot = 0; slot < worker_count; ++slot)
+        run.spawnWorker(static_cast<int>(slot));
+
+    for (;;) {
+        if (g_signalled) {
+            run.report.interrupted = true;
+            break;
+        }
+        run.killTimedOut();
+        if (!run.sliceReached()) {
+            for (WorkerProc &w : run.workers) {
+                if (run.queue.empty())
+                    break;
+                if (w.alive && w.inFlight < 0)
+                    run.dispatch(w);
+            }
+        }
+        if (run.completed.size() == specs.size())
+            break;
+        if (run.inFlightCount() == 0) {
+            if (run.sliceReached()) {
+                run.report.interrupted = true;
+                break;
+            }
+            if (run.queue.empty())
+                break; // Nothing left to do.
+            // A dispatch can fail against a worker that died since
+            // the last poll; its replacement spawns IDLE, so retry
+            // dispatch while alive workers remain (the respawn
+            // budget bounds this loop against a crash storm).
+            if (run.aliveCount() > 0)
+                continue;
+            throw FleetError(
+                "fleet: all workers are gone with cells pending");
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fd_worker;
+        fds.push_back({run.selfPipe[0], POLLIN, 0});
+        fd_worker.push_back(static_cast<std::size_t>(-1));
+        for (std::size_t i = 0; i < run.workers.size(); ++i) {
+            const WorkerProc &w = run.workers[i];
+            if (w.alive) {
+                fds.push_back({w.responseFd, POLLIN, 0});
+                fd_worker.push_back(i);
+            }
+        }
+        const int ready =
+            ::poll(fds.data(), fds.size(), run.pollTimeoutMs());
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FleetError(std::string("fleet: poll failed: ") +
+                             std::strerror(errno));
+        }
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            WorkerProc &w = run.workers[fd_worker[i]];
+            if (w.alive)
+                run.onReadable(w);
+        }
+        if ((fds[0].revents & POLLIN) != 0) {
+            char drain[64];
+            [[maybe_unused]] const ssize_t n =
+                ::read(run.selfPipe[0], drain, sizeof(drain));
+        }
+    }
+
+    run.shutdownWorkers();
+    run.report.summary = run.merge();
+    return std::move(run.report);
+}
+
+} // namespace mcversi::fleet

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Fault-tolerant campaign fleet: coordinator/worker process sharding.
+ *
+ * The FleetCoordinator expands nothing itself -- it takes the already
+ * expanded CampaignMatrix cell vector and shards the cells across N
+ * forked worker processes over a pipe protocol (fleet/worker.hh).
+ * Robustness is the point; the contract is:
+ *
+ *  - every completed cell is streamed into an append-only, fsync'd,
+ *    checksummed journal in the run directory (fleet/journal.hh), so
+ *    a crash -- of a worker OR of the coordinator -- loses at most the
+ *    cells that were still in flight;
+ *  - cells are dispatched dynamically (work stealing): an idle worker
+ *    always takes the oldest pending cell, so one slow cell never
+ *    serializes the tail behind a static shard assignment;
+ *  - a worker that crashes or exceeds the per-cell timeout is killed
+ *    and replaced; its in-flight cell is retried (up to Options::
+ *    retries extra attempts) on the surviving/replacement workers;
+ *  - a cell that fails every attempt degrades to an `error` row that
+ *    carries the worker's captured stderr -- the campaign keeps going;
+ *  - Options::resume replays the journal (validating its cell count
+ *    and matrix fingerprint) and runs only the missing cells;
+ *  - SIGINT/SIGTERM stop dispatching, drain the workers, and return
+ *    with FleetReport::interrupted -- the journal is already durable,
+ *    so a later --resume continues where the run stopped.
+ *
+ * Determinism: each cell's result is computed by CampaignRunner::
+ * runOne in a worker process exactly as a single-process run would
+ * compute it, results merge by CELL INDEX (never arrival order), and
+ * doubles cross the journal/pipe bit-exactly (fleet/wire.hh). The
+ * timing-free summary (toJson(false)/toCsv(false)) is therefore
+ * byte-identical for any worker count, any retry/kill schedule, and
+ * any resume split -- the process-level extension of the worker-
+ * thread-count independence the campaign layer already guarantees.
+ */
+
+#ifndef MCVERSI_FLEET_COORDINATOR_HH
+#define MCVERSI_FLEET_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "campaign/result.hh"
+#include "campaign/spec.hh"
+#include "fleet/wire.hh"
+
+namespace mcversi::fleet {
+
+/** Fleet-level failure (run directory, journal, or worker pool --
+ * distinct from a campaign-cell error, which degrades to an error
+ * row). */
+class FleetError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Outcome of one fleet run. */
+struct FleetReport
+{
+    /** Merged, cell-indexed summary (spec order, as always). */
+    campaign::CampaignSummary summary;
+    /** True if SIGINT/SIGTERM (or Options::maxCells) stopped the run
+     * before every cell completed; resume continues it. */
+    bool interrupted = false;
+
+    // -- Robustness accounting -----------------------------------------
+    std::size_t cellsTotal = 0;
+    /** Cells replayed from the journal instead of run. */
+    std::size_t cellsResumed = 0;
+    /** Cells newly completed by this run (including error rows). */
+    std::size_t cellsRun = 0;
+    /** Cells that exhausted their attempts and became error rows. */
+    std::size_t cellErrors = 0;
+    /** Retry dispatches after a crash/timeout. */
+    std::size_t retriesScheduled = 0;
+    /** Workers killed for exceeding the cell timeout. */
+    std::size_t timeouts = 0;
+    /** Workers that died on their own (crash, OOM-kill, ...). */
+    std::size_t workerCrashes = 0;
+    /** Replacement workers forked. */
+    std::size_t respawns = 0;
+    /** Torn-tail / corrupt records dropped while replaying. */
+    std::size_t journalDropped = 0;
+};
+
+/** Statistics of one journal replay (resume path; exposed for tests). */
+struct ReplayStats
+{
+    std::size_t records = 0;
+    std::size_t applied = 0;
+    std::size_t duplicates = 0;
+    bool droppedTornTail = false;
+    std::size_t corruptSkipped = 0;
+};
+
+/**
+ * Replay a journal against @p specs: validates the meta record (cell
+ * count + matrix fingerprint), keeps the LAST record per cell
+ * (duplicates are legal -- a retry can race a crash), and
+ * cross-checks every record's spec string. Throws FleetError on a
+ * mismatched journal. @p completed maps cell index -> result.
+ */
+ReplayStats
+replayJournal(const std::string &journal_path,
+              const std::vector<campaign::CampaignSpec> &specs,
+              std::map<std::size_t, campaign::CampaignResult> &completed);
+
+/** Journal location inside a run directory. */
+std::string journalPath(const std::string &run_dir);
+
+class FleetCoordinator
+{
+  public:
+    struct Options
+    {
+        /** Forked worker processes (>= 1). */
+        int workers = 1;
+        /** Extra attempts per cell after its first try fails. */
+        int retries = 2;
+        /** Per-cell wall-clock timeout in seconds (0 = none). A cell
+         * past its deadline gets its worker SIGKILLed and is retried. */
+        double cellTimeoutSeconds = 0.0;
+        /** Run directory: journal + per-worker logs. Required. */
+        std::string runDir;
+        /** Replay an existing journal and run only the missing cells. */
+        bool resume = false;
+        /** Batch-evaluation threads inside each cell. */
+        int evalThreads = 1;
+        /** Stop cleanly after this many newly completed cells
+         * (0 = unlimited); the journal makes the slice resumable. */
+        std::size_t maxCells = 0;
+
+        /** Called when a replacement or initial worker is forked. */
+        std::function<void(int slot, pid_t pid)> onWorkerSpawn;
+        /** Called per completed cell (arrival order; the merged
+         * summary itself is cell-indexed). */
+        std::function<void(const campaign::CampaignResult &result,
+                           std::size_t done, std::size_t total)>
+            onResult;
+        /** Called on every retry dispatch / error-row degradation. */
+        std::function<void(std::size_t cell, int attempt,
+                           const std::string &why)>
+            onRetry;
+    };
+
+    explicit FleetCoordinator(Options options);
+
+    /**
+     * Run the matrix. Throws FleetError on fleet-level failure (bad
+     * run dir, journal mismatch, worker pool unrecoverable); cell
+     * failures never throw -- they become error rows.
+     */
+    FleetReport run(const std::vector<campaign::CampaignSpec> &specs);
+
+  private:
+    Options options_;
+};
+
+} // namespace mcversi::fleet
+
+#endif // MCVERSI_FLEET_COORDINATOR_HH

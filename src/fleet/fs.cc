@@ -1,0 +1,203 @@
+#include "fleet/fs.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace mcversi::fleet {
+
+namespace {
+
+void
+setErr(std::string *err, const std::string &what)
+{
+    if (err != nullptr)
+        *err = what + ": " + std::strerror(errno);
+}
+
+/** Write the whole buffer, retrying on short writes and EINTR. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t n = ::write(fd, data + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *err)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setErr(err, "cannot create " + tmp);
+        return false;
+    }
+    if (!writeAll(fd, content.data(), content.size())) {
+        setErr(err, "cannot write " + tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        setErr(err, "cannot fsync " + tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setErr(err, "cannot close " + tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setErr(err, "cannot rename " + tmp + " to " + path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Make the rename durable: fsync the containing directory. Failure
+    // here is not fatal for correctness (the file content is already
+    // safe), so it is deliberately ignored on filesystems that reject
+    // directory fsync.
+    const int dirfd =
+        ::open(dirnameOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
+    }
+    return true;
+}
+
+bool
+ensureDir(const std::string &path, std::string *err)
+{
+    if (path.empty()) {
+        if (err != nullptr)
+            *err = "empty directory path";
+        return false;
+    }
+    std::string prefix;
+    prefix.reserve(path.size());
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        const std::size_t slash = path.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? path.size() : slash;
+        prefix.assign(path, 0, end);
+        pos = end + 1;
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+            setErr(err, "cannot mkdir " + prefix);
+            return false;
+        }
+        if (slash == std::string::npos)
+            break;
+    }
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (err != nullptr)
+            *err = path + " exists but is not a directory";
+        return false;
+    }
+    return true;
+}
+
+bool
+nonEmptyFileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+           st.st_size > 0;
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::string
+readFileRange(const std::string &path, std::uint64_t offset,
+              std::size_t max_bytes)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return {};
+    std::string out;
+    if (::lseek(fd, static_cast<off_t>(offset), SEEK_SET) >= 0) {
+        out.resize(max_bytes);
+        std::size_t got = 0;
+        while (got < max_bytes) {
+            const ssize_t n =
+                ::read(fd, out.data() + got, max_bytes - got);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break;
+            got += static_cast<std::size_t>(n);
+        }
+        out.resize(got);
+    }
+    ::close(fd);
+    return out;
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string *err)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setErr(err, "cannot open " + path);
+        return false;
+    }
+    out.clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            setErr(err, "cannot read " + path);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+} // namespace mcversi::fleet

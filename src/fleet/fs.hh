@@ -1,0 +1,52 @@
+/**
+ * @file
+ * POSIX filesystem helpers for the campaign fleet.
+ *
+ * Everything here is crash-safety plumbing: atomic whole-file
+ * replacement (write-to-temp + fsync + rename, so readers never see a
+ * torn file), recursive directory creation for run directories, and
+ * bounded range reads used to capture a failed worker's stderr tail.
+ */
+
+#ifndef MCVERSI_FLEET_FS_HH
+#define MCVERSI_FLEET_FS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcversi::fleet {
+
+/**
+ * Atomically replace @p path with @p content: the bytes are written to
+ * "<path>.tmp", fsync'd, and renamed over @p path (the containing
+ * directory is fsync'd too, so the rename itself is durable). A crash
+ * at any point leaves either the old file or the new file, never a
+ * torn mixture. Returns false (with @p err set, if given) on failure.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &content,
+                     std::string *err = nullptr);
+
+/** mkdir -p: create @p path and any missing parents (mode 0755). */
+bool ensureDir(const std::string &path, std::string *err = nullptr);
+
+/** True if @p path names an existing regular file with size > 0. */
+bool nonEmptyFileExists(const std::string &path);
+
+/** Size of @p path in bytes, or 0 if it does not exist. */
+std::uint64_t fileSize(const std::string &path);
+
+/**
+ * Read up to @p max_bytes from @p path starting at @p offset (used to
+ * capture only the failing cell's slice of a worker stderr log).
+ * Returns what could be read; missing files read as empty.
+ */
+std::string readFileRange(const std::string &path, std::uint64_t offset,
+                          std::size_t max_bytes);
+
+/** Read a whole file into a string; returns false if it cannot open. */
+bool readFile(const std::string &path, std::string &out,
+              std::string *err = nullptr);
+
+} // namespace mcversi::fleet
+
+#endif // MCVERSI_FLEET_FS_HH

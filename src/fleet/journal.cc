@@ -1,0 +1,197 @@
+#include "fleet/journal.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "fleet/fs.hh"
+
+namespace mcversi::fleet {
+
+namespace {
+
+constexpr const char *kMagic = "MCVJ1";
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+/**
+ * Parse one journal line (without its trailing newline). Returns true
+ * and sets @p payload only if the magic, the length prefix, and the
+ * checksum all agree.
+ */
+bool
+parseLine(const std::string &line, std::string &payload)
+{
+    // "MCVJ1 <len> <crc8hex> <payload>"
+    const std::size_t magic_len = std::strlen(kMagic);
+    if (line.size() < magic_len + 1 ||
+        line.compare(0, magic_len, kMagic) != 0 ||
+        line[magic_len] != ' ') {
+        return false;
+    }
+    std::size_t pos = magic_len + 1;
+    const std::size_t len_end = line.find(' ', pos);
+    if (len_end == std::string::npos)
+        return false;
+    std::uint64_t len = 0;
+    for (std::size_t i = pos; i < len_end; ++i) {
+        const char c = line[i];
+        if (c < '0' || c > '9' || i - pos > 9)
+            return false;
+        len = len * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    pos = len_end + 1;
+    const std::size_t crc_end = line.find(' ', pos);
+    if (crc_end == std::string::npos || crc_end - pos != 8)
+        return false;
+    std::uint32_t crc = 0;
+    for (std::size_t i = pos; i < crc_end; ++i) {
+        const char c = line[i];
+        std::uint32_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint32_t>(c - 'a') + 10;
+        else
+            return false;
+        crc = (crc << 4) | digit;
+    }
+    const std::string body = line.substr(crc_end + 1);
+    if (body.size() != len || crc32(body) != crc)
+        return false;
+    payload = body;
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const char ch : data)
+        c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+journalLine(const std::string &payload)
+{
+    char header[32];
+    std::snprintf(header, sizeof(header), "%s %zu %08x ", kMagic,
+                  payload.size(), crc32(payload));
+    std::string line = header;
+    line += payload;
+    line += '\n';
+    return line;
+}
+
+JournalReadResult
+parseJournal(const std::string &content)
+{
+    JournalReadResult result;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        const std::size_t eol = content.find('\n', pos);
+        if (eol == std::string::npos) {
+            // No terminating newline: the final append was torn.
+            result.droppedTornTail = true;
+            break;
+        }
+        const std::string line = content.substr(pos, eol - pos);
+        pos = eol + 1;
+        std::string payload;
+        if (parseLine(line, payload)) {
+            result.payloads.push_back(std::move(payload));
+        } else if (pos >= content.size()) {
+            // Invalid but newline-terminated final line: still treat
+            // as a torn tail (a crash can land between the payload
+            // write reaching the disk and the full line doing so).
+            result.droppedTornTail = true;
+        } else {
+            ++result.corruptSkipped;
+        }
+    }
+    return result;
+}
+
+JournalReadResult
+readJournal(const std::string &path)
+{
+    std::string content;
+    std::string err;
+    if (!readFile(path, content, &err))
+        throw std::runtime_error("journal: " + err);
+    return parseJournal(content);
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::open(const std::string &path)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        throw std::runtime_error("journal: cannot open " + path + ": " +
+                                 std::strerror(errno));
+    }
+    path_ = path;
+}
+
+void
+JournalWriter::append(const std::string &payload)
+{
+    if (fd_ < 0)
+        throw std::runtime_error("journal: append on closed writer");
+    if (payload.find('\n') != std::string::npos)
+        throw std::runtime_error("journal: payload contains a newline");
+    const std::string line = journalLine(payload);
+    std::size_t written = 0;
+    while (written < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + written, line.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("journal: write failed for " +
+                                     path_ + ": " + std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        throw std::runtime_error("journal: fsync failed for " + path_ +
+                                 ": " + std::strerror(errno));
+    }
+}
+
+void
+JournalWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace mcversi::fleet

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Crash-safe append-only result journal.
+ *
+ * A fleet run streams every completed campaign cell into one journal
+ * file inside the run directory. Each record is a single line
+ *
+ *     MCVJ1 <payload-bytes> <crc32-hex8> <payload>\n
+ *
+ * where the payload never contains a raw newline (the wire codec
+ * escapes control bytes) and the CRC32 covers the payload only. Every
+ * append is one write(2) followed by fsync(2), so a record is either
+ * fully durable or detectably absent: after a crash or SIGKILL the
+ * final line may be torn (short, missing its newline, or failing its
+ * checksum) and the reader DROPS it instead of trusting it -- the cell
+ * it described simply reruns on resume. A corrupt record in the middle
+ * of the file (disk damage, manual editing) is skipped and counted,
+ * resyncing at the next newline, so one bad record cannot take the
+ * rest of the journal with it.
+ *
+ * Appends are idempotent per cell: duplicate records for the same cell
+ * index are legal (a retry raced a crash) and the reader keeps the
+ * last one (see fleet/coordinator.hh's replay).
+ */
+
+#ifndef MCVERSI_FLEET_JOURNAL_HH
+#define MCVERSI_FLEET_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcversi::fleet {
+
+/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte string. */
+std::uint32_t crc32(const std::string &data);
+
+/** Render one full journal line (header + payload + newline). */
+std::string journalLine(const std::string &payload);
+
+/** Outcome of reading a journal file back. */
+struct JournalReadResult
+{
+    /** Payloads of every valid record, in file order. */
+    std::vector<std::string> payloads;
+    /** True if a torn final record was detected and dropped. */
+    bool droppedTornTail = false;
+    /** Corrupt (checksum/format) non-final records skipped. */
+    std::size_t corruptSkipped = 0;
+};
+
+/**
+ * Parse journal @p content (the raw file bytes). Never throws: damage
+ * is reported via the result flags, valid records always survive.
+ */
+JournalReadResult parseJournal(const std::string &content);
+
+/** Read and parse a journal file; throws std::runtime_error if the
+ * file cannot be opened. */
+JournalReadResult readJournal(const std::string &path);
+
+/**
+ * Appender for a journal file. Each append() writes one complete
+ * record with a single write(2) and fsyncs before returning, so the
+ * record is durable once append() succeeds.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open (creating or appending). Throws std::runtime_error. */
+    void open(const std::string &path);
+
+    /** Append one record; throws std::runtime_error on I/O failure.
+     * @p payload must not contain raw newlines. */
+    void append(const std::string &payload);
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace mcversi::fleet
+
+#endif // MCVERSI_FLEET_JOURNAL_HH

@@ -1,0 +1,293 @@
+#include "fleet/wire.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mcversi::fleet {
+
+namespace {
+
+bool
+needsEscape(unsigned char c)
+{
+    return c <= 0x20 || c == '%' || c == '=' || c == 0x7F;
+}
+
+std::uint64_t
+parseU64Field(const std::string &text)
+{
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+std::string
+encodeDoubleVec(const std::vector<double> &values)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += encodeDouble(values[i]);
+    }
+    return out;
+}
+
+std::vector<double>
+decodeDoubleVec(const std::string &text)
+{
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        values.push_back(decodeDouble(text.substr(pos, end - pos)));
+        pos = end + 1;
+    }
+    return values;
+}
+
+void
+appendField(std::string &out, const char *key, const std::string &value)
+{
+    if (!out.empty())
+        out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+}
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t v)
+{
+    appendField(out, key, std::to_string(v));
+}
+
+} // namespace
+
+std::string
+escapeToken(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        const auto c = static_cast<unsigned char>(ch);
+        if (needsEscape(c)) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out += buf;
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeToken(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '%' && i + 2 < text.size()) {
+            const auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9')
+                    return c - '0';
+                if (c >= 'a' && c <= 'f')
+                    return c - 'a' + 10;
+                if (c >= 'A' && c <= 'F')
+                    return c - 'A' + 10;
+                return -1;
+            };
+            const int hi = hex(text[i + 1]);
+            const int lo = hex(text[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
+            }
+        }
+        out += text[i];
+    }
+    return out;
+}
+
+std::string
+encodeDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+double
+decodeDouble(const std::string &text)
+{
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::string
+encodeCell(const CellRecord &record)
+{
+    const host::HarnessResult &h = record.result.harness;
+    std::string out;
+    appendU64(out, "cell", record.cell);
+    appendU64(out, "attempt", record.attempt);
+    appendField(out, "spec", escapeToken(record.spec));
+    appendField(out, "error", escapeToken(record.result.error));
+    appendField(out, "pcov",
+                encodeDouble(record.result.protocolCoverage));
+    appendU64(out, "bug", h.bugFound ? 1 : 0);
+    appendField(out, "detail", escapeToken(h.detail));
+    appendU64(out, "runs", h.testRuns);
+    appendU64(out, "runs2bug", h.testRunsToBug);
+    appendField(out, "wall", encodeDouble(h.wallSeconds));
+    appendField(out, "wall2bug", encodeDouble(h.wallSecondsToBug));
+    appendField(out, "check", encodeDouble(h.checkSeconds));
+    appendU64(out, "ticks", h.simTicks);
+    appendU64(out, "events", h.eventsExecuted);
+    appendU64(out, "simev", h.simEvents);
+    appendU64(out, "msgs", h.messagesSent);
+    appendField(out, "cov", encodeDouble(h.totalCoverage));
+    appendU64(out, "hits", h.checkCacheHits);
+    appendU64(out, "misses", h.checkCacheMisses);
+    appendU64(out, "distinct", h.distinctInterleavings);
+    appendField(out, "meanfit", encodeDouble(h.meanFitness));
+    appendField(out, "traj", encodeDoubleVec(h.fitnessTrajectory));
+    appendField(out, "ndt", encodeDoubleVec(h.ndtHistory));
+    return out;
+}
+
+bool
+decodeCell(const std::string &payload, CellRecord &out, std::string *err)
+{
+    out = CellRecord{};
+    bool have_cell = false;
+    bool have_spec = false;
+    std::istringstream in(payload);
+    std::string token;
+    while (in >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (err != nullptr)
+                *err = "malformed token '" + token + "'";
+            return false;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        host::HarnessResult &h = out.result.harness;
+        if (key == "cell") {
+            out.cell = static_cast<std::size_t>(parseU64Field(value));
+            have_cell = true;
+        } else if (key == "attempt") {
+            out.attempt =
+                static_cast<std::uint32_t>(parseU64Field(value));
+        } else if (key == "spec") {
+            out.spec = unescapeToken(value);
+            have_spec = true;
+        } else if (key == "error") {
+            out.result.error = unescapeToken(value);
+        } else if (key == "pcov") {
+            out.result.protocolCoverage = decodeDouble(value);
+        } else if (key == "bug") {
+            h.bugFound = parseU64Field(value) != 0;
+        } else if (key == "detail") {
+            h.detail = unescapeToken(value);
+        } else if (key == "runs") {
+            h.testRuns = parseU64Field(value);
+        } else if (key == "runs2bug") {
+            h.testRunsToBug = parseU64Field(value);
+        } else if (key == "wall") {
+            h.wallSeconds = decodeDouble(value);
+        } else if (key == "wall2bug") {
+            h.wallSecondsToBug = decodeDouble(value);
+        } else if (key == "check") {
+            h.checkSeconds = decodeDouble(value);
+        } else if (key == "ticks") {
+            h.simTicks = parseU64Field(value);
+        } else if (key == "events") {
+            h.eventsExecuted = parseU64Field(value);
+        } else if (key == "simev") {
+            h.simEvents = parseU64Field(value);
+        } else if (key == "msgs") {
+            h.messagesSent = parseU64Field(value);
+        } else if (key == "cov") {
+            h.totalCoverage = decodeDouble(value);
+        } else if (key == "hits") {
+            h.checkCacheHits = parseU64Field(value);
+        } else if (key == "misses") {
+            h.checkCacheMisses = parseU64Field(value);
+        } else if (key == "distinct") {
+            h.distinctInterleavings = parseU64Field(value);
+        } else if (key == "meanfit") {
+            h.meanFitness = decodeDouble(value);
+        } else if (key == "traj") {
+            h.fitnessTrajectory = decodeDoubleVec(value);
+        } else if (key == "ndt") {
+            h.ndtHistory = decodeDoubleVec(value);
+        }
+        // Unknown keys: ignored (forward compatibility).
+    }
+    if (!have_cell || !have_spec) {
+        if (err != nullptr)
+            *err = "record is missing its cell index or spec";
+        return false;
+    }
+    return true;
+}
+
+std::string
+encodeMeta(const MetaRecord &meta)
+{
+    std::string out;
+    appendField(out, "meta", "mcvj1");
+    appendU64(out, "cells", meta.cells);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(meta.fingerprint));
+    appendField(out, "matrix", buf);
+    return out;
+}
+
+bool
+decodeMeta(const std::string &payload, MetaRecord &out)
+{
+    out = MetaRecord{};
+    bool is_meta = false;
+    std::istringstream in(payload);
+    std::string token;
+    while (in >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "meta") {
+            is_meta = value == "mcvj1";
+        } else if (key == "cells") {
+            out.cells = static_cast<std::size_t>(parseU64Field(value));
+        } else if (key == "matrix") {
+            out.fingerprint = std::strtoull(value.c_str(), nullptr, 16);
+        }
+    }
+    return is_meta;
+}
+
+std::uint64_t
+matrixFingerprint(const std::vector<campaign::CampaignSpec> &specs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](const std::string &text) {
+        for (const char c : text) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0x0A;
+        h *= 0x100000001b3ull;
+    };
+    for (const campaign::CampaignSpec &spec : specs)
+        mix(spec.toString());
+    return h;
+}
+
+} // namespace mcversi::fleet

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fleet worker: the child-process side of the coordinator/worker
+ * protocol.
+ *
+ * A worker is a fork of the coordinator process; it inherits the
+ * expanded spec vector by memory and speaks a tiny framed protocol
+ * over two inherited pipes:
+ *
+ *   request  (coordinator -> worker):  u32 cell, u32 attempt  (LE)
+ *   response (worker -> coordinator):  u32 payload-length (LE),
+ *                                      then the wire::encodeCell bytes
+ *
+ * The worker runs exactly one cell at a time and replies only with
+ * COMPLETE results: on SIGTERM the in-flight campaign is cancelled via
+ * the host-layer Budget::interrupted hook and the partial result is
+ * discarded (no reply), so the coordinator/journal never see a
+ * truncated cell. EOF on the request pipe is the normal shutdown
+ * signal. The caller (coordinator) redirects the worker's stdout and
+ * stderr to a per-slot log file before entering this loop, so a
+ * crashing cell's diagnostics can be attached to its error row.
+ */
+
+#ifndef MCVERSI_FLEET_WORKER_HH
+#define MCVERSI_FLEET_WORKER_HH
+
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace mcversi::fleet {
+
+struct WorkerConfig
+{
+    /** Read end of the request pipe. */
+    int requestFd = -1;
+    /** Write end of the response pipe. */
+    int responseFd = -1;
+    /** Batch-evaluation threads per cell (CampaignRunner::runOne). */
+    int evalThreads = 1;
+};
+
+/**
+ * Worker main loop; only ever called in a forked child. Returns the
+ * process exit status (0 = clean shutdown). The caller must _exit()
+ * with it rather than return, so the child never unwinds into the
+ * parent's stack/atexit state.
+ */
+int runWorkerLoop(const WorkerConfig &config,
+                  const std::vector<campaign::CampaignSpec> &specs);
+
+} // namespace mcversi::fleet
+
+#endif // MCVERSI_FLEET_WORKER_HH

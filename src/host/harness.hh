@@ -12,6 +12,7 @@
 #ifndef MCVERSI_HOST_HARNESS_HH
 #define MCVERSI_HOST_HARNESS_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,22 @@ struct Budget
     std::uint64_t maxTestRuns = 0;
     /** Max wall-clock seconds (0 = unlimited). */
     double maxWallSeconds = 0.0;
+    /**
+     * Cooperative cancellation hook, polled between test-runs (and at
+     * batch barriers / litmus entries). Returning true stops the run
+     * as if the budget were exhausted. Fleet workers use this to drain
+     * cleanly on SIGTERM instead of being killed mid-cell; note that a
+     * run cut short this way reports fewer test-runs than an
+     * uninterrupted one, so callers that need deterministic summaries
+     * must discard a cancelled run's result (the fleet does).
+     */
+    std::function<bool()> interrupted;
+
+    bool
+    isInterrupted() const
+    {
+        return interrupted && interrupted();
+    }
 };
 
 /** Outcome of a harness run. */

@@ -197,6 +197,8 @@ ParallelHarness::run(const Budget &budget)
 
     HarnessResult result;
     for (;;) {
+        if (budget.isInterrupted())
+            break;
         if (budget.maxTestRuns > 0 && result.testRuns >= budget.maxTestRuns)
             break;
         if (budget.maxWallSeconds > 0.0 &&

@@ -48,6 +48,8 @@ LitmusRunner::run(const host::Budget &budget)
 
     std::size_t idx = 0;
     for (;;) {
+        if (budget.isInterrupted())
+            break;
         if (budget.maxTestRuns > 0 &&
             result.testRuns >= budget.maxTestRuns) {
             break;

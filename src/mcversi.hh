@@ -74,4 +74,9 @@
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
 
+#include "fleet/coordinator.hh"
+#include "fleet/fs.hh"
+#include "fleet/journal.hh"
+#include "fleet/wire.hh"
+
 #endif // MCVERSI_MCVERSI_HH

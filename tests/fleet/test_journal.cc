@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Journal robustness: the crash-safety contract of the fleet's
+ * append-only result journal. A record is either fully durable or
+ * detectably absent -- a torn final line (SIGKILL mid-write) is
+ * dropped, a corrupt mid-file record is skipped with resync, and
+ * valid records always survive their damaged neighbours.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fleet/fs.hh"
+#include "fleet/journal.hh"
+
+using namespace mcversi::fleet;
+
+namespace {
+
+std::string
+tempPath(const char *stem)
+{
+    const char *dir = std::getenv("TMPDIR");
+    std::string path = dir != nullptr ? dir : "/tmp";
+    path += '/';
+    path += stem;
+    path += '.';
+    path += std::to_string(static_cast<unsigned long>(::getpid()));
+    return path;
+}
+
+} // namespace
+
+TEST(Crc32, MatchesTheIeeeCheckValue)
+{
+    // The canonical CRC-32 check value ("123456789" -> 0xCBF43926).
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Journal, RoundTripsRecordsInOrder)
+{
+    std::string content;
+    content += journalLine("first payload");
+    content += journalLine("second=2 with tokens");
+    content += journalLine("");
+
+    const JournalReadResult read = parseJournal(content);
+    EXPECT_FALSE(read.droppedTornTail);
+    EXPECT_EQ(read.corruptSkipped, 0u);
+    ASSERT_EQ(read.payloads.size(), 3u);
+    EXPECT_EQ(read.payloads[0], "first payload");
+    EXPECT_EQ(read.payloads[1], "second=2 with tokens");
+    EXPECT_EQ(read.payloads[2], "");
+}
+
+TEST(Journal, TruncatedLastRecordIsDroppedNotTrusted)
+{
+    std::string content;
+    content += journalLine("complete record");
+    const std::string torn = journalLine("record interrupted mid-write");
+    // SIGKILL between write(2) and completion: any prefix may land.
+    for (std::size_t cut = 1; cut < torn.size() - 1; cut += 7) {
+        const JournalReadResult read =
+            parseJournal(content + torn.substr(0, cut));
+        EXPECT_TRUE(read.droppedTornTail) << "cut=" << cut;
+        ASSERT_EQ(read.payloads.size(), 1u) << "cut=" << cut;
+        EXPECT_EQ(read.payloads[0], "complete record");
+    }
+}
+
+TEST(Journal, ChecksumCorruptionIsDetected)
+{
+    std::string good = journalLine("cell=1 spec=x runs=100");
+    // Flip one payload byte without touching framing.
+    std::string bad = good;
+    bad[bad.size() - 5] ^= 0x01;
+
+    // Corrupt final record: treated like a torn tail.
+    const JournalReadResult tail = parseJournal(journalLine("ok") + bad);
+    EXPECT_TRUE(tail.droppedTornTail);
+    ASSERT_EQ(tail.payloads.size(), 1u);
+
+    // Corrupt mid-file record: skipped with resync, the rest survives.
+    const JournalReadResult mid =
+        parseJournal(journalLine("before") + bad + journalLine("after"));
+    EXPECT_EQ(mid.corruptSkipped, 1u);
+    EXPECT_FALSE(mid.droppedTornTail);
+    ASSERT_EQ(mid.payloads.size(), 2u);
+    EXPECT_EQ(mid.payloads[0], "before");
+    EXPECT_EQ(mid.payloads[1], "after");
+}
+
+TEST(Journal, GarbageLinesDoNotPoisonValidRecords)
+{
+    std::string content;
+    content += "this is not a journal line\n";
+    content += journalLine("valid");
+    content += "MCVJ1 999999 deadbeef short\n";
+    content += journalLine("also valid");
+    const JournalReadResult read = parseJournal(content);
+    EXPECT_EQ(read.corruptSkipped, 2u);
+    ASSERT_EQ(read.payloads.size(), 2u);
+    EXPECT_EQ(read.payloads[0], "valid");
+    EXPECT_EQ(read.payloads[1], "also valid");
+}
+
+TEST(Journal, EmptyFileIsAValidEmptyJournal)
+{
+    const JournalReadResult read = parseJournal("");
+    EXPECT_TRUE(read.payloads.empty());
+    EXPECT_FALSE(read.droppedTornTail);
+    EXPECT_EQ(read.corruptSkipped, 0u);
+}
+
+TEST(JournalWriter, AppendsAreDurableAndReadBack)
+{
+    const std::string path = tempPath("mcversi_journal_rw");
+    std::remove(path.c_str());
+
+    {
+        JournalWriter writer;
+        writer.open(path);
+        writer.append("cell=0 spec=a");
+        writer.append("cell=1 spec=b");
+    }
+    {
+        // Re-open appends, never truncates.
+        JournalWriter writer;
+        writer.open(path);
+        writer.append("cell=0 spec=a attempt=2");
+    }
+
+    const JournalReadResult read = readJournal(path);
+    EXPECT_FALSE(read.droppedTornTail);
+    ASSERT_EQ(read.payloads.size(), 3u);
+    EXPECT_EQ(read.payloads[2], "cell=0 spec=a attempt=2");
+    std::remove(path.c_str());
+}
+
+TEST(JournalWriter, RejectsPayloadsThatWouldBreakFraming)
+{
+    const std::string path = tempPath("mcversi_journal_nl");
+    std::remove(path.c_str());
+    JournalWriter writer;
+    writer.open(path);
+    EXPECT_THROW(writer.append("two\nlines"), std::runtime_error);
+    writer.close();
+    std::remove(path.c_str());
+}
+
+TEST(FsAtomic, WriteFileAtomicReplacesWholeFileOrNothing)
+{
+    const std::string path = tempPath("mcversi_atomic");
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, "version one", &err)) << err;
+    ASSERT_TRUE(writeFileAtomic(path, "version two", &err)) << err;
+    std::string content;
+    ASSERT_TRUE(readFile(path, content));
+    EXPECT_EQ(content, "version two");
+    // No temp file left behind.
+    EXPECT_FALSE(nonEmptyFileExists(path + ".tmp"));
+    std::remove(path.c_str());
+
+    // Unwritable target reports instead of crashing.
+    EXPECT_FALSE(writeFileAtomic("/nonexistent-dir/x/y", "data", &err));
+    EXPECT_FALSE(err.empty());
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Wire codec: every field of a CampaignResult must cross the
+ * journal/pipe BIT-EXACTLY, because the fleet's byte-identity
+ * guarantee reduces to "the merged summary formats the identical
+ * double, so it prints the identical text". Doubles travel as C99
+ * hexfloats; strings percent-escape anything that would break the
+ * space-separated token or one-record-per-line framing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "campaign/spec.hh"
+#include "fleet/wire.hh"
+
+using namespace mcversi;
+using namespace mcversi::fleet;
+
+namespace {
+
+/** Bit-level double equality (distinguishes -0.0, compares NaN). */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ba = 0;
+    std::uint64_t bb = 0;
+    std::memcpy(&ba, &a, sizeof(a));
+    std::memcpy(&bb, &b, sizeof(b));
+    return ba == bb;
+}
+
+CellRecord
+sampleRecord()
+{
+    CellRecord record;
+    record.cell = 42;
+    record.attempt = 3;
+    record.spec = "bug=MESI,LQ+IS,Inv generator=McVerSi-ALL seed=7";
+    record.result.error = "worker said: \"it = broken\"\ntwo lines";
+    record.result.protocolCoverage = 0.6202531646;
+    host::HarnessResult &h = record.result.harness;
+    h.bugFound = true;
+    h.detail = "cycle in hb: [R a=1] %% [W a=2]";
+    h.testRuns = 1000;
+    h.testRunsToBug = 617;
+    h.wallSeconds = 12.75;
+    h.wallSecondsToBug = 7.03125;
+    h.checkSeconds = 1.0 / 3.0;
+    h.simTicks = 123456789;
+    h.eventsExecuted = 424242;
+    h.simEvents = 999;
+    h.messagesSent = 31337;
+    h.totalCoverage = 0.1 + 0.2; // deliberately not representable
+    h.checkCacheHits = 17;
+    h.checkCacheMisses = 4096;
+    h.distinctInterleavings = 57;
+    h.meanFitness = 0.730000000000000093;
+    h.fitnessTrajectory = {0.1, 0.25, 1.0 / 7.0};
+    h.ndtHistory = {0.0, -0.0, 2.2250738585072014e-308};
+    return record;
+}
+
+} // namespace
+
+TEST(WireTokens, EscapeRoundTripsEveryByte)
+{
+    std::string all;
+    for (int c = 0; c < 256; ++c)
+        all += static_cast<char>(c);
+    const std::string escaped = escapeToken(all);
+    // Framing bytes never appear escaped output.
+    EXPECT_EQ(escaped.find(' '), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find('='), std::string::npos);
+    EXPECT_EQ(unescapeToken(escaped), all);
+}
+
+TEST(WireDoubles, HexfloatRoundTripIsBitExact)
+{
+    const double cases[] = {
+        0.0,
+        -0.0,
+        1.0,
+        0.1 + 0.2,
+        1.0 / 3.0,
+        6.02214076e23,
+        -2.2250738585072014e-308, // smallest normal, negated
+        4.9406564584124654e-324,  // smallest denormal
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+    };
+    for (const double v : cases) {
+        const double back = decodeDouble(encodeDouble(v));
+        if (std::isnan(v)) {
+            EXPECT_TRUE(std::isnan(back)) << encodeDouble(v);
+        } else {
+            EXPECT_TRUE(sameBits(v, back))
+                << encodeDouble(v) << " -> " << encodeDouble(back);
+        }
+    }
+}
+
+TEST(WireCell, FullRecordRoundTrips)
+{
+    const CellRecord record = sampleRecord();
+    const std::string payload = encodeCell(record);
+    // Journal framing invariant: a payload is a single line.
+    EXPECT_EQ(payload.find('\n'), std::string::npos);
+
+    CellRecord back;
+    std::string err;
+    ASSERT_TRUE(decodeCell(payload, back, &err)) << err;
+    EXPECT_EQ(back.cell, record.cell);
+    EXPECT_EQ(back.attempt, record.attempt);
+    EXPECT_EQ(back.spec, record.spec);
+    EXPECT_EQ(back.result.error, record.result.error);
+    EXPECT_TRUE(sameBits(back.result.protocolCoverage,
+                         record.result.protocolCoverage));
+
+    const host::HarnessResult &a = record.result.harness;
+    const host::HarnessResult &b = back.result.harness;
+    EXPECT_EQ(b.bugFound, a.bugFound);
+    EXPECT_EQ(b.detail, a.detail);
+    EXPECT_EQ(b.testRuns, a.testRuns);
+    EXPECT_EQ(b.testRunsToBug, a.testRunsToBug);
+    EXPECT_TRUE(sameBits(b.wallSeconds, a.wallSeconds));
+    EXPECT_TRUE(sameBits(b.wallSecondsToBug, a.wallSecondsToBug));
+    EXPECT_TRUE(sameBits(b.checkSeconds, a.checkSeconds));
+    EXPECT_EQ(b.simTicks, a.simTicks);
+    EXPECT_EQ(b.eventsExecuted, a.eventsExecuted);
+    EXPECT_EQ(b.simEvents, a.simEvents);
+    EXPECT_EQ(b.messagesSent, a.messagesSent);
+    EXPECT_TRUE(sameBits(b.totalCoverage, a.totalCoverage));
+    EXPECT_EQ(b.checkCacheHits, a.checkCacheHits);
+    EXPECT_EQ(b.checkCacheMisses, a.checkCacheMisses);
+    EXPECT_EQ(b.distinctInterleavings, a.distinctInterleavings);
+    EXPECT_TRUE(sameBits(b.meanFitness, a.meanFitness));
+    ASSERT_EQ(b.fitnessTrajectory.size(), a.fitnessTrajectory.size());
+    for (std::size_t i = 0; i < a.fitnessTrajectory.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(b.fitnessTrajectory[i], a.fitnessTrajectory[i]));
+    ASSERT_EQ(b.ndtHistory.size(), a.ndtHistory.size());
+    for (std::size_t i = 0; i < a.ndtHistory.size(); ++i)
+        EXPECT_TRUE(sameBits(b.ndtHistory[i], a.ndtHistory[i]));
+}
+
+TEST(WireCell, UnknownKeysAreIgnoredMissingRequiredKeysFail)
+{
+    CellRecord back;
+    // Forward compatibility: a newer writer may add fields.
+    EXPECT_TRUE(
+        decodeCell("cell=1 spec=x future-key=whatever bug=1", back));
+    EXPECT_EQ(back.cell, 1u);
+    EXPECT_TRUE(back.result.harness.bugFound);
+    // attempt defaults to 1 when absent.
+    EXPECT_EQ(back.attempt, 1u);
+
+    std::string err;
+    EXPECT_FALSE(decodeCell("spec=x bug=1", back, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(decodeCell("cell=1 bug=1", back, &err));
+    EXPECT_FALSE(decodeCell("cell=1 spec=x =broken", back, &err));
+}
+
+TEST(WireMeta, RoundTripsAndRejectsNonMeta)
+{
+    MetaRecord meta;
+    meta.cells = 12;
+    meta.fingerprint = 0xDEADBEEFCAFEF00Dull;
+    MetaRecord back;
+    ASSERT_TRUE(decodeMeta(encodeMeta(meta), back));
+    EXPECT_EQ(back.cells, meta.cells);
+    EXPECT_EQ(back.fingerprint, meta.fingerprint);
+
+    EXPECT_FALSE(decodeMeta("cell=1 spec=x", back));
+    EXPECT_FALSE(decodeMeta("meta=mcvj99 cells=1 matrix=0", back));
+}
+
+TEST(WireMeta, FingerprintTracksMatrixIdentity)
+{
+    campaign::CampaignMatrix matrix;
+    matrix.base.testSize = 64;
+    matrix.bugs = {"none", "SQ+no-FIFO"};
+    matrix.seeds = {1, 2};
+    const auto specs = matrix.expand();
+    const std::uint64_t fp = matrixFingerprint(specs);
+    EXPECT_EQ(matrixFingerprint(specs), fp); // stable
+
+    // Any change to any cell -- or to the order -- changes it.
+    auto reordered = specs;
+    std::swap(reordered.front(), reordered.back());
+    EXPECT_NE(matrixFingerprint(reordered), fp);
+
+    auto edited = specs;
+    edited[0].seed = 3;
+    EXPECT_NE(matrixFingerprint(edited), fp);
+
+    auto shorter = specs;
+    shorter.pop_back();
+    EXPECT_NE(matrixFingerprint(shorter), fp);
+}

@@ -46,6 +46,30 @@ TEST(Harness, BudgetByTestRunsRespected)
     EXPECT_GT(result.totalCoverage, 0.0);
 }
 
+TEST(Harness, InterruptHookStopsTheRunEarly)
+{
+    auto params = smallParams(sim::BugId::None);
+    RandomSource source(params.gen, 1);
+    VerificationHarness harness(params, source);
+    Budget budget;
+    budget.maxTestRuns = 100;
+
+    // Already-pending interrupt: not a single test runs (this is what
+    // lets a fleet worker drain on SIGTERM without emitting a partial
+    // -- therefore nondeterministic -- result).
+    budget.interrupted = [] { return true; };
+    HarnessResult none = harness.run(budget);
+    EXPECT_EQ(none.testRuns, 0u);
+
+    // Interrupt tripped mid-run: stops at the next run boundary.
+    int calls = 0;
+    budget.interrupted = [&calls] { return ++calls > 3; };
+    VerificationHarness harness2(params, source);
+    HarnessResult some = harness2.run(budget);
+    EXPECT_GT(some.testRuns, 0u);
+    EXPECT_LT(some.testRuns, 100u);
+}
+
 TEST(Harness, FindsEasyBugAndStops)
 {
     auto params = smallParams(sim::BugId::LqNoTso);

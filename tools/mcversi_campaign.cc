@@ -2,27 +2,38 @@
  * @file
  * mcversi_campaign: CLI driver for the Campaign API.
  *
- * Describes a campaign matrix with key=value arguments, runs it on a
- * worker pool, prints a per-campaign table plus totals, and optionally
- * writes the machine-readable JSON/CSV summary.
+ * Describes a campaign matrix with key=value arguments, runs it either
+ * in-process on a worker-thread pool or -- with workers= / run-dir= --
+ * as a fault-tolerant multi-process fleet (crash-safe result journal,
+ * per-cell timeouts, straggler retry, resume), prints a per-campaign
+ * table plus totals, and optionally writes the machine-readable
+ * JSON/CSV summary (atomically: write-to-temp + rename).
  *
  * Matrix keys (lists are ';'-separated since bug names contain commas):
  *   bugs=<name;...|all|mesi|tsocc>   generators=<name;...|all>
  *   models=<name;...|all>            seeds=<lo..hi|s;s;...>
  * Runner keys:
  *   threads=N (>= 1; omit for hardware)  json=FILE  csv=FILE  quiet=1
+ * Fleet keys (any may be written --key=value as well):
+ *   workers=N run-dir=DIR resume=0|1 retries=N cell-timeout=SECONDS
  * Every other key=value is a CampaignSpec setting (see --help).
  *
- * Example (the CI datapoint):
+ * Exit codes (all error text goes to stderr):
+ *   0    success
+ *   1    usage / spec-parse error
+ *   2    campaign-cell error rows in the merged summary
+ *   3    fleet or worker-pool failure (run dir, journal, I/O)
+ *   130  interrupted (SIGINT/SIGTERM); resume=1 continues the run
+ *
+ * Example (the CI fleet datapoint):
  *   mcversi_campaign "bugs=MESI,LQ+IS,Inv;SQ+no-FIFO" \
  *       "generators=McVerSi-ALL;McVerSi-RAND" seeds=1..2 \
  *       test-size=96 iterations=2 mem-size=1024 population=16 \
- *       max-runs=60 threads=4 json=campaign.json
+ *       max-runs=60 workers=4 run-dir=fleet-run timing=0 \
+ *       json=campaign.json
  */
 
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -33,10 +44,18 @@ using namespace mcversi;
 
 namespace {
 
+// Distinct exit codes, so CI and scripts can tell a bad invocation
+// from a failed cell from a broken fleet (see file header).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitCellError = 2;
+constexpr int kExitFleet = 3;
+constexpr int kExitInterrupted = 130;
+
 void
-printUsage()
+printUsage(std::FILE *out)
 {
-    std::cout <<
+    std::fprintf(out, "%s",
         "usage: mcversi_campaign [key=value ...]\n"
         "\n"
         "Matrix keys (lists use ';' separators):\n"
@@ -47,13 +66,32 @@ printUsage()
         "\n"
         "Runner keys:\n"
         "  threads=N      worker threads across specs, N >= 1 (omit\n"
-        "                 the key for hardware concurrency)\n"
+        "                 the key for hardware concurrency; ignored in\n"
+        "                 fleet mode)\n"
         "  eval-threads=N worker threads inside one spec's batch\n"
         "                 evaluation, N >= 1 (default 1; summaries\n"
         "                 are byte-identical for any value)\n"
-        "  json=FILE      write the JSON summary\n"
-        "  csv=FILE       write the CSV summary\n"
+        "  json=FILE      write the JSON summary (atomic tmp+rename)\n"
+        "  csv=FILE       write the CSV summary (atomic tmp+rename)\n"
+        "  timing=0|1     include wall-clock fields in JSON/CSV (1);\n"
+        "                 timing=0 output is byte-identical across\n"
+        "                 runs, thread counts, and fleet worker counts\n"
         "  quiet=1        suppress per-campaign progress lines\n"
+        "\n"
+        "Fleet keys (multi-process; --key=value also accepted):\n"
+        "  workers=N        fork N worker processes; cells shard\n"
+        "                   dynamically and every completed cell is\n"
+        "                   streamed into a crash-safe journal\n"
+        "  run-dir=DIR      run directory (journal + worker logs);\n"
+        "                   required in fleet mode\n"
+        "  resume=0|1       replay DIR's journal, run only missing\n"
+        "                   cells (default 0)\n"
+        "  retries=N        extra attempts for a cell whose worker\n"
+        "                   crashed or timed out (default 2); a cell\n"
+        "                   that exhausts them becomes an error row\n"
+        "  cell-timeout=SEC kill a worker whose cell exceeds SEC\n"
+        "                   wall-clock seconds and retry the cell\n"
+        "                   (default 0 = no timeout)\n"
         "\n"
         "Campaign spec keys (defaults in parentheses):\n"
         "  bug=NAME (none)            generator=NAME (McVerSi-ALL)\n"
@@ -73,7 +111,10 @@ printUsage()
         "islands>1 or batch>1 selects the batched multi-lane harness:\n"
         "one simulation lane per island, eval-threads workers.\n"
         "\n"
-        "Flags: --help, --list-bugs, --list-generators, --list-models\n";
+        "Exit codes: 0 ok, 1 usage/spec error, 2 cell error rows,\n"
+        "3 fleet/worker failure, 130 interrupted (resumable).\n"
+        "\n"
+        "Flags: --help, --list-bugs, --list-generators, --list-models\n");
 }
 
 void
@@ -95,7 +136,7 @@ listGenerators()
 {
     for (const std::string &name :
          campaign::SourceRegistry::instance().names()) {
-        std::cout << name << "\n";
+        std::printf("%s\n", name.c_str());
     }
 }
 
@@ -103,7 +144,7 @@ void
 listModels()
 {
     for (const std::string &name : mc::modelNames())
-        std::cout << name << "\n";
+        std::printf("%s\n", name.c_str());
 }
 
 /** Resolve a models= token: "all" => every registered model. */
@@ -115,112 +156,60 @@ resolveModelList(const std::string &token)
     return campaign::splitList(token);
 }
 
-bool
-writeFile(const std::string &path, const std::string &content)
+int
+parseNonNegInt(const std::string &key, const std::string &value)
 {
-    std::ofstream out(path, std::ios::binary);
-    out << content;
-    if (!out) {
-        std::cerr << "error: cannot write " << path << "\n";
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad value '" + value +
+                                    "' for key '" + key +
+                                    "': expected a non-negative "
+                                    "integer");
+    }
+    const unsigned long v = std::stoul(value);
+    if (v > 1000000) {
+        throw std::invalid_argument("bad value '" + value +
+                                    "' for key '" + key +
+                                    "': out of range");
+    }
+    return static_cast<int>(v);
+}
+
+double
+parseSeconds(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        pos = std::string::npos;
+    }
+    if (pos != value.size() || v < 0.0) {
+        throw std::invalid_argument("bad value '" + value +
+                                    "' for key '" + key +
+                                    "': expected non-negative "
+                                    "seconds");
+    }
+    return v;
+}
+
+/** Atomic summary export: a crash mid-write never leaves a torn
+ * file (fleet::writeFileAtomic = tmp + fsync + rename). */
+bool
+exportFile(const std::string &path, const std::string &content)
+{
+    std::string err;
+    if (!fleet::writeFileAtomic(path, content, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
         return false;
     }
     return true;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+void
+printTable(const campaign::CampaignSummary &summary)
 {
-    campaign::CampaignMatrix matrix;
-    int threads = 0;
-    int eval_threads = 1;
-    bool quiet = false;
-    std::string json_path;
-    std::string csv_path;
-
-    try {
-        for (int i = 1; i < argc; ++i) {
-            const std::string arg = argv[i];
-            if (arg == "--help" || arg == "-h") {
-                printUsage();
-                return 0;
-            }
-            if (arg == "--list-bugs") {
-                listBugs();
-                return 0;
-            }
-            if (arg == "--list-generators") {
-                listGenerators();
-                return 0;
-            }
-            if (arg == "--list-models") {
-                listModels();
-                return 0;
-            }
-            const std::size_t eq = arg.find('=');
-            const std::string key = arg.substr(0, eq);
-            const std::string value =
-                eq == std::string::npos ? "" : arg.substr(eq + 1);
-            if (key == "bugs") {
-                matrix.bugs = campaign::resolveBugList(value);
-            } else if (key == "generators") {
-                matrix.generators =
-                    campaign::resolveGeneratorList(value);
-            } else if (key == "models") {
-                matrix.models = resolveModelList(value);
-            } else if (key == "seeds") {
-                matrix.seeds = campaign::parseSeedList(value);
-            } else if (key == "threads") {
-                threads = campaign::parseThreadCount(key, value);
-            } else if (key == "eval-threads") {
-                eval_threads = campaign::parseThreadCount(key, value);
-            } else if (key == "json") {
-                json_path = value;
-            } else if (key == "csv") {
-                csv_path = value;
-            } else if (key == "quiet") {
-                quiet = value != "0";
-            } else {
-                matrix.base.set(arg);
-            }
-        }
-    } catch (const std::exception &e) {
-        std::cerr << "error: " << e.what() << "\n\n";
-        printUsage();
-        return 1;
-    }
-
-    const std::vector<campaign::CampaignSpec> specs = matrix.expand();
-    for (const campaign::CampaignSpec &spec : specs) {
-        try {
-            spec.validate();
-        } catch (const std::exception &e) {
-            std::cerr << "error: " << e.what() << "\n";
-            return 1;
-        }
-    }
-
-    campaign::CampaignRunner::Options options;
-    options.threads = threads;
-    options.evalThreads = eval_threads;
-    if (!quiet) {
-        options.onResult = [](const campaign::CampaignResult &r,
-                              std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "[%zu/%zu] %s %s %s seed=%llu: %s\n",
-                         done, total, r.spec.bug.c_str(),
-                         r.spec.generator.c_str(), r.spec.model.c_str(),
-                         static_cast<unsigned long long>(r.spec.seed),
-                         !r.ok() ? "ERROR"
-                         : r.harness.bugFound
-                             ? "bug found"
-                             : "no bug");
-        };
-    }
-
-    const campaign::CampaignRunner runner(options);
-    const campaign::CampaignSummary summary = runner.run(specs);
-
     std::printf("%-24s %-16s %-6s %-8s %-6s %-10s %-12s %s\n", "Bug",
                 "Generator", "Model", "Seed", "Found", "Runs(bug)",
                 "Coverage", "Status");
@@ -254,13 +243,201 @@ main(int argc, char **argv)
                 wall > 0.0
                     ? static_cast<double>(summary.totalTestRuns()) / wall
                     : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    campaign::CampaignMatrix matrix;
+    int threads = 0;
+    int eval_threads = 1;
+    bool quiet = false;
+    bool include_timing = true;
+    std::string json_path;
+    std::string csv_path;
+
+    // Fleet mode is selected by workers= and/or run-dir=.
+    bool fleet_mode = false;
+    fleet::FleetCoordinator::Options fleet_options;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                printUsage(stdout);
+                return kExitOk;
+            }
+            if (arg == "--list-bugs") {
+                listBugs();
+                return kExitOk;
+            }
+            if (arg == "--list-generators") {
+                listGenerators();
+                return kExitOk;
+            }
+            if (arg == "--list-models") {
+                listModels();
+                return kExitOk;
+            }
+            // Fleet keys read naturally as flags: accept --key=value
+            // for any key.
+            if (arg.size() > 2 && arg.compare(0, 2, "--") == 0 &&
+                arg.find('=') != std::string::npos) {
+                arg = arg.substr(2);
+            }
+            const std::size_t eq = arg.find('=');
+            const std::string key = arg.substr(0, eq);
+            const std::string value =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+            if (key == "bugs") {
+                matrix.bugs = campaign::resolveBugList(value);
+            } else if (key == "generators") {
+                matrix.generators =
+                    campaign::resolveGeneratorList(value);
+            } else if (key == "models") {
+                matrix.models = resolveModelList(value);
+            } else if (key == "seeds") {
+                matrix.seeds = campaign::parseSeedList(value);
+            } else if (key == "threads") {
+                threads = campaign::parseThreadCount(key, value);
+            } else if (key == "eval-threads") {
+                eval_threads = campaign::parseThreadCount(key, value);
+            } else if (key == "json") {
+                json_path = value;
+            } else if (key == "csv") {
+                csv_path = value;
+            } else if (key == "quiet") {
+                quiet = value != "0";
+            } else if (key == "timing") {
+                include_timing = value != "0";
+            } else if (key == "workers") {
+                fleet_options.workers =
+                    campaign::parseThreadCount(key, value);
+                fleet_mode = true;
+            } else if (key == "run-dir") {
+                fleet_options.runDir = value;
+                fleet_mode = true;
+            } else if (key == "resume") {
+                fleet_options.resume = value != "0";
+                fleet_mode = true;
+            } else if (key == "retries") {
+                fleet_options.retries = parseNonNegInt(key, value);
+                fleet_mode = true;
+            } else if (key == "cell-timeout") {
+                fleet_options.cellTimeoutSeconds =
+                    parseSeconds(key, value);
+                fleet_mode = true;
+            } else {
+                matrix.base.set(arg);
+            }
+        }
+        if (fleet_mode && fleet_options.runDir.empty()) {
+            throw std::invalid_argument(
+                "fleet mode (workers=/resume=/retries=/cell-timeout=) "
+                "requires run-dir=DIR");
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n\n", e.what());
+        printUsage(stderr);
+        return kExitUsage;
+    }
+
+    const std::vector<campaign::CampaignSpec> specs = matrix.expand();
+    for (const campaign::CampaignSpec &spec : specs) {
+        try {
+            spec.validate();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return kExitUsage;
+        }
+    }
+
+    campaign::CampaignSummary summary;
+    bool interrupted = false;
+    if (fleet_mode) {
+        fleet_options.evalThreads = eval_threads;
+        if (!quiet) {
+            fleet_options.onResult =
+                [](const campaign::CampaignResult &r, std::size_t done,
+                   std::size_t total) {
+                    std::fprintf(
+                        stderr, "[%zu/%zu] %s %s %s seed=%llu: %s\n",
+                        done, total, r.spec.bug.c_str(),
+                        r.spec.generator.c_str(), r.spec.model.c_str(),
+                        static_cast<unsigned long long>(r.spec.seed),
+                        !r.ok() ? "ERROR"
+                        : r.harness.bugFound ? "bug found"
+                                             : "no bug");
+                };
+            fleet_options.onRetry = [](std::size_t cell, int attempt,
+                                       const std::string &why) {
+                std::fprintf(stderr,
+                             "fleet: cell %zu attempt %d: %s\n", cell,
+                             attempt, why.c_str());
+            };
+        }
+        try {
+            fleet::FleetCoordinator coordinator(fleet_options);
+            fleet::FleetReport report = coordinator.run(specs);
+            summary = std::move(report.summary);
+            interrupted = report.interrupted;
+            std::fprintf(stderr,
+                         "fleet: %zu cells (%zu resumed, %zu run, "
+                         "%zu error rows), %zu retries, %zu timeouts, "
+                         "%zu worker crashes, %zu respawns\n",
+                         report.cellsTotal, report.cellsResumed,
+                         report.cellsRun, report.cellErrors,
+                         report.retriesScheduled, report.timeouts,
+                         report.workerCrashes, report.respawns);
+            // Always leave a merged snapshot in the run directory
+            // next to the journal (atomic, safe to re-run).
+            if (!exportFile(fleet_options.runDir + "/summary.json",
+                            summary.toJson(include_timing)) ||
+                !exportFile(fleet_options.runDir + "/summary.csv",
+                            summary.toCsv(include_timing))) {
+                return kExitFleet;
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return kExitFleet;
+        }
+    } else {
+        campaign::CampaignRunner::Options options;
+        options.threads = threads;
+        options.evalThreads = eval_threads;
+        if (!quiet) {
+            options.onResult = [](const campaign::CampaignResult &r,
+                                  std::size_t done, std::size_t total) {
+                std::fprintf(
+                    stderr, "[%zu/%zu] %s %s %s seed=%llu: %s\n", done,
+                    total, r.spec.bug.c_str(), r.spec.generator.c_str(),
+                    r.spec.model.c_str(),
+                    static_cast<unsigned long long>(r.spec.seed),
+                    !r.ok() ? "ERROR"
+                    : r.harness.bugFound ? "bug found"
+                                         : "no bug");
+            };
+        }
+        const campaign::CampaignRunner runner(options);
+        summary = runner.run(specs);
+    }
+
+    printTable(summary);
 
     bool files_ok = true;
     if (!json_path.empty())
-        files_ok &= writeFile(json_path, summary.toJson());
+        files_ok &= exportFile(json_path, summary.toJson(include_timing));
     if (!csv_path.empty())
-        files_ok &= writeFile(csv_path, summary.toCsv());
+        files_ok &= exportFile(csv_path, summary.toCsv(include_timing));
     if (!files_ok)
-        return 1;
-    return summary.errors() == 0 ? 0 : 1;
+        return kExitFleet;
+    if (interrupted) {
+        std::fprintf(stderr,
+                     "fleet: interrupted; rerun with resume=1 to "
+                     "continue from the journal\n");
+        return kExitInterrupted;
+    }
+    return summary.errors() == 0 ? kExitOk : kExitCellError;
 }
