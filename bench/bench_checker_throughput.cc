@@ -26,12 +26,27 @@
  * cache miss, and as a cache hit; any divergence in kind, message, or
  * cycle aborts the bench with exit code 2.
  *
+ * Schema 3 adds a streaming section comparing the post-hoc pipeline
+ * (replay + finalize + full check) against the StreamingChecker
+ * (events consumed by the recording sink + checkStreamed), over the
+ * consistent scenarios plus a large-32k shape, and over corrupted
+ * variants where a stale read closes a two-event po-loc/fr cycle
+ * mid-trace: there the streaming side stops recording at the violating
+ * event (the simulation early stop) while post-hoc pays the full trace
+ * and check. Timed cells cover the paper-sized shape and up (on a
+ * ~150-event trace both sides are dominated by fixed per-stream
+ * costs, so the ratio measures constant factors, not throughput).
+ * Before any timing, every (scenario x model) pair -- clean
+ * and corrupted -- is gated for verdict divergence between
+ * checkStreamed and check across all registered models; any mismatch
+ * aborts with exit code 2.
+ *
  * Output: a JSON document (schema below) written to BENCH_checker.json
  * (override with MCVERSI_BENCH_JSON). MCVERSI_BENCH_SCALE scales the
  * per-scenario repeat budget.
  *
  *   {
- *     "bench": "checker_throughput", "schema": 2,
+ *     "bench": "checker_throughput", "schema": 3,
  *     "scenarios": [{"name", "threads", "opsPerThread", "addrs",
  *                    "events", "repeats", "seconds",
  *                    "testsPerSec", "checkUsPerEvent"}, ...],
@@ -40,7 +55,19 @@
  *                      "distinctInterleavings", "hitRate",
  *                      "uncached": {"seconds", "testsPerSec"},
  *                      "cached": {"seconds", "testsPerSec"},
- *                      "speedupTestsPerSec"}
+ *                      "speedupTestsPerSec"},
+ *     "streaming": {
+ *       "models": [...], "divergenceChecks", "divergence",
+ *       "consistent": [{"name", "events", "repeats",
+ *                       "posthoc": {"seconds", "testsPerSec",
+ *                                   "usPerEvent"},
+ *                       "streaming": {"seconds", "testsPerSec",
+ *                                     "usPerEvent"},
+ *                       "slowdown"}, ...],
+ *       "violation": [{"name", "events", "detectionEvents", "repeats",
+ *                      "posthoc": {"seconds", "testsPerSec"},
+ *                      "streaming": {"seconds", "testsPerSec"},
+ *                      "speedupTestsPerSec"}, ...]}
  *   }
  */
 
@@ -54,6 +81,8 @@
 #include "bench_common.hh"
 #include "common/rng.hh"
 #include "memconsistency/checker.hh"
+#include "memconsistency/models/registry.hh"
+#include "memconsistency/streaming_checker.hh"
 
 using namespace mcversi;
 
@@ -265,8 +294,8 @@ requireIdentical(const mc::CheckResult &want, const mc::CheckResult &got,
         return;
     }
     std::fprintf(stderr,
-                 "verdict divergence on pool trace %zu (%s path): "
-                 "cached pipeline returned '%s', uncached '%s'\n",
+                 "verdict divergence on trace %zu (%s path): "
+                 "got '%s', want '%s'\n",
                  trace, path, mc::CheckResult::kindName(got.kind),
                  mc::CheckResult::kindName(want.kind));
     std::exit(2);
@@ -278,8 +307,10 @@ runRepeatedSeed(int cycles)
     // A campaign-shaped pool: the GA re-evaluates its fittest tests
     // over and over, so a small set of interleaving shapes recurs for
     // thousands of test-runs. 32 paper-sized traces stand in for that
-    // working set.
-    constexpr std::size_t kPoolSize = 32;
+    // working set; MCVERSI_BENCH_SAMPLES resizes it like any other
+    // per-cell sample count.
+    const std::size_t kPoolSize =
+        static_cast<std::size_t>(mcvbench::benchSamples(32));
     const Scenario shape{"repeated-seed", 4, 250, 16, 404};
 
     std::vector<std::vector<RecordOp>> pool;
@@ -352,13 +383,324 @@ runRepeatedSeed(int cycles)
     return res;
 }
 
+// -- streaming vs post-hoc (schema 3) ---------------------------------
+
+/**
+ * Feed one trace through the witness with the streaming checker armed
+ * as its recording sink, exactly like the simulation's recording path.
+ * Returns true if recording stopped early at a detected violation
+ * (only possible with throw-on-violation enabled).
+ */
+bool
+streamReplay(const std::vector<RecordOp> &trace, mc::ExecWitness &ew,
+             mc::StreamingChecker &sc)
+{
+    ew.reset();
+    sc.begin();
+    try {
+        for (const RecordOp &op : trace) {
+            if (op.isWrite)
+                ew.recordWrite(op.pid, op.poi, op.addr, op.value,
+                               op.overwritten, op.rmw);
+            else
+                ew.recordRead(op.pid, op.poi, op.addr, op.value,
+                              op.rmw);
+        }
+    } catch (const mc::StreamingViolation &) {
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Corrupt a consistent trace into a guaranteed violation: after the
+ * first store past the quarter point, insert a same-thread read of the
+ * value that store overwrote. The read's fr edge back to the store
+ * closes a two-event po-loc/fr cycle -- an sc-per-location violation
+ * under every model -- detectable the moment the read (or, if the
+ * overwritten value's producing store was recorded late, that store)
+ * is consumed.
+ */
+std::vector<RecordOp>
+corruptTrace(const std::vector<RecordOp> &clean)
+{
+    std::size_t wi = clean.size();
+    for (std::size_t i = clean.size() / 4; i < clean.size(); ++i) {
+        if (clean[i].isWrite) {
+            wi = i;
+            break;
+        }
+    }
+    if (wi == clean.size()) {
+        for (std::size_t i = 0; i < clean.size(); ++i) {
+            if (clean[i].isWrite) {
+                wi = i;
+                break;
+            }
+        }
+    }
+    if (wi == clean.size()) {
+        std::fprintf(stderr, "corruptTrace: trace has no stores\n");
+        std::exit(1);
+    }
+
+    const RecordOp w = clean[wi];
+    std::vector<RecordOp> out = clean;
+    // Make room at w.poi + 1: shift every later po slot of the thread,
+    // including stores deferred to earlier record positions.
+    for (RecordOp &op : out) {
+        if (op.pid == w.pid && op.poi > w.poi)
+            ++op.poi;
+    }
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(wi) + 1,
+               {w.pid, w.poi + 1, w.addr, w.overwritten, kInitVal,
+                false, false});
+    return out;
+}
+
+/** Interleaved timing trials per streaming cell (best kept). */
+constexpr int kStreamingTrials = 3;
+
+/** Wall-clock seconds spent in @p body. */
+template <typename Body>
+double
+timedSeconds(Body &&body)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** One streaming-vs-post-hoc comparison cell. */
+struct StreamingPair
+{
+    const Scenario *scenario = nullptr;
+    std::size_t events = 0;
+    /** Events consumed at detection (violation cells only). */
+    std::uint64_t detectionEvents = 0;
+    int repeats = 0;
+    double posthocSeconds = 0.0;
+    double streamingSeconds = 0.0;
+
+    double
+    testsPerSec(double seconds) const
+    {
+        return seconds > 0.0 ? repeats / seconds : 0.0;
+    }
+
+    double
+    usPerEvent(double seconds) const
+    {
+        const double total = static_cast<double>(events) * repeats;
+        return total > 0.0 ? seconds * 1e6 / total : 0.0;
+    }
+
+    /** Consistent cells: streaming cost relative to post-hoc (<= 1.2). */
+    double
+    slowdown() const
+    {
+        return posthocSeconds > 0.0
+                   ? streamingSeconds / posthocSeconds
+                   : 0.0;
+    }
+
+    /** Violation cells: early-stop win in tests/sec (>= 2 expected). */
+    double
+    speedup() const
+    {
+        return streamingSeconds > 0.0
+                   ? posthocSeconds / streamingSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Consistent-trace cell: post-hoc side replays and fully checks every
+ * repeat; streaming side consumes events through the sink during
+ * recording and checkStreamed() short-circuits the cycle analysis.
+ */
+StreamingPair
+runStreamingConsistent(const Scenario &shape, int repeats)
+{
+    Rng rng(shape.seed);
+    const std::vector<RecordOp> trace = generateTrace(shape, rng);
+
+    const mc::Checker checker(mc::makeTso());
+    mc::StreamingChecker sc(mc::modelProfile("tso"));
+
+    StreamingPair res;
+    res.scenario = &shape;
+    res.repeats = repeats;
+
+    mc::ExecWitness ew;
+    replay(trace, ew); // Warmup + sanity.
+    if (!checker.check(ew).ok()) {
+        std::fprintf(stderr,
+                     "bench trace '%s' unexpectedly violates\n",
+                     shape.name);
+        std::exit(1);
+    }
+    res.events = ew.numEvents();
+
+    mc::ExecWitness sew;
+    sew.setEventSink(&sc);
+    streamReplay(trace, sew, sc); // Warmup capacities.
+    if (!checker.checkStreamed(sew, sc).ok() || sc.violationDetected())
+        std::exit(2); // Clean trace must stream clean.
+
+    // Interleaved best-of-N trials: the slowdown ratio is sensitive to
+    // CPU frequency drift, so alternate the sides and keep each side's
+    // fastest trial rather than trusting one long timed loop.
+    res.posthocSeconds = -1.0;
+    res.streamingSeconds = -1.0;
+    for (int trial = 0; trial < kStreamingTrials; ++trial) {
+        double s = timedSeconds([&] {
+            for (int i = 0; i < repeats; ++i) {
+                replay(trace, ew);
+                if (!checker.check(ew).ok())
+                    std::exit(1); // Unreachable; keeps it observable.
+            }
+        });
+        if (res.posthocSeconds < 0.0 || s < res.posthocSeconds)
+            res.posthocSeconds = s;
+        s = timedSeconds([&] {
+            for (int i = 0; i < repeats; ++i) {
+                streamReplay(trace, sew, sc);
+                if (!checker.checkStreamed(sew, sc).ok())
+                    std::exit(1); // Unreachable; keeps it observable.
+            }
+        });
+        if (res.streamingSeconds < 0.0 || s < res.streamingSeconds)
+            res.streamingSeconds = s;
+    }
+    return res;
+}
+
+/**
+ * Violation cell: the streaming side records only until the violating
+ * event throws (the simulation early stop) and renders the early-stop
+ * verdict; the post-hoc side must record the whole trace and run the
+ * full analysis before it can notice anything.
+ */
+StreamingPair
+runStreamingViolation(const Scenario &shape, int repeats)
+{
+    Rng rng(shape.seed);
+    const std::vector<RecordOp> corrupt =
+        corruptTrace(generateTrace(shape, rng));
+
+    const mc::Checker checker(mc::makeTso());
+    mc::StreamingChecker sc(mc::modelProfile("tso"));
+    sc.setThrowOnViolation(true);
+
+    StreamingPair res;
+    res.scenario = &shape;
+    res.repeats = repeats;
+
+    mc::ExecWitness ew;
+    replay(corrupt, ew); // Warmup + sanity.
+    if (checker.check(ew).ok()) {
+        std::fprintf(stderr,
+                     "corrupted trace '%s' unexpectedly checks Ok\n",
+                     shape.name);
+        std::exit(1);
+    }
+    res.events = ew.numEvents();
+
+    mc::ExecWitness sew;
+    sew.setEventSink(&sc);
+    if (!streamReplay(corrupt, sew, sc) ||
+        sc.earlyStopResult(sew).ok()) {
+        std::fprintf(stderr,
+                     "streaming checker missed the '%s' violation\n",
+                     shape.name);
+        std::exit(2);
+    }
+    res.detectionEvents = sc.eventsUntilDetection();
+
+    // Interleaved best-of-N trials (same rationale as the consistent
+    // cell: keep CPU noise out of the reported ratio).
+    res.posthocSeconds = -1.0;
+    res.streamingSeconds = -1.0;
+    for (int trial = 0; trial < kStreamingTrials; ++trial) {
+        double s = timedSeconds([&] {
+            for (int i = 0; i < repeats; ++i) {
+                replay(corrupt, ew);
+                if (checker.check(ew).ok())
+                    std::exit(1); // Unreachable; keeps it observable.
+            }
+        });
+        if (res.posthocSeconds < 0.0 || s < res.posthocSeconds)
+            res.posthocSeconds = s;
+        s = timedSeconds([&] {
+            for (int i = 0; i < repeats; ++i) {
+                if (!streamReplay(corrupt, sew, sc) ||
+                    sc.earlyStopResult(sew).ok()) {
+                    std::exit(1); // Unreachable; keeps it observable.
+                }
+            }
+        });
+        if (res.streamingSeconds < 0.0 || s < res.streamingSeconds)
+            res.streamingSeconds = s;
+    }
+    return res;
+}
+
+/**
+ * Verdict-divergence gate: for every scenario shape, stream the clean
+ * and the corrupted trace under every registered model and require the
+ * streaming pipeline's verdict byte-identical to post-hoc checking,
+ * with the online detection flag agreeing with the verdict. Returns
+ * the number of (trace x model) comparisons; any divergence aborts
+ * with exit code 2.
+ */
+int
+streamingDivergenceGate(const Scenario *shapes, std::size_t count)
+{
+    int checked = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+        Rng rng(shapes[s].seed);
+        const std::vector<RecordOp> clean =
+            generateTrace(shapes[s], rng);
+        const std::vector<RecordOp> corrupt = corruptTrace(clean);
+        for (const std::string &model : mc::modelNames()) {
+            const mc::Checker checker(mc::makeModel(model));
+            mc::StreamingChecker sc(mc::modelProfile(model));
+            mc::ExecWitness pew;
+            mc::ExecWitness sew;
+            sew.setEventSink(&sc);
+            for (const std::vector<RecordOp> *trace :
+                 {&clean, &corrupt}) {
+                replay(*trace, pew);
+                const mc::CheckResult want = checker.check(pew);
+                streamReplay(*trace, sew, sc);
+                if (sc.violationDetected() == want.ok()) {
+                    std::fprintf(stderr,
+                                 "streaming detection flag diverges "
+                                 "from post-hoc verdict ('%s', %s)\n",
+                                 shapes[s].name, model.c_str());
+                    std::exit(2);
+                }
+                requireIdentical(want, checker.checkStreamed(sew, sc),
+                                 s, model.c_str());
+                ++checked;
+            }
+        }
+    }
+    return checked;
+}
+
 std::string
 toJson(const std::vector<ScenarioResult> &results,
-       const RepeatedSeedResult &rs)
+       const RepeatedSeedResult &rs,
+       const std::vector<StreamingPair> &consistent,
+       const std::vector<StreamingPair> &violation, int gate_checks)
 {
     char buf[512];
     std::string json = "{\n  \"bench\": \"checker_throughput\",\n"
-                       "  \"schema\": 2,\n  \"scenarios\": [\n";
+                       "  \"schema\": 3,\n  \"scenarios\": [\n";
     int total_repeats = 0;
     double total_seconds = 0.0;
     double total_events = 0.0;
@@ -395,13 +737,66 @@ toJson(const std::vector<ScenarioResult> &results,
         "    \"distinctInterleavings\": %llu, \"hitRate\": %.4f,\n"
         "    \"uncached\": {\"seconds\": %.6f, \"testsPerSec\": %.1f},\n"
         "    \"cached\": {\"seconds\": %.6f, \"testsPerSec\": %.1f},\n"
-        "    \"speedupTestsPerSec\": %.2f}\n}\n",
+        "    \"speedupTestsPerSec\": %.2f},\n",
         rs.traces, rs.cycles, rs.repeats, rs.events,
         static_cast<unsigned long long>(rs.distinct), rs.hitRate,
         rs.uncachedSeconds, rs.testsPerSec(rs.uncachedSeconds),
         rs.cachedSeconds, rs.testsPerSec(rs.cachedSeconds),
         rs.speedup());
     json += buf;
+
+    json += "  \"streaming\": {\n    \"models\": [";
+    const std::vector<std::string> &models = mc::modelNames();
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        json += i > 0 ? ", \"" : "\"";
+        json += models[i];
+        json += "\"";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "],\n    \"divergenceChecks\": %d, "
+                  "\"divergence\": 0,\n    \"consistent\": [\n",
+                  gate_checks);
+    json += buf;
+    for (std::size_t i = 0; i < consistent.size(); ++i) {
+        const StreamingPair &p = consistent[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "      {\"name\": \"%s\", \"events\": %zu, "
+            "\"repeats\": %d,\n"
+            "        \"posthoc\": {\"seconds\": %.6f, "
+            "\"testsPerSec\": %.1f, \"usPerEvent\": %.4f},\n"
+            "        \"streaming\": {\"seconds\": %.6f, "
+            "\"testsPerSec\": %.1f, \"usPerEvent\": %.4f},\n"
+            "        \"slowdown\": %.2f}%s\n",
+            p.scenario->name, p.events, p.repeats, p.posthocSeconds,
+            p.testsPerSec(p.posthocSeconds),
+            p.usPerEvent(p.posthocSeconds), p.streamingSeconds,
+            p.testsPerSec(p.streamingSeconds),
+            p.usPerEvent(p.streamingSeconds), p.slowdown(),
+            i + 1 < consistent.size() ? "," : "");
+        json += buf;
+    }
+    json += "    ],\n    \"violation\": [\n";
+    for (std::size_t i = 0; i < violation.size(); ++i) {
+        const StreamingPair &p = violation[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "      {\"name\": \"%s\", \"events\": %zu, "
+            "\"detectionEvents\": %llu, \"repeats\": %d,\n"
+            "        \"posthoc\": {\"seconds\": %.6f, "
+            "\"testsPerSec\": %.1f},\n"
+            "        \"streaming\": {\"seconds\": %.6f, "
+            "\"testsPerSec\": %.1f},\n"
+            "        \"speedupTestsPerSec\": %.2f}%s\n",
+            p.scenario->name, p.events,
+            static_cast<unsigned long long>(p.detectionEvents),
+            p.repeats, p.posthocSeconds,
+            p.testsPerSec(p.posthocSeconds), p.streamingSeconds,
+            p.testsPerSec(p.streamingSeconds), p.speedup(),
+            i + 1 < violation.size() ? "," : "");
+        json += buf;
+    }
+    json += "    ]\n  }\n}\n";
     return json;
 }
 
@@ -447,6 +842,56 @@ main()
                 rs.hitRate,
                 static_cast<unsigned long long>(rs.distinct));
 
+    // Streaming vs post-hoc (schema 3). The 32k shape stresses the
+    // incremental graphs well past the paper's test sizes.
+    const Scenario streaming_shapes[] = {
+        {"small-256", 2, 64, 8, 101},
+        {"paper-1k", 4, 250, 16, 202},
+        {"large-8k", 8, 1024, 32, 303},
+        {"large-32k", 8, 4096, 64, 505},
+    };
+    const int streaming_repeats[] = {4000, 1200, 120, 32};
+
+    const int gate_checks = streamingDivergenceGate(
+        streaming_shapes, std::size(streaming_shapes));
+    std::printf("streaming  divergence gate: %d verdict pairs "
+                "byte-identical across {%s}\n",
+                gate_checks, mc::modelNamesJoined().c_str());
+
+    std::vector<StreamingPair> consistent;
+    std::vector<StreamingPair> violation;
+    for (std::size_t i = 0; i < std::size(streaming_shapes); ++i) {
+        // Timed cells cover the paper-sized shape and up; the ~150
+        // event shape is dominated by per-stream fixed costs on both
+        // sides (and, for violation cells, leaves no trace to skip),
+        // so its timings measure constant factors rather than checking
+        // throughput. The divergence gate above still exercises it
+        // under every model.
+        if (streaming_shapes[i].opsPerThread < 250)
+            continue;
+        const int repeats = std::max(
+            1, static_cast<int>(streaming_repeats[i] * scale));
+        consistent.push_back(
+            runStreamingConsistent(streaming_shapes[i], repeats));
+        const StreamingPair &c = consistent.back();
+        std::printf("stream-ok  %-10s %zu events  %6d repeats  "
+                    "posthoc %8.1f tests/s  streaming %8.1f tests/s  "
+                    "slowdown %4.2fx\n",
+                    c.scenario->name, c.events, c.repeats,
+                    c.testsPerSec(c.posthocSeconds),
+                    c.testsPerSec(c.streamingSeconds), c.slowdown());
+        violation.push_back(
+            runStreamingViolation(streaming_shapes[i], repeats));
+        const StreamingPair &v = violation.back();
+        std::printf("stream-bug %-10s %zu events  detect@%llu  "
+                    "posthoc %8.1f tests/s  streaming %8.1f tests/s  "
+                    "speedup %4.2fx\n",
+                    v.scenario->name, v.events,
+                    static_cast<unsigned long long>(v.detectionEvents),
+                    v.testsPerSec(v.posthocSeconds),
+                    v.testsPerSec(v.streamingSeconds), v.speedup());
+    }
+
     const char *path = std::getenv("MCVERSI_BENCH_JSON");
     const std::string out = path ? path : "BENCH_checker.json";
     // Refuse to clobber the curated baseline-vs-current comparison
@@ -465,7 +910,7 @@ main()
         }
     }
     std::ofstream file(out, std::ios::binary);
-    file << toJson(results, rs);
+    file << toJson(results, rs, consistent, violation, gate_checks);
     if (!file) {
         std::fprintf(stderr, "failed to write %s\n", out.c_str());
         return 1;

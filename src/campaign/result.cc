@@ -8,6 +8,16 @@ namespace mcversi::campaign {
 
 namespace {
 
+/**
+ * Mean checking cost per committed event, in microseconds. NaN (-> JSON
+ * null / empty CSV field) when no events executed at all.
+ */
+double
+checkUsPerEvent(const host::HarnessResult &h)
+{
+    return h.checkSeconds / static_cast<double>(h.eventsExecuted) * 1e6;
+}
+
 /** Shortest deterministic decimal form for identical finite doubles. */
 std::string
 fmtDouble(double v)
@@ -98,6 +108,7 @@ appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
         << ",\"litmus_iterations\":" << spec.litmusIterations
         << ",\"record_ndt\":" << (spec.recordNdt ? "true" : "false")
         << ",\"check_cache\":" << spec.checkCache
+        << ",\"check_mode\":\"" << jsonEscape(spec.checkMode) << "\""
         << "}";
 }
 
@@ -166,6 +177,8 @@ CampaignSummary::toJson(bool include_timing) const
             << ",\"check_cache_misses\":" << r.harness.checkCacheMisses
             << ",\"check_cache_hit_rate\":"
             << jsonDouble(r.harness.checkCacheHitRate())
+            << ",\"events_until_detection\":"
+            << r.harness.eventsUntilDetection
             << ",\"fitness_trajectory\":[";
         for (std::size_t t = 0; t < r.harness.fitnessTrajectory.size();
              ++t) {
@@ -182,6 +195,8 @@ CampaignSummary::toJson(bool include_timing) const
                 << jsonDouble(r.harness.wallSecondsToBug)
                 << ",\"check_seconds\":"
                 << jsonDouble(r.harness.checkSeconds)
+                << ",\"check_us_per_event\":"
+                << jsonDouble(checkUsPerEvent(r.harness))
                 << ",\"tests_per_sec\":"
                 << jsonDouble(r.harness.testsPerSec());
         }
@@ -205,15 +220,16 @@ CampaignSummary::toCsv(bool include_timing) const
            "mem_size,"
            "stride,guest_threads,population,islands,migration,batch,"
            "max_runs,max_seconds,litmus_iterations,record_ndt,"
-           "check_cache,"
+           "check_cache,check_mode,"
            "bug_found,test_runs,test_runs_to_bug,sim_ticks,"
            "events_executed,sim_events,messages_sent,total_coverage,"
            "protocol_coverage,mean_fitness,distinct_interleavings,"
            "check_cache_hits,check_cache_misses,check_cache_hit_rate,"
+           "events_until_detection,"
            "error";
     if (include_timing) {
         out << ",wall_seconds,wall_seconds_to_bug,check_seconds,"
-               "tests_per_sec";
+               "check_us_per_event,tests_per_sec";
     }
     out << "\n";
     for (const CampaignResult &r : results) {
@@ -236,6 +252,7 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.spec.litmusIterations << ","
             << (r.spec.recordNdt ? 1 : 0) << ","
             << r.spec.checkCache << ","
+            << csvField(r.spec.checkMode) << ","
             << (r.harness.bugFound ? 1 : 0) << ","
             << r.harness.testRuns << ","
             << r.harness.testRunsToBug << ","
@@ -250,11 +267,13 @@ CampaignSummary::toCsv(bool include_timing) const
             << r.harness.checkCacheHits << ","
             << r.harness.checkCacheMisses << ","
             << csvDouble(r.harness.checkCacheHitRate()) << ","
+            << r.harness.eventsUntilDetection << ","
             << csvField(r.error);
         if (include_timing) {
             out << "," << csvDouble(r.harness.wallSeconds)
                 << "," << csvDouble(r.harness.wallSecondsToBug)
                 << "," << csvDouble(r.harness.checkSeconds)
+                << "," << csvDouble(checkUsPerEvent(r.harness))
                 << "," << csvDouble(r.harness.testsPerSec());
         }
         out << "\n";

@@ -29,6 +29,7 @@ CampaignRunner::runOne(const CampaignSpec &spec, int eval_threads,
             params.system = spec.systemConfig();
             params.iterationsPerRun = spec.litmusIterations;
             params.model = spec.model;
+            params.checkMode = mc::parseCheckMode(spec.checkMode);
             litmus::LitmusRunner runner(
                 params, litmus::suiteForModel(spec.model));
             result.harness = runner.run(budget);

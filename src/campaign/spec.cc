@@ -173,6 +173,11 @@ CampaignSpec::set(const std::string &key, const std::string &value)
                          ? 0
                          : static_cast<std::size_t>(
                                parseSize(key, value));
+    } else if (k == "check-mode") {
+        const std::string v = asciiLowered(value);
+        if (v != "posthoc" && v != "streaming")
+            badValue(key, value, "expected posthoc or streaming");
+        checkMode = v;
     } else {
         throw std::invalid_argument("campaign spec: unknown key '" + key +
                                     "'");
@@ -220,7 +225,8 @@ CampaignSpec::toString() const
         << " max-seconds=" << maxWallSeconds
         << " litmus-iterations=" << litmusIterations
         << " record-ndt=" << (recordNdt ? 1 : 0)
-        << " check-cache=" << checkCache;
+        << " check-cache=" << checkCache
+        << " check-mode=" << checkMode;
     return out.str();
 }
 
@@ -289,6 +295,12 @@ CampaignSpec::validate() const
         throw std::invalid_argument(
             "campaign spec: check-cache capped at 4M entries per "
             "checker");
+    }
+    // Directly-assigned check-mode strings bypass set().
+    if (checkMode != "posthoc" && checkMode != "streaming") {
+        throw std::invalid_argument(
+            "campaign spec: check-mode must be posthoc or streaming "
+            "(got '" + checkMode + "')");
     }
 }
 
@@ -367,6 +379,7 @@ CampaignSpec::harnessParams() const
     params.system = systemConfig();
     params.gen = genParams();
     params.workload.iterations = iterations;
+    params.workload.checkMode = mc::parseCheckMode(checkMode);
     params.model = model;
     params.recordNdt = recordNdt;
     params.checkCacheEntries = checkCache;

@@ -85,6 +85,14 @@ struct CampaignSpec
      */
     std::size_t checkCache = 4096;
 
+    /**
+     * Checking mode ("check-mode=posthoc|streaming"). Streaming
+     * maintains the constraint graphs incrementally as events are
+     * recorded and stops the simulation at the violating event; see
+     * memconsistency/streaming_checker.hh.
+     */
+    std::string checkMode = "posthoc";
+
     bool operator==(const CampaignSpec &) const = default;
 
     /**

@@ -75,6 +75,7 @@ VerificationHarness::run(const Budget &budget)
             result.bugFound = true;
             result.detail = run.describe();
             result.testRunsToBug = result.testRuns;
+            result.eventsUntilDetection = run.eventsUntilDetection;
             result.wallSecondsToBug = elapsed();
             break;
         }

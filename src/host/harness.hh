@@ -57,6 +57,11 @@ struct HarnessResult
     std::string detail;
     std::uint64_t testRuns = 0;
     std::uint64_t testRunsToBug = 0;
+    /**
+     * Streaming check mode: events the checker had consumed when the
+     * bug-triggering violation was detected (0 post-hoc or bug-free).
+     */
+    std::uint64_t eventsUntilDetection = 0;
     double wallSeconds = 0.0;
     double wallSecondsToBug = 0.0;
     double checkSeconds = 0.0;

@@ -148,6 +148,7 @@ ParallelHarness::evaluateLane(std::size_t lane)
         SlotOutcome &outcome = batchOutcome_[b];
         outcome.bug = run.bugDetected();
         outcome.detail = outcome.bug ? run.describe() : std::string();
+        outcome.eventsUntilDetection = run.eventsUntilDetection;
         outcome.ndt = run.nd.ndt;
         outcome.checkSeconds = run.checkSeconds;
         outcome.simTicks = run.simTicks;
@@ -247,6 +248,7 @@ ParallelHarness::run(const Budget &budget)
                 result.bugFound = true;
                 result.detail = outcome.detail;
                 result.testRunsToBug = result.testRuns;
+                result.eventsUntilDetection = outcome.eventsUntilDetection;
                 result.wallSecondsToBug = elapsed();
             }
         }

@@ -102,6 +102,8 @@ class ParallelHarness
     {
         bool bug = false;
         std::string detail;
+        /** Streaming-mode detection latency of a bug slot (events). */
+        std::uint64_t eventsUntilDetection = 0;
         double ndt = 0.0;
         double checkSeconds = 0.0;
         std::uint64_t simTicks = 0;

@@ -1,7 +1,9 @@
 #include "host/workload.hh"
 
 #include <chrono>
+#include <stdexcept>
 
+#include "memconsistency/models/engine.hh"
 #include "sim/fault.hh"
 
 namespace mcversi::host {
@@ -53,6 +55,34 @@ Workload::Workload(sim::System &system, mc::Checker &checker,
       params_(params)
 {
     services_.markTestMemRange(layout);
+    syncStreamingChecker();
+}
+
+void
+Workload::setParams(Params p)
+{
+    params_ = p;
+    syncStreamingChecker();
+}
+
+void
+Workload::syncStreamingChecker()
+{
+    if (params_.checkMode != mc::CheckMode::Streaming) {
+        streaming_.reset();
+        return;
+    }
+    if (streaming_ != nullptr)
+        return;
+    const auto *model =
+        dynamic_cast<const mc::ProfileModel *>(&checker_.arch());
+    if (model == nullptr) {
+        throw std::invalid_argument(
+            "check-mode=streaming requires a profile-interpreted model "
+            "(ProfileModel); model '" +
+            checker_.arch().name() + "' is not one");
+    }
+    streaming_ = std::make_unique<mc::StreamingChecker>(model->profile());
 }
 
 std::vector<sim::Program>
@@ -155,10 +185,18 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
     const std::uint64_t distinct0 =
         verdict_cache != nullptr ? verdict_cache->stats().distinct : 0;
 
+    system_.witness().setEventSink(streaming_ != nullptr
+                                       ? streaming_.get()
+                                       : nullptr);
+
     for (int iter = 0; iter < params_.iterations; ++iter) {
         // reset_test_mem: initial values + cache flush.
         services_.resetTestMem();
         system_.witness().reset();
+        if (streaming_ != nullptr) {
+            streaming_->begin();
+            streaming_->setThrowOnViolation(true);
+        }
 
         if (params_.guestOverhead > 0) {
             // Guest-side setup (software barrier arrival, test-memory
@@ -182,6 +220,26 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
             result.violationIteration = iter;
             result.iterationsRun = iter + 1;
             break;
+        } catch (const mc::StreamingViolation &) {
+            // Early stop: the streaming checker flagged the violating
+            // event mid-simulation. Drop the in-flight simulation
+            // state; the witness prefix cannot be finalized (store-
+            // forwarded reads may still await their producing writes),
+            // so the verdict is rendered from the streaming graphs.
+            system_.eventQueue().clearPending();
+            system_.resetProtocolState();
+            result.eventsExecuted += system_.witness().numEvents();
+            result.eventsUntilDetection =
+                streaming_->eventsUntilDetection();
+            const auto c0 = std::chrono::steady_clock::now();
+            mc::CheckResult check =
+                streaming_->earlyStopResult(system_.witness());
+            result.checkSeconds += secondsSince(c0);
+            result.violation = true;
+            result.checkResult = std::move(check);
+            result.violationIteration = iter;
+            result.iterationsRun = iter + 1;
+            break;
         } catch (const std::runtime_error &) {
             // Livelock watchdog: the event cap fired (replay storms
             // can self-sustain under extreme conflict). Abandon this
@@ -201,7 +259,11 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
         // execution.
         if (params_.checkEveryIteration) {
             const auto c0 = std::chrono::steady_clock::now();
-            mc::CheckResult check = checker_.check(system_.witness());
+            mc::CheckResult check =
+                streaming_ != nullptr
+                    ? checker_.checkStreamed(system_.witness(),
+                                             *streaming_)
+                    : checker_.check(system_.witness());
             result.checkSeconds += secondsSince(c0);
             if (!check.ok()) {
                 result.violation = true;
@@ -221,6 +283,10 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
         accumulateNd(system_.witness(), slotScratch_);
         result.iterationsRun = iter + 1;
     }
+
+    // Detach the sink: the witness outlives this run and must not call
+    // into per-run streaming state from elsewhere.
+    system_.witness().setEventSink(nullptr);
 
     result.simTicks = system_.eventQueue().now() - ticks0;
     result.simEvents = system_.eventQueue().processed() - kernel_events0;

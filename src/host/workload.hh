@@ -15,6 +15,7 @@
 #define MCVERSI_HOST_WORKLOAD_HH
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "gp/test.hh"
 #include "host/interface.hh"
 #include "memconsistency/checker.hh"
+#include "memconsistency/streaming_checker.hh"
 #include "sim/system.hh"
 
 namespace mcversi::host {
@@ -39,6 +41,12 @@ struct RunResult
     /** A litmus-style forbidden condition was observed. */
     bool conditionHit = false;
     int violationIteration = -1;
+    /**
+     * Streaming mode only: recorded events the checker had consumed
+     * when the violation was detected (detection latency in events);
+     * 0 when no violation was stream-detected.
+     */
+    std::uint64_t eventsUntilDetection = 0;
 
     gp::NdInfo nd{};
     std::vector<std::uint32_t> coveredTransitions;
@@ -104,6 +112,13 @@ class Workload
         Tick guestOverhead = 0;
         /** Run the axiomatic checker after every iteration. */
         bool checkEveryIteration = true;
+        /**
+         * Post-hoc (default) or streaming checking. Streaming consumes
+         * events as the simulation records them, stops the iteration
+         * at the violating event, and requires a profile-interpreted
+         * model (ProfileModel).
+         */
+        mc::CheckMode checkMode = mc::CheckMode::Posthoc;
     };
 
     Workload(sim::System &system, mc::Checker &checker,
@@ -120,7 +135,7 @@ class Workload
 
     HostServices &services() { return services_; }
     const Params &params() const { return params_; }
-    void setParams(Params p) { params_ = p; }
+    void setParams(Params p);
 
     /**
      * Translate one test into per-thread programs (code emission).
@@ -139,6 +154,9 @@ class Workload
     void accumulateNd(const mc::ExecWitness &witness,
                       const gp::ThreadSlots &slots);
 
+    /** (Re)build streaming_ to match params_.checkMode. */
+    void syncStreamingChecker();
+
     sim::System &system_;
     mc::Checker &checker_;
     HostServices services_;
@@ -146,6 +164,8 @@ class Workload
     gp::NdAccumulator nd_;
     /** Per-run thread-slot scratch, capacity reused across runs. */
     gp::ThreadSlots slotScratch_;
+    /** Online checker, present iff params_.checkMode is Streaming. */
+    std::unique_ptr<mc::StreamingChecker> streaming_;
 };
 
 } // namespace mcversi::host

@@ -25,6 +25,7 @@ LitmusRunner::LitmusRunner(Params params, std::vector<LitmusTest> suite)
     host::Workload::Params wl;
     wl.iterations = params_.iterationsPerRun;
     wl.checkEveryIteration = false; // Self-checking only.
+    wl.checkMode = params_.checkMode;
     workload_ = std::make_unique<host::Workload>(
         *system_, *checker_,
         host::TestMemLayout(mem_size, params_.addrStride), wl);
@@ -76,6 +77,7 @@ LitmusRunner::run(const host::Budget &budget)
             result.bugFound = true;
             result.detail = test.name + ": " + run.describe();
             result.testRunsToBug = result.testRuns;
+            result.eventsUntilDetection = run.eventsUntilDetection;
             result.wallSecondsToBug = elapsed();
             break;
         }

@@ -49,6 +49,14 @@ class LitmusRunner
          * suiteForModel() of the same name.
          */
         std::string model = "tso";
+        /**
+         * Posthoc keeps pure litmus methodology (self-checking only;
+         * the axiomatic checker is never consulted). Streaming arms
+         * the online checker as an opt-in addition: the simulation
+         * stops at the exact violating event even when the forbidden
+         * final condition would not have fired.
+         */
+        mc::CheckMode checkMode = mc::CheckMode::Posthoc;
     };
 
     LitmusRunner(Params params, std::vector<LitmusTest> suite);

@@ -1,8 +1,33 @@
 #include "memconsistency/checker.hh"
 
+#include <cassert>
 #include <sstream>
+#include <stdexcept>
+
+#include "memconsistency/streaming_checker.hh"
 
 namespace mcversi::mc {
+
+const char *
+checkModeName(CheckMode mode)
+{
+    switch (mode) {
+      case CheckMode::Posthoc: return "posthoc";
+      case CheckMode::Streaming: return "streaming";
+    }
+    return "?";
+}
+
+CheckMode
+parseCheckMode(const std::string &name)
+{
+    if (name == "posthoc")
+        return CheckMode::Posthoc;
+    if (name == "streaming")
+        return CheckMode::Streaming;
+    throw std::invalid_argument("unknown check mode: '" + name +
+                                "' (expected posthoc|streaming)");
+}
 
 const char *
 CheckResult::kindName(Kind k)
@@ -79,6 +104,77 @@ Checker::check(ExecWitness &ew) const
     }
 
     const CheckResult res = fullCheck(ew);
+    if (cache_ != nullptr)
+        cache_->insert(sig, static_cast<std::uint8_t>(res.kind));
+    return res;
+}
+
+CheckResult
+Checker::checkStreamed(ExecWitness &ew, const StreamingChecker &sc) const
+{
+    // Fast path: the stream consumed every recorded event, resolved
+    // every conflict order online, and closed no cycle -- which proves
+    // the finalized witness would be anomaly-free and pass the batch
+    // analysis. finalize() and the full check are skipped entirely;
+    // this is where streaming mode earns its keep on clean executions.
+    if (!sc.violationDetected() && sc.streamComplete() &&
+        !ew.finalized() && sc.eventsConsumed() == ew.numEvents()) {
+#ifndef NDEBUG
+        // Cross-check the completeness claim against the batch
+        // pipeline (Debug builds only).
+        ew.finalize();
+        assert(ew.anomaly() == WitnessAnomaly::None &&
+               "clean complete stream disagrees with witness anomaly");
+        assert(fullCheck(ew).ok() &&
+               "streaming checker missed a violation");
+#endif
+        if (cache_ != nullptr) {
+            // The canonical signature hashes resolved conflict orders,
+            // so the cache still costs a finalize().
+            ew.finalize();
+            const WitnessSignature sig = signatureScratch_.compute(ew);
+            std::uint8_t verdict = 0;
+            if (!cache_->lookup(sig, verdict)) {
+                cache_->insert(sig, static_cast<std::uint8_t>(
+                                        CheckResult::Kind::Ok));
+            }
+        }
+        return {};
+    }
+
+    ew.finalize();
+    if (ew.anomaly() != WitnessAnomaly::None) {
+        CheckResult res;
+        res.kind = CheckResult::Kind::WitnessAnomaly;
+        res.message = ew.anomalyInfo();
+        return res;
+    }
+
+    WitnessSignature sig;
+    if (cache_ != nullptr) {
+        sig = signatureScratch_.compute(ew);
+        std::uint8_t verdict = 0;
+        if (cache_->lookup(sig, verdict) &&
+            static_cast<CheckResult::Kind>(verdict) ==
+                CheckResult::Kind::Ok) {
+            return {};
+        }
+    }
+
+    CheckResult res;
+    if (sc.violationDetected()) {
+        // Re-derive the verdict post-hoc so the diagnostics (message,
+        // cycle event ids) are byte-identical to check(). Violations
+        // are the rare path, so this costs nothing in the steady state.
+        res = fullCheck(ew);
+    } else {
+#ifndef NDEBUG
+        // A clean stream must mean a clean witness; cross-check the
+        // incremental edge strategies against the batch analysis.
+        assert(fullCheck(ew).ok() &&
+               "streaming checker missed a violation");
+#endif
+    }
     if (cache_ != nullptr)
         cache_->insert(sig, static_cast<std::uint8_t>(res.kind));
     return res;

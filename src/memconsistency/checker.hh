@@ -41,6 +41,25 @@
 
 namespace mcversi::mc {
 
+class StreamingChecker;
+
+/**
+ * When a harness checks each candidate execution: post-hoc on the
+ * finalized witness (the default), or streaming -- incrementally as
+ * events are recorded, stopping the simulation at the violating event
+ * (see streaming_checker.hh).
+ */
+enum class CheckMode : std::uint8_t {
+    Posthoc,
+    Streaming,
+};
+
+/** Canonical lower-case name, e.g. "posthoc". */
+const char *checkModeName(CheckMode mode);
+
+/** Parse a canonical name; throws std::invalid_argument. */
+CheckMode parseCheckMode(const std::string &name);
+
 /** Verdict of checking one candidate execution. */
 struct CheckResult
 {
@@ -82,6 +101,19 @@ class Checker
      * Finalizes the witness (resolves conflict orders) if needed.
      */
     CheckResult check(ExecWitness &ew) const;
+
+    /**
+     * Settle a fully-streamed witness: like check(), but the cycle
+     * analysis is skipped when the streaming checker saw a clean
+     * stream (the incremental graphs already proved acyclicity). A
+     * dirty stream falls back to the full analysis so diagnostics are
+     * byte-identical to post-hoc checking. @p sc must have consumed
+     * every recorded event of @p ew under this checker's model;
+     * anomaly handling and the verdict cache behave exactly as in
+     * check().
+     */
+    CheckResult checkStreamed(ExecWitness &ew,
+                              const StreamingChecker &sc) const;
 
     /**
      * Enable collective checking: memoize verdicts per witness

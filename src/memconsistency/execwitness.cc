@@ -141,6 +141,8 @@ ExecWitness::recordRead(Pid pid, std::int32_t poi, Addr addr,
     const EventId id = addEvent(ev);
     if (rmw)
         pendingRmwReads_.emplace_back(Iiid{pid, poi}, id);
+    if (sink_)
+        sink_->onRecord(*this, id, kInitVal);
     return id;
 }
 
@@ -171,6 +173,8 @@ ExecWitness::recordWrite(Pid pid, std::int32_t poi, Addr addr,
             pendingRmwReads_.erase(it);
         }
     }
+    if (sink_)
+        sink_->onRecord(*this, id, overwritten);
     return id;
 }
 

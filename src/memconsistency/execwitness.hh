@@ -49,6 +49,28 @@ enum class WitnessAnomaly : std::uint8_t {
 /** Dense identifier of a distinct address within one ExecWitness. */
 using AddrId = std::int32_t;
 
+class ExecWitness;
+
+/**
+ * Observer of the recording path: invoked once per recorded event,
+ * immediately after the event is appended (streaming checkers consume
+ * the execution as it happens instead of waiting for finalize()).
+ * Init events are created during finalize() and never reach the sink.
+ */
+class WitnessEventSink
+{
+  public:
+    virtual ~WitnessEventSink() = default;
+
+    /**
+     * @param ew          the witness the event was recorded into
+     * @param id          id of the freshly recorded event
+     * @param overwritten value the write replaced (kInitVal for reads)
+     */
+    virtual void onRecord(const ExecWitness &ew, EventId id,
+                          WriteVal overwritten) = 0;
+};
+
 /** One candidate execution: events plus observed po / rf / co. */
 class ExecWitness
 {
@@ -174,6 +196,23 @@ class ExecWitness
     }
 
     /**
+     * Recorded (write event, overwritten value) pairs, one per
+     * recordWrite() in record order (streaming replay).
+     */
+    const std::vector<std::pair<EventId, WriteVal>> &overwrites() const
+    {
+        return overwrittenBy_;
+    }
+
+    /**
+     * Attach an observer of the recording path (nullptr to detach).
+     * Deliberately NOT cleared by reset(): the sink outlives
+     * iterations; callers re-arm its per-stream state instead.
+     */
+    void setEventSink(WitnessEventSink *sink) { sink_ = sink; }
+    WitnessEventSink *eventSink() const { return sink_; }
+
+    /**
      * Clear all recorded state (events and conflict orders), keeping
      * every buffer's capacity for the next iteration.
      */
@@ -229,6 +268,8 @@ class ExecWitness
     WitnessAnomaly anomaly_ = WitnessAnomaly::None;
     std::string anomalyInfo_;
     mutable int frMaterializations_ = 0;
+    /** Recording observer; survives reset() (see setEventSink()). */
+    WitnessEventSink *sink_ = nullptr;
 
     static const std::vector<EventId> emptyThread_;
 };

@@ -1,0 +1,122 @@
+#include "memconsistency/incremental.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcversi::mc {
+
+void
+IncrementalGraph::reset()
+{
+    // Stale adjacency lists are NOT cleared here: addNode()'s reuse
+    // branch clears each list right before handing the node out again,
+    // so reset() stays O(1) no matter how large the last graph was.
+    numNodes_ = 0;
+    ord_.clear();
+    poisoned_ = false;
+    cycle_.clear();
+}
+
+bool
+IncrementalGraph::addEdgeSlow(Node from, Node to)
+{
+    if (from == to) {
+        poisoned_ = true;
+        cycle_.assign(1, from);
+        return false;
+    }
+    // The inline fast path already appended the edge to adj_/radj_.
+    if (!reorder(from, to)) {
+        poisoned_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+IncrementalGraph::reorder(Node u, Node v)
+{
+    const std::int32_t lb = ord_[static_cast<std::size_t>(v)];
+    const std::int32_t ub = ord_[static_cast<std::size_t>(u)];
+    ++gen_;
+
+    // Forward pass: descendants of v within the affected region
+    // (ord <= ord[u]). In a valid pre-insertion order every ancestor
+    // of u sits below ord[u], so if any path v => u exists the pass
+    // finds it -- reaching u means the new edge closes a cycle.
+    fwd_.clear();
+    stack_.clear();
+    fwdStamp_[static_cast<std::size_t>(v)] = gen_;
+    stack_.push_back(v);
+    while (!stack_.empty()) {
+        const Node n = stack_.back();
+        stack_.pop_back();
+        fwd_.push_back(n);
+        for (const Node s : adj_[static_cast<std::size_t>(n)]) {
+            if (ord_[static_cast<std::size_t>(s)] > ub ||
+                marked(fwdStamp_, s)) {
+                continue;
+            }
+            parent_[static_cast<std::size_t>(s)] = n;
+            if (s == u) {
+                // Cycle: v -> ... -> u plus the inserted edge u -> v.
+                cycle_.clear();
+                for (Node c = u; c != v;
+                     c = parent_[static_cast<std::size_t>(c)]) {
+                    cycle_.push_back(c);
+                }
+                cycle_.push_back(v);
+                std::reverse(cycle_.begin(), cycle_.end());
+                return false;
+            }
+            fwdStamp_[static_cast<std::size_t>(s)] = gen_;
+            stack_.push_back(s);
+        }
+    }
+
+    // Backward pass: ancestors of u within the region (ord >= ord[v]).
+    bwd_.clear();
+    stack_.clear();
+    bwdStamp_[static_cast<std::size_t>(u)] = gen_;
+    stack_.push_back(u);
+    while (!stack_.empty()) {
+        const Node n = stack_.back();
+        stack_.pop_back();
+        bwd_.push_back(n);
+        for (const Node p : radj_[static_cast<std::size_t>(n)]) {
+            if (ord_[static_cast<std::size_t>(p)] < lb ||
+                marked(bwdStamp_, p)) {
+                continue;
+            }
+            bwdStamp_[static_cast<std::size_t>(p)] = gen_;
+            stack_.push_back(p);
+        }
+    }
+
+    // Redistribute: the ancestors of u (in order), then the
+    // descendants of v (in order), onto the sorted union of the
+    // vacated indices. The two sets are disjoint (an overlap would be
+    // a v => x => u path, caught above).
+    auto by_ord = [this](Node a, Node b) {
+        return ord_[static_cast<std::size_t>(a)] <
+               ord_[static_cast<std::size_t>(b)];
+    };
+    std::sort(bwd_.begin(), bwd_.end(), by_ord);
+    std::sort(fwd_.begin(), fwd_.end(), by_ord);
+
+    idxScratch_.clear();
+    for (const Node n : bwd_)
+        idxScratch_.push_back(ord_[static_cast<std::size_t>(n)]);
+    for (const Node n : fwd_)
+        idxScratch_.push_back(ord_[static_cast<std::size_t>(n)]);
+    std::sort(idxScratch_.begin(), idxScratch_.end());
+
+    std::size_t i = 0;
+    for (const Node n : bwd_)
+        ord_[static_cast<std::size_t>(n)] = idxScratch_[i++];
+    for (const Node n : fwd_)
+        ord_[static_cast<std::size_t>(n)] = idxScratch_[i++];
+    return true;
+}
+
+} // namespace mcversi::mc

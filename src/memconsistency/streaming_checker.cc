@@ -1,0 +1,740 @@
+#include "memconsistency/streaming_checker.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mcversi::mc {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed open-addressing probe. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+template <typename E>
+std::size_t
+insertSorted(std::vector<E> &v, const E &el)
+{
+    // Events overwhelmingly arrive in per-thread program order, so the
+    // append case is the hot path.
+    if (v.empty() || v.back() < el) {
+        v.push_back(el);
+        return v.size() - 1;
+    }
+    const auto it = std::upper_bound(v.begin(), v.end(), el);
+    const auto pos = static_cast<std::size_t>(it - v.begin());
+    v.insert(it, el);
+    return pos;
+}
+
+template <typename E>
+std::size_t
+firstAtLeast(const std::vector<E> &v, const E &el)
+{
+    // In-order streams search mostly past the end of the list.
+    if (v.empty() || v.back() < el)
+        return v.size();
+    return static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), el) - v.begin());
+}
+
+template <typename E>
+std::size_t
+firstAbove(const std::vector<E> &v, const E &el)
+{
+    if (v.empty() || !(el < v.back()))
+        return v.size();
+    return static_cast<std::size_t>(
+        std::upper_bound(v.begin(), v.end(), el) - v.begin());
+}
+
+} // namespace
+
+// -- StampedMap -------------------------------------------------------
+
+std::int32_t &
+StreamingChecker::StampedMap::findOrInsert(std::uint64_t key)
+{
+    if (slots_.empty() || (live_ + 1) * 4 > slots_.size() * 3)
+        grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (true) {
+        Slot &s = slots_[i];
+        if (s.gen != gen_) {
+            s.gen = gen_;
+            s.key = key;
+            s.val = -1;
+            ++live_;
+            return s.val;
+        }
+        if (s.key == key)
+            return s.val;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+StreamingChecker::StampedMap::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot &s : old) {
+        if (s.gen != gen_)
+            continue;
+        std::size_t i = static_cast<std::size_t>(mix64(s.key)) & mask;
+        while (slots_[i].gen == gen_)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+    }
+}
+
+// -- lifecycle --------------------------------------------------------
+
+StreamingChecker::StreamingChecker(ModelProfile profile)
+    : profile_(std::move(profile))
+{
+    profile_.validate();
+    chainRR_ = profile_.orderRR;
+    chainWW_ = profile_.orderWW;
+    orderRW_ = profile_.orderRW;
+    orderWR_ = profile_.orderWR;
+    full_ = profile_.rmwFence == RmwSemantics::Full;
+    acqrel_ = profile_.rmwFence == RmwSemantics::AcquireRelease;
+    pairEdge_ = !orderRW_ && !acqrel_;
+    rfiGlobal_ = profile_.rfiGlobal;
+}
+
+void
+StreamingChecker::ThreadState::clear()
+{
+    reads.clear();
+    writes.clear();
+    fences.clear();
+    acqs.clear();
+    rels.clear();
+    pendingRmw.clear();
+    chainAt.clear();
+    touched = false;
+}
+
+void
+StreamingChecker::begin()
+{
+    uniproc_.reset();
+    ghb_.reset();
+    nodes_.clear();
+    valueMap_.clear();
+    valueInfoCount_ = 0;
+    initNode_.clear();
+    for (const Pid pid : touchedPids_)
+        threads_[static_cast<std::size_t>(pid)].clear();
+    touchedPids_.clear();
+    chainCount_ = 0;
+    eventsConsumed_ = 0;
+    detectionEvents_ = 0;
+    pending_ = 0;
+    violationKind_ = CheckResult::Kind::Ok;
+    violA_ = violB_ = violC_ = kNoNode;
+}
+
+// -- node space -------------------------------------------------------
+
+StreamingChecker::Node
+StreamingChecker::newNode(EventId ev, Pid pid, Addr aux)
+{
+    const Node n = uniproc_.addNode();
+    const Node g = ghb_.addNode();
+    assert(n == g && "graphs share one node space");
+    (void)g;
+    nodes_.push_back(NodeMeta{ev, pid, aux, kNoNode, kNoNode, kNoNode,
+                              kNoNode, kNoNode, kNoNode, kNoNode,
+                              kNoNode, kNoNode});
+    return n;
+}
+
+StreamingChecker::Node
+StreamingChecker::initNodeOf(AddrId aid, Addr addr)
+{
+    const auto a = static_cast<std::size_t>(aid);
+    if (a >= initNode_.size())
+        initNode_.resize(a + 1, kNoNode);
+    Node &n = initNode_[a];
+    if (n == kNoNode)
+        n = newNode(kNoEvent, kInitPid, addr);
+    return n;
+}
+
+StreamingChecker::ThreadState &
+StreamingChecker::threadOf(Pid pid)
+{
+    const auto idx = static_cast<std::size_t>(pid);
+    if (idx >= threads_.size())
+        threads_.resize(idx + 1);
+    ThreadState &t = threads_[idx];
+    if (!t.touched) {
+        t.touched = true;
+        touchedPids_.push_back(pid);
+    }
+    return t;
+}
+
+// -- event ingestion --------------------------------------------------
+
+void
+StreamingChecker::onRecord(const ExecWitness &ew, EventId id,
+                           WriteVal overwritten)
+{
+    if (violationKind_ != CheckResult::Kind::Ok)
+        return;
+    ++eventsConsumed_;
+    try {
+        ingest(ew, id, overwritten);
+    } catch (const Detected &) {
+        detectionEvents_ = eventsConsumed_;
+        if (throwOnViolation_)
+            throw StreamingViolation{};
+    }
+}
+
+void
+StreamingChecker::ingest(const ExecWitness &ew, EventId id,
+                         WriteVal overwritten)
+{
+    const Event &e = ew.event(id);
+    const Pid pid = e.iiid.pid;
+    const Node n = newNode(id, pid, kNoAddr);
+    // The witness interned the address at record time; reuse its
+    // dense id instead of probing a second map.
+    const AddrId aid = ew.addrId(id);
+    const Elem el{e.iiid.poi,
+                  static_cast<std::uint8_t>(e.isRead() ? 1 : 2), n};
+    ThreadState &t = threadOf(pid);
+    insertPoLoc(t, aid, el);
+    if (e.isRead()) {
+        if (e.rmw && full_) {
+            insertFence(
+                t, Elem{e.iiid.poi, 0, newNode(kNoEvent, pid, kNoAddr)});
+        }
+        insertRead(t, el, e.rmw);
+        resolveRead(n, e.value, aid, e.addr);
+    } else {
+        insertWrite(t, el, e.rmw);
+        if (e.rmw && full_) {
+            insertFence(
+                t, Elem{e.iiid.poi, 3, newNode(kNoEvent, pid, kNoAddr)});
+        }
+        registerWrite(n, e.value, overwritten, aid, e.addr);
+    }
+}
+
+void
+StreamingChecker::insertPoLoc(ThreadState &t, AddrId aid, Elem el)
+{
+    const auto a = static_cast<std::size_t>(aid);
+    if (a >= t.chainAt.size())
+        t.chainAt.resize(a + 1, -1);
+    std::int32_t &slot = t.chainAt[a];
+    if (slot < 0) {
+        slot = static_cast<std::int32_t>(chainCount_);
+        if (chainCount_ < chains_.size())
+            chains_[chainCount_].clear();
+        else
+            chains_.emplace_back();
+        ++chainCount_;
+    }
+    std::vector<Elem> &chain = chains_[static_cast<std::size_t>(slot)];
+    const std::size_t pos = insertSorted(chain, el);
+    if (pos > 0)
+        edgeU(chain[pos - 1].node, el.node);
+    if (pos + 1 < chain.size())
+        edgeU(el.node, chain[pos + 1].node);
+}
+
+void
+StreamingChecker::insertRead(ThreadState &t, Elem el, bool rmw)
+{
+    const Node n = el.node;
+    const std::size_t pos = insertSorted(t.reads, el);
+    if (chainRR_) {
+        if (pos > 0)
+            edgeG(t.reads[pos - 1].node, n);
+        if (pos + 1 < t.reads.size())
+            edgeG(n, t.reads[pos + 1].node);
+    }
+    if (orderRW_) {
+        if (chainWW_) {
+            // Writes chain: one edge to the nearest following write
+            // reaches every later write transitively.
+            const std::size_t wi = firstAtLeast(t.writes, el);
+            if (wi < t.writes.size())
+                edgeG(n, t.writes[wi].node);
+        } else {
+            // Writes don't chain (PSO): this read must reach every
+            // write up to the next read; later reads cover the rest.
+            const bool hasNext = pos + 1 < t.reads.size();
+            const Elem hi = hasNext ? t.reads[pos + 1] : Elem{};
+            for (std::size_t wi = firstAtLeast(t.writes, el);
+                 wi < t.writes.size() && (!hasNext || t.writes[wi] < hi);
+                 ++wi) {
+                edgeG(n, t.writes[wi].node);
+            }
+        }
+    }
+    if (orderWR_) {
+        if (chainRR_) {
+            // Reads chain: collect the writes since the previous read
+            // (each must reach this read directly).
+            std::size_t wi =
+                pos > 0 ? firstAbove(t.writes, t.reads[pos - 1]) : 0;
+            for (; wi < t.writes.size() && t.writes[wi] < el; ++wi)
+                edgeG(t.writes[wi].node, n);
+        } else {
+            // Writes chain (validate() guarantees one side does): the
+            // nearest preceding write covers all earlier ones.
+            const std::size_t wi = firstAtLeast(t.writes, el);
+            if (wi > 0)
+                edgeG(t.writes[wi - 1].node, n);
+        }
+    }
+    if (full_ && !t.fences.empty()) {
+        const std::size_t fi = firstAtLeast(t.fences, el);
+        if (fi > 0)
+            edgeG(t.fences[fi - 1].node, n);
+        if (fi < t.fences.size())
+            edgeG(n, t.fences[fi].node);
+    }
+    if (acqrel_) {
+        const std::size_t ai = firstAtLeast(t.acqs, el);
+        if (ai > 0)
+            edgeG(t.acqs[ai - 1].node, n);
+        const std::size_t ri = firstAtLeast(t.rels, el);
+        if (ri < t.rels.size())
+            edgeG(n, t.rels[ri].node);
+    }
+    if (rmw) {
+        t.pendingRmw.emplace_back(el.poi, n);
+        if (acqrel_) {
+            // Acquire: ordered before every later access up to and
+            // including the next acquire (whose own edges chain on).
+            const std::size_t na = firstAtLeast(t.acqs, el);
+            const bool hasNext = na < t.acqs.size();
+            const Elem hi = hasNext ? t.acqs[na] : Elem{};
+            for (std::size_t i = firstAbove(t.reads, el);
+                 i < t.reads.size() && (!hasNext || !(hi < t.reads[i]));
+                 ++i) {
+                edgeG(n, t.reads[i].node);
+            }
+            for (std::size_t i = firstAbove(t.writes, el);
+                 i < t.writes.size() && (!hasNext || !(hi < t.writes[i]));
+                 ++i) {
+                edgeG(n, t.writes[i].node);
+            }
+            insertSorted(t.acqs, el);
+        }
+    }
+}
+
+void
+StreamingChecker::insertWrite(ThreadState &t, Elem el, bool rmw)
+{
+    const Node n = el.node;
+    const std::size_t pos = insertSorted(t.writes, el);
+    if (chainWW_) {
+        if (pos > 0)
+            edgeG(t.writes[pos - 1].node, n);
+        if (pos + 1 < t.writes.size())
+            edgeG(n, t.writes[pos + 1].node);
+    }
+    if (orderRW_) {
+        if (chainWW_) {
+            // Writes chain: collect the reads since the previous write.
+            std::size_t ri =
+                pos > 0 ? firstAbove(t.reads, t.writes[pos - 1]) : 0;
+            for (; ri < t.reads.size() && t.reads[ri] < el; ++ri)
+                edgeG(t.reads[ri].node, n);
+        } else {
+            // Reads chain (PSO): the nearest preceding read covers all
+            // earlier ones.
+            const std::size_t ri = firstAtLeast(t.reads, el);
+            if (ri > 0)
+                edgeG(t.reads[ri - 1].node, n);
+        }
+    }
+    if (orderWR_) {
+        if (chainRR_) {
+            // Reads chain: one edge to the nearest following read.
+            const std::size_t ri = firstAtLeast(t.reads, el);
+            if (ri < t.reads.size())
+                edgeG(n, t.reads[ri].node);
+        } else {
+            // Writes chain: reach every read up to the next write.
+            const bool hasNext = pos + 1 < t.writes.size();
+            const Elem hi = hasNext ? t.writes[pos + 1] : Elem{};
+            for (std::size_t ri = firstAtLeast(t.reads, el);
+                 ri < t.reads.size() && (!hasNext || t.reads[ri] < hi);
+                 ++ri) {
+                edgeG(n, t.reads[ri].node);
+            }
+        }
+    }
+    if (full_ && !t.fences.empty()) {
+        const std::size_t fi = firstAtLeast(t.fences, el);
+        if (fi > 0)
+            edgeG(t.fences[fi - 1].node, n);
+        if (fi < t.fences.size())
+            edgeG(n, t.fences[fi].node);
+    }
+    if (acqrel_) {
+        const std::size_t ai = firstAtLeast(t.acqs, el);
+        if (ai > 0)
+            edgeG(t.acqs[ai - 1].node, n);
+        const std::size_t ri = firstAtLeast(t.rels, el);
+        if (ri < t.rels.size())
+            edgeG(n, t.rels[ri].node);
+    }
+    if (rmw) {
+        for (std::size_t i = 0; i < t.pendingRmw.size(); ++i) {
+            if (t.pendingRmw[i].first != el.poi)
+                continue;
+            const Node r = t.pendingRmw[i].second;
+            nodes_[static_cast<std::size_t>(n)].pairRead = r;
+            nodes_[static_cast<std::size_t>(r)].pairWrite = n;
+            t.pendingRmw.erase(t.pendingRmw.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            if (pairEdge_)
+                edgeG(r, n);
+            break;
+        }
+        if (acqrel_) {
+            // Release: ordered after every access since (and
+            // including) the previous release.
+            const std::size_t pr = firstAtLeast(t.rels, el);
+            const bool hasPrev = pr > 0;
+            const Elem lo = hasPrev ? t.rels[pr - 1] : Elem{};
+            for (std::size_t i = hasPrev ? firstAtLeast(t.reads, lo) : 0;
+                 i < t.reads.size() && t.reads[i] < el; ++i) {
+                edgeG(t.reads[i].node, n);
+            }
+            for (std::size_t i = hasPrev ? firstAtLeast(t.writes, lo) : 0;
+                 i < t.writes.size() && t.writes[i] < el; ++i) {
+                edgeG(t.writes[i].node, n);
+            }
+            insertSorted(t.rels, el);
+        }
+    }
+}
+
+void
+StreamingChecker::insertFence(ThreadState &t, Elem el)
+{
+    const Node n = el.node;
+    const std::size_t pos = insertSorted(t.fences, el);
+    if (pos > 0)
+        edgeG(t.fences[pos - 1].node, n);
+    if (pos + 1 < t.fences.size())
+        edgeG(n, t.fences[pos + 1].node);
+    const bool hasPrev = pos > 0;
+    const bool hasNext = pos + 1 < t.fences.size();
+    const Elem lo = hasPrev ? t.fences[pos - 1] : Elem{};
+    const Elem hi = hasNext ? t.fences[pos + 1] : Elem{};
+
+    // Upstream: the chain tail alone when the class chains, else every
+    // access since the previous fence. Downstream is the mirror image.
+    const auto upstream = [&](const std::vector<Elem> &v, bool chained) {
+        if (chained) {
+            const std::size_t i = firstAtLeast(v, el);
+            if (i > 0)
+                edgeG(v[i - 1].node, n);
+            return;
+        }
+        for (std::size_t i = hasPrev ? firstAbove(v, lo) : 0;
+             i < v.size() && v[i] < el; ++i) {
+            edgeG(v[i].node, n);
+        }
+    };
+    const auto downstream = [&](const std::vector<Elem> &v, bool chained) {
+        if (chained) {
+            const std::size_t i = firstAbove(v, el);
+            if (i < v.size())
+                edgeG(n, v[i].node);
+            return;
+        }
+        for (std::size_t i = firstAbove(v, el);
+             i < v.size() && (!hasNext || v[i] < hi); ++i) {
+            edgeG(n, v[i].node);
+        }
+    };
+    upstream(t.reads, chainRR_);
+    upstream(t.writes, chainWW_);
+    downstream(t.reads, chainRR_);
+    downstream(t.writes, chainWW_);
+}
+
+// -- online conflict orders -------------------------------------------
+
+std::int32_t
+StreamingChecker::valueInfoIdx(WriteVal v)
+{
+    std::int32_t &slot = valueMap_.findOrInsert(v);
+    if (slot < 0) {
+        slot = static_cast<std::int32_t>(valueInfoCount_);
+        if (valueInfoCount_ < valueInfo_.size())
+            valueInfo_[valueInfoCount_] = ValueInfo{};
+        else
+            valueInfo_.emplace_back();
+        ++valueInfoCount_;
+    }
+    return slot;
+}
+
+void
+StreamingChecker::resolveRead(Node r, WriteVal v, AddrId aid, Addr addr)
+{
+    if (v == kInitVal) {
+        bindRf(r, initNodeOf(aid, addr));
+        return;
+    }
+    const auto vi = static_cast<std::size_t>(valueInfoIdx(v));
+    if (valueInfo_[vi].writer != kNoNode) {
+        bindRf(r, valueInfo_[vi].writer);
+    } else {
+        // Store forwarding: the producing write has not serialized yet.
+        nodes_[static_cast<std::size_t>(r)].pendingReadNext =
+            valueInfo_[vi].pendingReadsHead;
+        valueInfo_[vi].pendingReadsHead = r;
+        ++pending_;
+    }
+}
+
+void
+StreamingChecker::registerWrite(Node w, WriteVal v, WriteVal overwritten,
+                                AddrId aid, Addr addr)
+{
+    if (overwritten == kInitVal) {
+        bindCo(initNodeOf(aid, addr), w);
+    } else {
+        const auto oi = static_cast<std::size_t>(valueInfoIdx(overwritten));
+        if (valueInfo_[oi].writer != kNoNode) {
+            bindCo(valueInfo_[oi].writer, w);
+        } else {
+            nodes_[static_cast<std::size_t>(w)].pendingCoNext =
+                valueInfo_[oi].pendingCoHead;
+            valueInfo_[oi].pendingCoHead = w;
+            ++pending_;
+        }
+    }
+    // Writes of kInitVal never resolve a read or a co predecessor
+    // (those resolve to the init event), so they publish nothing.
+    if (v == kInitVal)
+        return;
+    const auto vi = static_cast<std::size_t>(valueInfoIdx(v));
+    if (valueInfo_[vi].writer != kNoNode) {
+        // Duplicate write value: post-hoc resolution picks the smallest
+        // event id, which is the first-registered node here.
+        return;
+    }
+    valueInfo_[vi].writer = w;
+    Node r = valueInfo_[vi].pendingReadsHead;
+    valueInfo_[vi].pendingReadsHead = kNoNode;
+    while (r != kNoNode) {
+        const Node next =
+            nodes_[static_cast<std::size_t>(r)].pendingReadNext;
+        --pending_;
+        bindRf(r, w);
+        r = next;
+    }
+    Node c = valueInfo_[vi].pendingCoHead;
+    valueInfo_[vi].pendingCoHead = kNoNode;
+    while (c != kNoNode) {
+        const Node next =
+            nodes_[static_cast<std::size_t>(c)].pendingCoNext;
+        --pending_;
+        bindCo(w, c);
+        c = next;
+    }
+}
+
+void
+StreamingChecker::bindRf(Node r, Node w)
+{
+    NodeMeta &rm = nodes_[static_cast<std::size_t>(r)];
+    NodeMeta &wm = nodes_[static_cast<std::size_t>(w)];
+    rm.rfSrc = w;
+    edgeU(w, r);
+    if (rfiGlobal_ || wm.pid == kInitPid || wm.pid != rm.pid)
+        edgeG(w, r);
+    const Node succ = wm.coSucc;
+    if (succ != kNoNode) {
+        // fr: the read precedes its source's co-successor.
+        edgeU(r, succ);
+        edgeG(r, succ);
+    } else {
+        rm.readerNext = wm.readersHead;
+        wm.readersHead = r;
+    }
+    const Node pw = rm.pairWrite;
+    if (pw != kNoNode)
+        checkPairAtomicity(r, pw);
+}
+
+void
+StreamingChecker::bindCo(Node prev, Node w)
+{
+    NodeMeta &pm = nodes_[static_cast<std::size_t>(prev)];
+    if (pm.coSucc != kNoNode) {
+        violA_ = w;
+        violB_ = pm.coSucc;
+        violC_ = prev;
+        fail(CheckResult::Kind::WitnessAnomaly);
+    }
+    nodes_[static_cast<std::size_t>(w)].coPred = prev;
+    pm.coSucc = w;
+    edgeU(prev, w);
+    edgeG(prev, w);
+    // The co successor just arrived: flush the fr edges of every read
+    // bound to prev.
+    Node r = pm.readersHead;
+    pm.readersHead = kNoNode;
+    while (r != kNoNode) {
+        const Node next = nodes_[static_cast<std::size_t>(r)].readerNext;
+        edgeU(r, w);
+        edgeG(r, w);
+        r = next;
+    }
+    const Node pr = nodes_[static_cast<std::size_t>(w)].pairRead;
+    if (pr != kNoNode)
+        checkPairAtomicity(pr, w);
+}
+
+void
+StreamingChecker::checkPairAtomicity(Node r, Node w)
+{
+    const Node src = nodes_[static_cast<std::size_t>(r)].rfSrc;
+    const Node pred = nodes_[static_cast<std::size_t>(w)].coPred;
+    if (src == kNoNode || pred == kNoNode)
+        return;
+    if (pred != src) {
+        violA_ = r;
+        violB_ = src;
+        violC_ = w;
+        fail(CheckResult::Kind::AtomicityViolation);
+    }
+}
+
+// -- edge insertion / violation recording -----------------------------
+
+void
+StreamingChecker::edgeU(Node from, Node to)
+{
+    if (!uniproc_.addEdge(from, to))
+        fail(CheckResult::Kind::UniprocViolation);
+}
+
+void
+StreamingChecker::edgeG(Node from, Node to)
+{
+    if (!ghb_.addEdge(from, to))
+        fail(CheckResult::Kind::GhbViolation);
+}
+
+void
+StreamingChecker::fail(CheckResult::Kind kind)
+{
+    violationKind_ = kind;
+    throw Detected{};
+}
+
+// -- replay / rendering -----------------------------------------------
+
+void
+StreamingChecker::replayRecorded(const ExecWitness &ew)
+{
+    begin();
+    const auto &ows = ew.overwrites();
+    std::size_t oi = 0;
+    for (EventId id = 0; id < static_cast<EventId>(ew.numEvents()); ++id) {
+        const Event &e = ew.event(id);
+        if (e.isInit())
+            continue;
+        WriteVal overwritten = kInitVal;
+        if (e.isWrite()) {
+            // overwrittenBy_ gets one entry per recorded write, in
+            // record order, so a sequential walk matches exactly.
+            assert(oi < ows.size() && ows[oi].first == id);
+            overwritten = ows[oi].second;
+            ++oi;
+        }
+        onRecord(ew, id, overwritten);
+        if (violationDetected())
+            return;
+    }
+}
+
+CheckResult
+StreamingChecker::earlyStopResult(const ExecWitness &ew) const
+{
+    CheckResult res;
+    res.kind = violationKind_;
+    switch (violationKind_) {
+    case CheckResult::Kind::Ok:
+        break;
+    case CheckResult::Kind::UniprocViolation:
+    case CheckResult::Kind::GhbViolation: {
+        const bool uni =
+            violationKind_ == CheckResult::Kind::UniprocViolation;
+        const IncrementalGraph &g = uni ? uniproc_ : ghb_;
+        res.message = uni ? std::string("sc-per-location")
+                          : "ghb(" + profile_.name + ")";
+        res.message += " cycle:";
+        for (const Node n : g.lastCycle()) {
+            res.message += "\n  " + nodeString(ew, n);
+            const EventId id = nodes_[static_cast<std::size_t>(n)].event;
+            if (id != kNoEvent)
+                res.cycle.push_back(id);
+        }
+        break;
+    }
+    case CheckResult::Kind::AtomicityViolation:
+        res.message = "rmw atomicity violated: read " +
+                      nodeString(ew, violA_) + " sourced from " +
+                      nodeString(ew, violB_) + " but write " +
+                      nodeString(ew, violC_) +
+                      " does not immediately co-follow it";
+        break;
+    case CheckResult::Kind::WitnessAnomaly:
+        res.message = "co fork: " + nodeString(ew, violA_) + " and " +
+                      nodeString(ew, violB_) + " both overwrite " +
+                      nodeString(ew, violC_);
+        break;
+    }
+    return res;
+}
+
+std::string
+StreamingChecker::nodeString(const ExecWitness &ew, Node n) const
+{
+    const NodeMeta &m = nodes_[static_cast<std::size_t>(n)];
+    if (m.event != kNoEvent)
+        return ew.event(m.event).toString();
+    const Addr addr = m.aux;
+    if (addr != kNoAddr) {
+        Event init;
+        init.iiid = Iiid{kInitPid, -1};
+        init.type = EventType::Write;
+        init.addr = addr;
+        init.value = kInitVal;
+        return init.toString();
+    }
+    return "<fence>";
+}
+
+} // namespace mcversi::mc

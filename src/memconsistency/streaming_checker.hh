@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Streaming (incremental) consistency checking.
+ *
+ * The post-hoc Checker re-derives fr and rebuilds both constraint
+ * graphs from scratch for every finalized witness, and a violation
+ * injected early in a test-run is only caught after the whole run has
+ * been simulated and recorded. The StreamingChecker instead consumes
+ * events *as the simulation commits them* (via the ExecWitness event
+ * sink) and maintains both constraint graphs online:
+ *
+ *  - the sc-per-location graph (po-loc | rf | co | fr) over per
+ *    (thread, address) chains,
+ *  - the ghb graph (ppo | fences | rf[e] | co | fr) via per-order
+ *    incremental edge strategies closure-equivalent to the batch
+ *    ProfileModel engine, for any validated ModelProfile
+ *    (SC/TSO/PSO/RMO/RC),
+ *
+ * with Pearce-Kelly dynamic topological ordering (incremental.hh)
+ * detecting a cycle at the exact edge insertion -- and therefore the
+ * exact event -- that closes it. rf is resolved online from write
+ * values (store-forwarded reads can arrive before their producing
+ * write: such reads pend on the value and resolve when the write
+ * serializes), co from overwritten values, and fr edges are emitted as
+ * soon as an rf source gains a co-successor. RMW atomicity and co
+ * forks are likewise checked at resolution time.
+ *
+ * Detection semantics: violationDetected() flips at the first event
+ * whose constraints close a cycle (or violate atomicity /
+ * well-formedness); eventsUntilDetection() reports how many recorded
+ * events the checker had consumed at that point. In throw-on-violation
+ * mode the sink throws StreamingViolation out of the recording call so
+ * the simulation stops at the violating access instead of running the
+ * iteration to quiescence.
+ *
+ * Verdict parity: Checker::checkStreamed() composes this object with
+ * the post-hoc pipeline -- witness anomalies and the model-salted
+ * verdict cache behave exactly as in Checker::check(), a clean stream
+ * short-circuits the full cycle analysis, and a dirty stream falls
+ * back to the full analysis so diagnostics stay byte-identical to
+ * post-hoc checking. earlyStopResult() renders the streaming-native
+ * verdict for stopped-early (un-finalizable) witness prefixes.
+ *
+ * All state is capacity-preserving and generation-stamped: begin() is
+ * O(touched state) and steady-state iterations allocate nothing.
+ */
+
+#ifndef MCVERSI_MEMCONSISTENCY_STREAMING_CHECKER_HH
+#define MCVERSI_MEMCONSISTENCY_STREAMING_CHECKER_HH
+
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "memconsistency/checker.hh"
+#include "memconsistency/execwitness.hh"
+#include "memconsistency/incremental.hh"
+#include "memconsistency/models/profile.hh"
+
+namespace mcversi::mc {
+
+/**
+ * Thrown by the event sink (in throw-on-violation mode) to stop the
+ * simulation at the violating event. Deliberately NOT derived from
+ * std::runtime_error: the workload's livelock watchdog catches
+ * runtime_error and must not swallow a detected violation.
+ */
+class StreamingViolation : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "streaming checker: consistency violation detected";
+    }
+};
+
+/** Online checker maintaining the constraint graphs incrementally. */
+class StreamingChecker final : public WitnessEventSink
+{
+  public:
+    /** @p profile is validated (throws std::invalid_argument). */
+    explicit StreamingChecker(ModelProfile profile);
+
+    /** Start a new stream (new witness); keeps all capacity. */
+    void begin();
+
+    /**
+     * Throw StreamingViolation out of onRecord() when a violation is
+     * detected (simulation early stop). Off by default: replay/bench
+     * callers poll violationDetected() instead.
+     */
+    void setThrowOnViolation(bool enable) { throwOnViolation_ = enable; }
+
+    /** WitnessEventSink: consume one recorded event. */
+    void onRecord(const ExecWitness &ew, EventId id,
+                  WriteVal overwritten) override;
+
+    /**
+     * Feed an already-recorded witness through the sink in record
+     * order, init events excluded (tests and benches). Stops consuming
+     * at the first detected violation. Calls begin() first.
+     */
+    void replayRecorded(const ExecWitness &ew);
+
+    bool
+    violationDetected() const
+    {
+        return violationKind_ != CheckResult::Kind::Ok;
+    }
+
+    CheckResult::Kind violationKind() const { return violationKind_; }
+
+    /** Recorded events consumed so far (stops counting at detection). */
+    std::uint64_t eventsConsumed() const { return eventsConsumed_; }
+
+    /**
+     * True when every consumed read value and overwritten value has
+     * resolved to a producing write (or init). A clean *and* complete
+     * stream (every recorded event consumed) proves the finalized
+     * witness would be anomaly-free and pass the batch analysis, so
+     * Checker::checkStreamed() skips finalize() and the full check
+     * entirely on that path.
+     */
+    bool streamComplete() const { return pending_ == 0; }
+
+    /**
+     * Recorded events the checker had consumed when the violation was
+     * detected (detection latency in events); 0 if none detected.
+     */
+    std::uint64_t eventsUntilDetection() const { return detectionEvents_; }
+
+    /**
+     * Render the detected violation of a stopped-early stream. Unlike
+     * post-hoc diagnostics this works on an un-finalized witness (a
+     * stopped prefix cannot be finalized: store-forwarded reads may
+     * still await their producing writes). Requires violationDetected().
+     */
+    CheckResult earlyStopResult(const ExecWitness &ew) const;
+
+    const ModelProfile &profile() const { return profile_; }
+
+  private:
+    using Node = IncrementalGraph::Node;
+    static constexpr Node kNoNode = -1;
+
+    /** Internal control-flow sentinel: a violation was recorded. */
+    struct Detected
+    {
+    };
+
+    /**
+     * Open-addressing u64 -> int32 map with O(1) generation-stamped
+     * clear; capacity only ever grows. Values are dense indices the
+     * caller assigns (fresh entries start at -1).
+     */
+    class StampedMap
+    {
+      public:
+        void
+        clear()
+        {
+            if (++gen_ == 0) {
+                // Stamp wraparound (once per 2^32 streams): stale
+                // slots could alias the restarted counter, so drop
+                // them wholesale (capacity is kept).
+                slots_.clear();
+                gen_ = 1;
+            }
+            live_ = 0;
+        }
+        std::int32_t &findOrInsert(std::uint64_t key);
+
+      private:
+        struct Slot
+        {
+            std::uint64_t key = 0;
+            std::uint32_t gen = 0;
+            std::int32_t val = -1;
+        };
+        void grow();
+        std::vector<Slot> slots_;
+        std::size_t live_ = 0;
+        std::uint32_t gen_ = 1;
+    };
+
+    /** Per-thread po element: total order (poi, slot, node). */
+    struct Elem
+    {
+        std::int32_t poi;
+        /** 0 pre-fence, 1 read part, 2 write part, 3 post-fence. */
+        std::uint8_t slot;
+        Node node;
+
+        friend auto
+        operator<=>(const Elem &a, const Elem &b)
+        {
+            if (const auto c = a.poi <=> b.poi; c != 0)
+                return c;
+            if (const auto c = a.slot <=> b.slot; c != 0)
+                return c;
+            return a.node <=> b.node;
+        }
+    };
+
+    struct ThreadState
+    {
+        std::vector<Elem> reads;
+        std::vector<Elem> writes;
+        std::vector<Elem> fences;
+        /** Acquire (RMW read) / release (RMW write) elems (acqrel). */
+        std::vector<Elem> acqs;
+        std::vector<Elem> rels;
+        /** Outstanding RMW read halves awaiting their write (poi). */
+        std::vector<std::pair<std::int32_t, Node>> pendingRmw;
+        /** Per-address po-loc chain slot (witness AddrId -> chains_). */
+        std::vector<std::int32_t> chainAt;
+        /** Registered in touchedPids_ this stream (see threadOf()). */
+        bool touched = false;
+
+        void clear();
+    };
+
+    struct ValueInfo
+    {
+        /** First write producing this value, or kNoNode. */
+        Node writer = kNoNode;
+        /** Intrusive list heads of nodes pending on the writer. */
+        Node pendingReadsHead = kNoNode;
+        Node pendingCoHead = kNoNode;
+    };
+
+    /** Per-node metadata (one record appended by newNode()). */
+    struct NodeMeta
+    {
+        EventId event;
+        Pid pid;
+        /** Address of an init node; kNoAddr for events and fences. */
+        Addr aux;
+        Node rfSrc;
+        Node coPred;
+        Node coSucc;
+        /** Reads rf-bound to this write awaiting a co-successor (fr). */
+        Node readersHead;
+        Node readerNext;
+        Node pendingReadNext;
+        Node pendingCoNext;
+        Node pairRead;
+        Node pairWrite;
+    };
+
+    // -- node space (shared by both graphs) ---------------------------
+    Node newNode(EventId ev, Pid pid, Addr aux);
+    Node initNodeOf(AddrId aid, Addr addr);
+
+    // -- event ingestion ----------------------------------------------
+    void ingest(const ExecWitness &ew, EventId id, WriteVal overwritten);
+    void insertPoLoc(ThreadState &t, AddrId aid, Elem el);
+    void insertRead(ThreadState &t, Elem el, bool rmw);
+    void insertWrite(ThreadState &t, Elem el, bool rmw);
+    void insertFence(ThreadState &t, Elem el);
+    ThreadState &threadOf(Pid pid);
+
+    // -- online conflict orders ---------------------------------------
+    std::int32_t valueInfoIdx(WriteVal v);
+    void resolveRead(Node r, WriteVal v, AddrId aid, Addr addr);
+    void registerWrite(Node w, WriteVal v, WriteVal overwritten,
+                       AddrId aid, Addr addr);
+    void bindRf(Node r, Node w);
+    void bindCo(Node prev, Node w);
+    void checkPairAtomicity(Node r, Node w);
+
+    // -- edge insertion / violation recording -------------------------
+    void edgeU(Node from, Node to);
+    void edgeG(Node from, Node to);
+    [[noreturn]] void fail(CheckResult::Kind kind);
+    std::string nodeString(const ExecWitness &ew, Node n) const;
+
+    ModelProfile profile_;
+    // Edge-strategy flags (mirrors the batch engine's derivation).
+    bool chainRR_ = false;
+    bool chainWW_ = false;
+    bool orderRW_ = false;
+    bool orderWR_ = false;
+    bool full_ = false;
+    bool acqrel_ = false;
+    bool pairEdge_ = false;
+    bool rfiGlobal_ = false;
+
+    IncrementalGraph uniproc_;
+    IncrementalGraph ghb_;
+
+    // Node metadata, appended by newNode().
+    std::vector<NodeMeta> nodes_;
+
+    // Value resolution. Addresses need no map of their own: the
+    // witness already interns them to dense AddrIds at record time.
+    StampedMap valueMap_;
+    std::vector<ValueInfo> valueInfo_;
+    std::size_t valueInfoCount_ = 0;
+    /** Init node per witness AddrId, grown on demand. */
+    std::vector<Node> initNode_;
+
+    // Per-thread program-order state.
+    std::vector<ThreadState> threads_;
+    std::vector<Pid> touchedPids_;
+
+    /** Pool of per (thread, address) po-loc chains (see chainAt). */
+    std::vector<std::vector<Elem>> chains_;
+    std::size_t chainCount_ = 0;
+
+    // Stream / violation state.
+    bool throwOnViolation_ = false;
+    std::uint64_t eventsConsumed_ = 0;
+    std::uint64_t detectionEvents_ = 0;
+    /** Unresolved pending reads + co predecessors (streamComplete()). */
+    std::uint32_t pending_ = 0;
+    CheckResult::Kind violationKind_ = CheckResult::Kind::Ok;
+    /** Nodes carrying the non-cycle diagnostics (atomicity / fork). */
+    Node violA_ = kNoNode;
+    Node violB_ = kNoNode;
+    Node violC_ = kNoNode;
+};
+
+} // namespace mcversi::mc
+
+#endif // MCVERSI_MEMCONSISTENCY_STREAMING_CHECKER_HH
