@@ -41,12 +41,25 @@
  * checkStreamed and check across all registered models; any mismatch
  * aborts with exit code 2.
  *
+ * Schema 4 adds bounded-window soak coverage. A second divergence gate
+ * re-streams every scenario (clean and corrupted) into a ring-buffer
+ * witness large enough to retain the whole stream and requires the
+ * windowed verdict byte-identical to unbounded checking. A "soak"
+ * section then streams generated-on-the-fly traces (never materialized,
+ * so the trace itself cannot dominate memory) through a fixed window:
+ * one large-8k-sized cell and one >= 1M-event soak cell, identical in
+ * everything but length. Each cell records check-µs/event, the
+ * checker's live-node high-water mark, and the process peak RSS (VmHWM)
+ * sampled after the cell -- CI gates the soak cell's peak RSS and
+ * per-event cost against the large-8k cell's (O(window) memory, flat
+ * per-event cost).
+ *
  * Output: a JSON document (schema below) written to BENCH_checker.json
  * (override with MCVERSI_BENCH_JSON). MCVERSI_BENCH_SCALE scales the
- * per-scenario repeat budget.
+ * per-scenario repeat budget (never the soak event counts).
  *
  *   {
- *     "bench": "checker_throughput", "schema": 3,
+ *     "bench": "checker_throughput", "schema": 4,
  *     "scenarios": [{"name", "threads", "opsPerThread", "addrs",
  *                    "events", "repeats", "seconds",
  *                    "testsPerSec", "checkUsPerEvent"}, ...],
@@ -57,7 +70,8 @@
  *                      "cached": {"seconds", "testsPerSec"},
  *                      "speedupTestsPerSec"},
  *     "streaming": {
- *       "models": [...], "divergenceChecks", "divergence",
+ *       "models": [...], "divergenceChecks", "windowedChecks",
+ *       "divergence",
  *       "consistent": [{"name", "events", "repeats",
  *                       "posthoc": {"seconds", "testsPerSec",
  *                                   "usPerEvent"},
@@ -67,7 +81,11 @@
  *       "violation": [{"name", "events", "detectionEvents", "repeats",
  *                      "posthoc": {"seconds", "testsPerSec"},
  *                      "streaming": {"seconds", "testsPerSec"},
- *                      "speedupTestsPerSec"}, ...]}
+ *                      "speedupTestsPerSec"}, ...]},
+ *     "soak": {"window",
+ *              "cells": [{"name", "threads", "addrs", "events",
+ *                         "passes", "seconds", "usPerEvent",
+ *                         "liveNodeHighWater", "peakRssKb"}, ...]}
  *   }
  */
 
@@ -692,15 +710,199 @@ streamingDivergenceGate(const Scenario *shapes, std::size_t count)
     return checked;
 }
 
+/**
+ * Windowed-verdict divergence gate: re-run every shape's clean and
+ * corrupted trace through a ring-buffer witness large enough to retain
+ * the whole stream and require the bounded-window verdict
+ * byte-identical to unbounded post-hoc checking under every registered
+ * model. Returns the number of (trace x model) comparisons; any
+ * divergence aborts with exit code 2.
+ */
+int
+windowedDivergenceGate(const Scenario *shapes, std::size_t count)
+{
+    int checked = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+        Rng rng(shapes[s].seed);
+        const std::vector<RecordOp> clean =
+            generateTrace(shapes[s], rng);
+        const std::vector<RecordOp> corrupt = corruptTrace(clean);
+        const std::size_t window = corrupt.size() + 64;
+        for (const std::string &model : mc::modelNames()) {
+            const mc::Checker checker(mc::makeModel(model));
+            mc::StreamingChecker sc(mc::modelProfile(model));
+            sc.setWindow(window);
+            mc::ExecWitness pew;
+            mc::ExecWitness wew;
+            wew.setWindow(window);
+            wew.setEventSink(&sc);
+            for (const std::vector<RecordOp> *trace :
+                 {&clean, &corrupt}) {
+                replay(*trace, pew);
+                const mc::CheckResult want = checker.check(pew);
+                streamReplay(*trace, wew, sc);
+                if (wew.droppedEvents() != 0) {
+                    std::fprintf(stderr,
+                                 "windowed gate ring dropped events "
+                                 "('%s', %s)\n",
+                                 shapes[s].name, model.c_str());
+                    std::exit(2);
+                }
+                requireIdentical(want, checker.checkStreamed(wew, sc),
+                                 s, model.c_str());
+                ++checked;
+            }
+        }
+    }
+    return checked;
+}
+
+// -- bounded-window soak (schema 4) -----------------------------------
+
+/**
+ * On-the-fly soak traffic: random threads issue loads of the current
+ * memory value and uniquely-valued stores over a small address pool.
+ * Nothing is materialized -- the soak cells exist to prove O(window)
+ * memory, and a precomputed million-record trace vector would dominate
+ * the peak-RSS measurement. Loads observe only current values and
+ * records arrive in per-thread program order, so a window comfortably
+ * above the address-reuse distance never drops an ordering constraint.
+ */
+class SoakSource
+{
+  public:
+    SoakSource(int threads, int addrs, std::uint64_t seed)
+        : rng_(seed), threads_(threads),
+          memory_(static_cast<std::size_t>(addrs), kInitVal),
+          nextPoi_(static_cast<std::size_t>(threads), 0)
+    {
+    }
+
+    RecordOp
+    next()
+    {
+        const Pid pid = static_cast<Pid>(
+            rng_.below(static_cast<std::uint64_t>(threads_)));
+        const auto ai =
+            static_cast<std::size_t>(rng_.below(memory_.size()));
+        const Addr addr = 64 * static_cast<Addr>(ai);
+        const std::int32_t poi =
+            nextPoi_[static_cast<std::size_t>(pid)]++;
+        if (rng_.boolWithProb(0.5))
+            return {pid, poi, addr, memory_[ai], kInitVal, false,
+                    false};
+        const WriteVal v = nextVal_++;
+        const RecordOp op{pid, poi, addr, v, memory_[ai], true, false};
+        memory_[ai] = v;
+        return op;
+    }
+
+  private:
+    Rng rng_;
+    int threads_;
+    std::vector<WriteVal> memory_;
+    std::vector<std::int32_t> nextPoi_;
+    WriteVal nextVal_ = 1;
+};
+
+struct SoakCell
+{
+    const char *name = "";
+    int threads = 0;
+    int addrs = 0;
+    std::uint64_t events = 0;
+    int passes = 0;
+    double seconds = 0.0;         ///< best pass
+    std::size_t liveHighWater = 0; ///< last pass's live-node peak
+    std::size_t peakRssKb = 0;     ///< VmHWM right after this cell
+
+    double
+    usPerEvent() const
+    {
+        return events > 0
+                   ? seconds * 1e6 / static_cast<double>(events)
+                   : 0.0;
+    }
+};
+
+/**
+ * Stream @p events generated-on-the-fly records through a bounded
+ * window and require a clean, complete, truncation-free stream (any
+ * dropped constraint or dirty verdict aborts with exit code 2 -- a
+ * soak cell that truncates is measuring the wrong thing). Each pass
+ * first streams 2 * window events with the clock stopped: the first
+ * ~window events of any stream run below the window and pay no
+ * retirement or compaction cost, which would bias a short cell cheap
+ * and break the flat-per-event comparison against the million-event
+ * cell. Keeps the best of @p passes wall-clock passes; the live-node
+ * high water and the process peak RSS are sampled after the final
+ * pass.
+ */
+SoakCell
+runSoak(const char *name, int threads, int addrs, std::uint64_t events,
+        std::size_t window, std::uint64_t seed, int passes)
+{
+    const mc::Checker checker(mc::makeTso());
+    mc::StreamingChecker sc(mc::modelProfile("tso"));
+    mc::ExecWitness ew;
+    ew.setWindow(window);
+    sc.setWindow(window);
+    ew.setEventSink(&sc);
+
+    SoakCell cell;
+    cell.name = name;
+    cell.threads = threads;
+    cell.addrs = addrs;
+    cell.events = events;
+    cell.passes = passes;
+    cell.seconds = -1.0;
+    const std::uint64_t warmup = 2 * window;
+    for (int p = 0; p < passes; ++p) {
+        SoakSource src(threads, addrs,
+                       seed + static_cast<std::uint64_t>(p));
+        const auto emit = [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const RecordOp op = src.next();
+                if (op.isWrite)
+                    ew.recordWrite(op.pid, op.poi, op.addr, op.value,
+                                   op.overwritten);
+                else
+                    ew.recordRead(op.pid, op.poi, op.addr, op.value);
+            }
+        };
+        ew.reset();
+        sc.begin();
+        emit(warmup);
+        const double s = timedSeconds([&] { emit(events); });
+        const mc::CheckResult res = checker.checkStreamed(ew, sc);
+        if (!res.ok() || sc.violationDetected() ||
+            !sc.streamComplete() || sc.windowTruncated() ||
+            sc.eventsConsumed() != warmup + events) {
+            std::fprintf(stderr,
+                         "soak cell '%s' did not stream clean through "
+                         "window %zu: %s\n",
+                         name, window, res.message.c_str());
+            std::exit(2);
+        }
+        if (cell.seconds < 0.0 || s < cell.seconds)
+            cell.seconds = s;
+    }
+    cell.liveHighWater = sc.liveNodeHighWater();
+    cell.peakRssKb = mcvbench::peakRssKb();
+    return cell;
+}
+
 std::string
 toJson(const std::vector<ScenarioResult> &results,
        const RepeatedSeedResult &rs,
        const std::vector<StreamingPair> &consistent,
-       const std::vector<StreamingPair> &violation, int gate_checks)
+       const std::vector<StreamingPair> &violation, int gate_checks,
+       int windowed_checks, const std::vector<SoakCell> &soak,
+       std::size_t soak_window)
 {
     char buf[512];
     std::string json = "{\n  \"bench\": \"checker_throughput\",\n"
-                       "  \"schema\": 3,\n  \"scenarios\": [\n";
+                       "  \"schema\": 4,\n  \"scenarios\": [\n";
     int total_repeats = 0;
     double total_seconds = 0.0;
     double total_events = 0.0;
@@ -754,8 +956,9 @@ toJson(const std::vector<ScenarioResult> &results,
     }
     std::snprintf(buf, sizeof(buf),
                   "],\n    \"divergenceChecks\": %d, "
+                  "\"windowedChecks\": %d, "
                   "\"divergence\": 0,\n    \"consistent\": [\n",
-                  gate_checks);
+                  gate_checks, windowed_checks);
     json += buf;
     for (std::size_t i = 0; i < consistent.size(); ++i) {
         const StreamingPair &p = consistent[i];
@@ -796,7 +999,26 @@ toJson(const std::vector<ScenarioResult> &results,
             i + 1 < violation.size() ? "," : "");
         json += buf;
     }
-    json += "    ]\n  }\n}\n";
+    json += "    ]\n  },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"soak\": {\"window\": %zu, \"cells\": [\n",
+                  soak_window);
+    json += buf;
+    for (std::size_t i = 0; i < soak.size(); ++i) {
+        const SoakCell &c = soak[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"name\": \"%s\", \"threads\": %d, \"addrs\": %d, "
+            "\"events\": %llu, \"passes\": %d,\n"
+            "      \"seconds\": %.6f, \"usPerEvent\": %.4f, "
+            "\"liveNodeHighWater\": %zu, \"peakRssKb\": %zu}%s\n",
+            c.name, c.threads, c.addrs,
+            static_cast<unsigned long long>(c.events), c.passes,
+            c.seconds, c.usPerEvent(), c.liveHighWater, c.peakRssKb,
+            i + 1 < soak.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]}\n}\n";
     return json;
 }
 
@@ -858,6 +1080,12 @@ main()
                 "byte-identical across {%s}\n",
                 gate_checks, mc::modelNamesJoined().c_str());
 
+    const int windowed_checks = windowedDivergenceGate(
+        streaming_shapes, std::size(streaming_shapes));
+    std::printf("streaming  windowed gate: %d bounded-window verdict "
+                "pairs byte-identical to unbounded checking\n",
+                windowed_checks);
+
     std::vector<StreamingPair> consistent;
     std::vector<StreamingPair> violation;
     for (std::size_t i = 0; i < std::size(streaming_shapes); ++i) {
@@ -892,6 +1120,27 @@ main()
                     v.testsPerSec(v.streamingSeconds), v.speedup());
     }
 
+    // Bounded-window soak: identical traffic at 8k and >= 1M events
+    // through the same window, so the two cells differ only in length.
+    // Event counts are deliberately NOT scaled by MCVERSI_BENCH_SCALE:
+    // the soak-1m floor is part of the contract CI gates on (flat
+    // per-event cost, O(window) peak memory). VmHWM is monotone over
+    // the process, so the large-8k cell is sampled first and the gate
+    // compares the soak cell's peak as a ratio of it.
+    const std::size_t kSoakWindow = 4096;
+    std::vector<SoakCell> soak;
+    soak.push_back(
+        runSoak("large-8k", 8, 64, 8192, kSoakWindow, 707, 20));
+    soak.push_back(runSoak("soak-1m", 8, 64, std::uint64_t{1} << 20,
+                           kSoakWindow, 808, 3));
+    for (const SoakCell &c : soak) {
+        std::printf("soak       %-10s %7llu events  %2d passes  "
+                    "%8.4f us/event  live-high %zu  peak-rss %zu KiB\n",
+                    c.name, static_cast<unsigned long long>(c.events),
+                    c.passes, c.usPerEvent(), c.liveHighWater,
+                    c.peakRssKb);
+    }
+
     const char *path = std::getenv("MCVERSI_BENCH_JSON");
     const std::string out = path ? path : "BENCH_checker.json";
     // Refuse to clobber the curated baseline-vs-current comparison
@@ -910,7 +1159,8 @@ main()
         }
     }
     std::ofstream file(out, std::ios::binary);
-    file << toJson(results, rs, consistent, violation, gate_checks);
+    file << toJson(results, rs, consistent, violation, gate_checks,
+                   windowed_checks, soak, kSoakWindow);
     if (!file) {
         std::fprintf(stderr, "failed to write %s\n", out.c_str());
         return 1;

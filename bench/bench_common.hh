@@ -70,6 +70,24 @@ benchThreads()
         envNumber("MCVERSI_BENCH_THREADS", 0.0));
 }
 
+/**
+ * Process peak resident set (VmHWM) in KiB from /proc/self/status, or 0
+ * where unavailable (non-Linux). Monotone over the process lifetime:
+ * sample it after each phase and compare deltas/ratios, not absolutes.
+ */
+inline std::size_t
+peakRssKb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return static_cast<std::size_t>(
+                std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+    return 0;
+}
+
 /** Generator configurations of §5.2 (Table 4 columns). */
 enum class GenConfig {
     All1K,

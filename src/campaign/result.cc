@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace mcversi::campaign {
@@ -15,6 +16,11 @@ namespace {
 double
 checkUsPerEvent(const host::HarnessResult &h)
 {
+    // Guard the division explicitly: a zero-run campaign (exhausted
+    // budget, interrupted before the first test) must render as
+    // null/empty, not as whatever inf/NaN the FP environment produces.
+    if (h.eventsExecuted == 0)
+        return std::numeric_limits<double>::quiet_NaN();
     return h.checkSeconds / static_cast<double>(h.eventsExecuted) * 1e6;
 }
 
@@ -109,6 +115,7 @@ appendSpecJson(std::ostringstream &out, const CampaignSpec &spec)
         << ",\"record_ndt\":" << (spec.recordNdt ? "true" : "false")
         << ",\"check_cache\":" << spec.checkCache
         << ",\"check_mode\":\"" << jsonEscape(spec.checkMode) << "\""
+        << ",\"witness_window\":" << spec.witnessWindow
         << "}";
 }
 
@@ -220,7 +227,7 @@ CampaignSummary::toCsv(bool include_timing) const
            "mem_size,"
            "stride,guest_threads,population,islands,migration,batch,"
            "max_runs,max_seconds,litmus_iterations,record_ndt,"
-           "check_cache,check_mode,"
+           "check_cache,check_mode,witness_window,"
            "bug_found,test_runs,test_runs_to_bug,sim_ticks,"
            "events_executed,sim_events,messages_sent,total_coverage,"
            "protocol_coverage,mean_fitness,distinct_interleavings,"
@@ -253,6 +260,7 @@ CampaignSummary::toCsv(bool include_timing) const
             << (r.spec.recordNdt ? 1 : 0) << ","
             << r.spec.checkCache << ","
             << csvField(r.spec.checkMode) << ","
+            << r.spec.witnessWindow << ","
             << (r.harness.bugFound ? 1 : 0) << ","
             << r.harness.testRuns << ","
             << r.harness.testRunsToBug << ","

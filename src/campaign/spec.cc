@@ -178,6 +178,11 @@ CampaignSpec::set(const std::string &key, const std::string &value)
         if (v != "posthoc" && v != "streaming")
             badValue(key, value, "expected posthoc or streaming");
         checkMode = v;
+    } else if (k == "witness-window") {
+        witnessWindow = asciiLowered(value) == "off"
+                            ? 0
+                            : static_cast<std::size_t>(
+                                  parseSize(key, value));
     } else {
         throw std::invalid_argument("campaign spec: unknown key '" + key +
                                     "'");
@@ -226,7 +231,8 @@ CampaignSpec::toString() const
         << " litmus-iterations=" << litmusIterations
         << " record-ndt=" << (recordNdt ? 1 : 0)
         << " check-cache=" << checkCache
-        << " check-mode=" << checkMode;
+        << " check-mode=" << checkMode
+        << " witness-window=" << witnessWindow;
     return out.str();
 }
 
@@ -301,6 +307,22 @@ CampaignSpec::validate() const
         throw std::invalid_argument(
             "campaign spec: check-mode must be posthoc or streaming "
             "(got '" + checkMode + "')");
+    }
+    if (witnessWindow != 0 && checkMode != "streaming") {
+        throw std::invalid_argument(
+            "campaign spec: witness-window requires "
+            "check-mode=streaming (post-hoc checking needs the whole "
+            "event log)");
+    }
+    if (witnessWindow != 0 && witnessWindow < 64) {
+        throw std::invalid_argument(
+            "campaign spec: witness-window below 64 events cannot hold "
+            "one iteration's in-flight accesses (use off/0 for "
+            "unbounded)");
+    }
+    if (witnessWindow > (std::size_t{1} << 26)) {
+        throw std::invalid_argument(
+            "campaign spec: witness-window capped at 64M events");
     }
 }
 
@@ -380,6 +402,7 @@ CampaignSpec::harnessParams() const
     params.gen = genParams();
     params.workload.iterations = iterations;
     params.workload.checkMode = mc::parseCheckMode(checkMode);
+    params.workload.witnessWindow = witnessWindow;
     params.model = model;
     params.recordNdt = recordNdt;
     params.checkCacheEntries = checkCache;

@@ -93,6 +93,15 @@ struct CampaignSpec
      */
     std::string checkMode = "posthoc";
 
+    /**
+     * Bounded-window streaming ("witness-window=N|Nk|off"; 0 = off):
+     * retire fully-resolved events once they fall behind the last N
+     * recorded events, keeping checker and witness memory O(window)
+     * instead of O(trace) on soak runs. Requires check-mode=streaming;
+     * see streaming_checker.hh for the truncation semantics.
+     */
+    std::size_t witnessWindow = 0;
+
     bool operator==(const CampaignSpec &) const = default;
 
     /**

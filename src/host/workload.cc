@@ -189,6 +189,19 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
                                        ? streaming_.get()
                                        : nullptr);
 
+    // Bounded-window recording (soak runs): streaming mode only, and
+    // incompatible with litmus conditions, which inspect the finalized
+    // witness every iteration. The witness must be empty before its
+    // window can change, so clear last run's leftover events first.
+    const std::size_t window =
+        streaming_ != nullptr && condition == nullptr
+            ? params_.witnessWindow
+            : 0;
+    system_.witness().reset();
+    system_.witness().setWindow(window);
+    if (streaming_ != nullptr)
+        streaming_->setWindow(window);
+
     for (int iter = 0; iter < params_.iterations; ++iter) {
         // reset_test_mem: initial values + cache flush.
         services_.resetTestMem();
@@ -253,7 +266,11 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
         }
 
         result.eventsExecuted += system_.witness().numEvents();
-        system_.witness().finalize();
+        // A windowed witness cannot finalize; checkStreamed() settles
+        // the verdict from the streaming graphs (and the retained ring
+        // when diagnostics are needed).
+        if (window == 0)
+            system_.witness().finalize();
 
         // verify_reset_conflict / verify_reset_all: check the candidate
         // execution.
@@ -280,7 +297,20 @@ Workload::runTest(const gp::Test &test, const ConditionFn &condition)
             break;
         }
 
-        accumulateNd(system_.witness(), slotScratch_);
+        // NDT accumulation walks resolved conflict orders, which a
+        // windowed witness does not have. When the ring retained the
+        // whole stream, replay and finalize into scratch so the GA's
+        // NDT fitness signal (and hence the evolution trajectory)
+        // matches unbounded mode exactly; only genuinely truncated
+        // streams lose the signal -- conflict orders through evicted
+        // events are undecidable.
+        if (window == 0) {
+            accumulateNd(system_.witness(), slotScratch_);
+        } else if (system_.witness().droppedEvents() == 0) {
+            system_.witness().replayRetainedInto(ndScratch_);
+            ndScratch_.finalize();
+            accumulateNd(ndScratch_, slotScratch_);
+        }
         result.iterationsRun = iter + 1;
     }
 

@@ -119,6 +119,16 @@ class Workload
          * model (ProfileModel).
          */
         mc::CheckMode checkMode = mc::CheckMode::Posthoc;
+        /**
+         * Bound the streaming checker's live set and the witness event
+         * log to roughly the last N events (0 = unbounded, exactly
+         * today's behavior). Makes memory O(window) instead of
+         * O(trace) for soak iterations; see streaming_checker.hh for
+         * the truncation semantics. Streaming mode only; forced to 0
+         * when a litmus condition is attached (conditions inspect the
+         * finalized witness every iteration).
+         */
+        std::size_t witnessWindow = 0;
     };
 
     Workload(sim::System &system, mc::Checker &checker,
@@ -164,6 +174,12 @@ class Workload
     gp::NdAccumulator nd_;
     /** Per-run thread-slot scratch, capacity reused across runs. */
     gp::ThreadSlots slotScratch_;
+    /**
+     * Windowed-mode NDT scratch: a fully-retained ring is replayed and
+     * finalized here so NDT accumulation (a GA fitness input) matches
+     * unbounded mode exactly. Capacity reused across runs.
+     */
+    mc::ExecWitness ndScratch_;
     /** Online checker, present iff params_.checkMode is Streaming. */
     std::unique_ptr<mc::StreamingChecker> streaming_;
 };

@@ -26,6 +26,7 @@ LitmusRunner::LitmusRunner(Params params, std::vector<LitmusTest> suite)
     wl.iterations = params_.iterationsPerRun;
     wl.checkEveryIteration = false; // Self-checking only.
     wl.checkMode = params_.checkMode;
+    wl.witnessWindow = params_.witnessWindow;
     workload_ = std::make_unique<host::Workload>(
         *system_, *checker_,
         host::TestMemLayout(mem_size, params_.addrStride), wl);

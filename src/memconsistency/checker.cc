@@ -112,6 +112,55 @@ Checker::check(ExecWitness &ew) const
 CheckResult
 Checker::checkStreamed(ExecWitness &ew, const StreamingChecker &sc) const
 {
+    // Windowed (ring-buffer) witness: the event log cannot finalize,
+    // so the post-hoc pipeline only ever runs over the retained tail.
+    // The verdict cache is skipped (its signature needs resolved
+    // conflict orders over the whole stream).
+    if (ew.window() != 0) {
+        // Clean, complete, and truncation-free: the incremental graphs
+        // proved acyclicity over the whole stream, nothing more to do.
+        if (!sc.violationDetected() && sc.streamComplete() &&
+            !sc.windowTruncated() &&
+            sc.eventsConsumed() == ew.numEvents()) {
+            return {};
+        }
+        if (ew.droppedEvents() == 0) {
+            // The whole stream is still in the ring (dirty, or clean
+            // but incomplete, e.g. a read of a never-written value):
+            // replay it into a full-mode scratch witness and run the
+            // exact post-hoc pipeline -- ids, message, and cycle come
+            // out byte-identical to unbounded checking.
+            ew.replayRetainedInto(windowScratch_);
+            windowScratch_.finalize();
+            if (windowScratch_.anomaly() != WitnessAnomaly::None) {
+                CheckResult res;
+                res.kind = CheckResult::Kind::WitnessAnomaly;
+                res.message = windowScratch_.anomalyInfo();
+                return res;
+            }
+            return fullCheck(windowScratch_);
+        }
+        if (!sc.violationDetected()) {
+            // Constraints were dropped at retirement and the evicted
+            // prefix is gone: the live window closed no cycle, but the
+            // verdict does not cover the whole stream -- say so
+            // instead of reporting an unqualified pass.
+            CheckResult res;
+            res.message =
+                "clean within retained window (truncated: " +
+                std::to_string(ew.droppedEvents()) +
+                " events evicted, " +
+                std::to_string(sc.truncatedStragglers()) +
+                " straggler orderings dropped, " +
+                std::to_string(sc.truncatedStaleReads()) +
+                " stale accesses unresolved)";
+            return res;
+        }
+        // Violation past the ring's reach: render the streaming-native
+        // verdict over what remains, flagged with the truncation note.
+        return sc.earlyStopResult(ew);
+    }
+
     // Fast path: the stream consumed every recorded event, resolved
     // every conflict order online, and closed no cycle -- which proves
     // the finalized witness would be anomaly-free and pass the batch

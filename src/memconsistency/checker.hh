@@ -110,7 +110,13 @@ class Checker
      * byte-identical to post-hoc checking. @p sc must have consumed
      * every recorded event of @p ew under this checker's model;
      * anomaly handling and the verdict cache behave exactly as in
-     * check().
+     * check(). A windowed witness (ew.window() != 0) cannot finalize:
+     * a clean stream settles from the streaming verdict alone (with a
+     * truncation note when constraints were dropped), a violation with
+     * the whole stream still in the ring replays it into a full-mode
+     * scratch witness for byte-identical diagnostics, and a violation
+     * past the ring's reach reports the streaming-native verdict
+     * flagged as window-truncated. The verdict cache is bypassed.
      */
     CheckResult checkStreamed(ExecWitness &ew,
                               const StreamingChecker &sc) const;
@@ -171,6 +177,11 @@ class Checker
     // an implementation detail of the logically-const check().
     mutable SignatureBuilder signatureScratch_;
     mutable std::unique_ptr<VerdictCache> cache_;
+    /**
+     * Full-mode witness the retained window of a windowed stream is
+     * replayed into for post-hoc diagnostics (see checkStreamed()).
+     */
+    mutable ExecWitness windowScratch_;
 };
 
 } // namespace mcversi::mc

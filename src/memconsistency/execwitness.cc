@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 namespace mcversi::mc {
 
@@ -42,6 +43,26 @@ ExecWitness::internAddr(Addr addr)
 EventId
 ExecWitness::addEvent(const Event &ev)
 {
+    if (window_ != 0) {
+        // Ring mode: overwrite the slot of the event evicted W ids ago.
+        // None of the finalize-supporting structures are maintained --
+        // the stream's checker is the consumer, the ring is only for
+        // post-hoc diagnostics over the retained tail.
+        assert(!ev.isInit());
+        const auto id = static_cast<EventId>(recorded_++);
+        const std::size_t slot = static_cast<std::size_t>(id) % window_;
+        const AddrId aid =
+            ev.addr == kNoAddr ? AddrId{-1} : internAddr(ev.addr);
+        if (slot < events_.size()) {
+            events_[slot] = ev;
+            addrIdOf_[slot] = aid;
+        } else {
+            events_.push_back(ev);
+            addrIdOf_.push_back(aid);
+        }
+        return id;
+    }
+
     const EventId id = static_cast<EventId>(events_.size());
     events_.push_back(ev);
     addrIdOf_.push_back(ev.addr == kNoAddr ? AddrId{-1}
@@ -139,8 +160,15 @@ ExecWitness::recordRead(Pid pid, std::int32_t poi, Addr addr,
     ev.rmw = rmw;
     ev.sub = 0;
     const EventId id = addEvent(ev);
-    if (rmw)
+    if (window_ != 0) {
+        const std::size_t slot = static_cast<std::size_t>(id) % window_;
+        if (slot < overwrittenOf_.size())
+            overwrittenOf_[slot] = kInitVal;
+        else
+            overwrittenOf_.push_back(kInitVal);
+    } else if (rmw) {
         pendingRmwReads_.emplace_back(Iiid{pid, poi}, id);
+    }
     if (sink_)
         sink_->onRecord(*this, id, kInitVal);
     return id;
@@ -159,6 +187,16 @@ ExecWitness::recordWrite(Pid pid, std::int32_t poi, Addr addr,
     ev.rmw = rmw;
     ev.sub = 1;
     const EventId id = addEvent(ev);
+    if (window_ != 0) {
+        const std::size_t slot = static_cast<std::size_t>(id) % window_;
+        if (slot < overwrittenOf_.size())
+            overwrittenOf_[slot] = overwritten;
+        else
+            overwrittenOf_.push_back(overwritten);
+        if (sink_)
+            sink_->onRecord(*this, id, overwritten);
+        return id;
+    }
     valueToWriter_.emplace_back(value, id);
     writersSorted_ = false;
     overwrittenBy_.emplace_back(id, overwritten);
@@ -196,10 +234,37 @@ ExecWitness::resolveWriter(Addr addr, WriteVal value, bool &unknown)
 }
 
 void
+ExecWitness::replayRetainedInto(ExecWitness &dst) const
+{
+    assert(window_ != 0);
+    assert(dst.window() == 0 && dst.eventSink() == nullptr);
+    dst.reset();
+    const std::uint64_t first =
+        recorded_ > window_ ? recorded_ - window_ : 0;
+    for (std::uint64_t id = first; id < recorded_; ++id) {
+        const std::size_t slot = static_cast<std::size_t>(id) % window_;
+        const Event &ev = events_[slot];
+        if (ev.isRead()) {
+            dst.recordRead(ev.iiid.pid, ev.iiid.poi, ev.addr, ev.value,
+                           ev.rmw);
+        } else {
+            dst.recordWrite(ev.iiid.pid, ev.iiid.poi, ev.addr, ev.value,
+                            overwrittenOf_[slot], ev.rmw);
+        }
+    }
+}
+
+void
 ExecWitness::finalize()
 {
     if (finalized_)
         return;
+    if (window_ != 0) {
+        throw std::logic_error(
+            "ExecWitness: a windowed (ring-buffer) witness cannot "
+            "finalize; replay the retained window into a full-mode "
+            "witness instead");
+    }
     finalized_ = true;
 
     ensurePoSorted();
@@ -394,6 +459,9 @@ ExecWitness::reset()
     anomalyInfo_.clear();
     frMaterializations_ = 0;
     finalized_ = false;
+    // window_ survives (like sink_); the ring restarts empty.
+    recorded_ = 0;
+    overwrittenOf_.clear();
 }
 
 } // namespace mcversi::mc

@@ -24,11 +24,25 @@
  * dense EventId-indexed vectors, recording appends in O(1) with sorting
  * deferred to finalize(), and reset() preserves every buffer's capacity
  * so steady-state iterations are allocation-free.
+ *
+ * Windowed (sink-only) mode: setWindow(W) turns recording into a ring
+ * buffer of the last W events, for soak runs where a streaming checker
+ * consumes each event as it is recorded and the O(trace) event log
+ * would otherwise dominate memory. Only the per-event ring and the
+ * address table are maintained -- per-thread lists, the value index,
+ * the overwrite log, and RMW pairing are all skipped, so a windowed
+ * witness can never finalize() (it throws). The retained window exists
+ * purely for violation diagnostics: replayRetainedInto() re-records it
+ * into a scratch full-mode witness for post-hoc analysis, and
+ * droppedEvents()/eventRetained() let the checker report honestly when
+ * the ring has evicted part of a cycle.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
 #define MCVERSI_MEMCONSISTENCY_EXECWITNESS_HH
 
+#include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -107,12 +121,61 @@ class ExecWitness
 
     bool finalized() const { return finalized_; }
 
+    /**
+     * Record into a ring of the last @p events events (0 = unbounded,
+     * the default). Must be set before the first record of a stream;
+     * survives reset(). See the file comment for what windowed mode
+     * does NOT maintain.
+     */
+    void
+    setWindow(std::size_t events)
+    {
+        assert(events_.empty() && "cannot change window mid-recording");
+        window_ = events;
+    }
+
+    std::size_t window() const { return window_; }
+
+    /** Events evicted from the ring so far (0 when unbounded). */
+    std::uint64_t
+    droppedEvents() const
+    {
+        return window_ == 0 || recorded_ <= window_ ? 0
+                                                    : recorded_ - window_;
+    }
+
+    /** True when @p id is still addressable via event()/addrId(). */
+    bool
+    eventRetained(EventId id) const
+    {
+        return window_ == 0 ||
+               static_cast<std::uint64_t>(id) + window_ >= recorded_;
+    }
+
+    /**
+     * Re-record the retained window into @p dst (a full-mode scratch
+     * witness with no sink), in record order, so the post-hoc pipeline
+     * can run over it. When droppedEvents() == 0 this reproduces the
+     * whole stream byte-identically.
+     */
+    void replayRetainedInto(ExecWitness &dst) const;
+
     const Event &event(EventId id) const
     {
-        return events_[static_cast<std::size_t>(id)];
+        assert(eventRetained(id));
+        return events_[window_ == 0
+                           ? static_cast<std::size_t>(id)
+                           : static_cast<std::size_t>(id) % window_];
     }
+    /** Raw event storage: ring-ordered (not id-ordered) when windowed. */
     const std::vector<Event> &events() const { return events_; }
-    std::size_t numEvents() const { return events_.size(); }
+    /** Events recorded (logical count, including evicted ones). */
+    std::size_t
+    numEvents() const
+    {
+        return window_ == 0 ? events_.size()
+                            : static_cast<std::size_t>(recorded_);
+    }
 
     /** Per-thread events in program order. */
     const std::vector<EventId> &threadEvents(Pid pid) const;
@@ -180,7 +243,10 @@ class ExecWitness
      */
     AddrId addrId(EventId e) const
     {
-        return addrIdOf_[static_cast<std::size_t>(e)];
+        assert(eventRetained(e));
+        return addrIdOf_[window_ == 0
+                             ? static_cast<std::size_t>(e)
+                             : static_cast<std::size_t>(e) % window_];
     }
 
     /** Number of distinct addresses referenced by recorded events. */
@@ -270,6 +336,12 @@ class ExecWitness
     mutable int frMaterializations_ = 0;
     /** Recording observer; survives reset() (see setEventSink()). */
     WitnessEventSink *sink_ = nullptr;
+    /** Ring size in events; 0 = unbounded. Survives reset(). */
+    std::size_t window_ = 0;
+    /** Total events recorded this stream (windowed mode only). */
+    std::uint64_t recorded_ = 0;
+    /** Per-ring-slot overwritten value (windowed replay). */
+    std::vector<WriteVal> overwrittenOf_;
 
     static const std::vector<EventId> emptyThread_;
 };

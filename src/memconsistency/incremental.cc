@@ -11,10 +11,116 @@ IncrementalGraph::reset()
     // Stale adjacency lists are NOT cleared here: addNode()'s reuse
     // branch clears each list right before handing the node out again,
     // so reset() stays O(1) no matter how large the last graph was.
+    // ord_ is slot-indexed and overwritten on reuse, so it stays too.
     numNodes_ = 0;
-    ord_.clear();
+    numLive_ = 0;
+    ordNext_ = 0;
+    freeList_.clear();
     poisoned_ = false;
     cycle_.clear();
+}
+
+void
+IncrementalGraph::retireNode(Node n)
+{
+    assert(!poisoned_ && "cannot retire from a poisoned graph");
+    const auto un = static_cast<std::size_t>(n);
+
+    // Dedupe the live out-/in-neighbours (addEdge() tolerates duplicate
+    // edges, so the raw lists may repeat) into the DFS scratch vectors.
+    ++gen_;
+    fwd_.clear();
+    for (const Node s : adj_[un]) {
+        if (!marked(fwdStamp_, s)) {
+            fwdStamp_[static_cast<std::size_t>(s)] = gen_;
+            fwd_.push_back(s);
+        }
+    }
+    bwd_.clear();
+    for (const Node p : radj_[un]) {
+        if (!marked(bwdStamp_, p)) {
+            bwdStamp_[static_cast<std::size_t>(p)] = gen_;
+            bwd_.push_back(p);
+        }
+    }
+
+    // Splice n out of its neighbours' lists (every duplicate copy).
+    for (const Node s : fwd_)
+        std::erase(radj_[static_cast<std::size_t>(s)], n);
+    for (const Node p : bwd_)
+        std::erase(adj_[static_cast<std::size_t>(p)], n);
+
+    // Bypass edges: p -> n -> s becomes p -> s, preserving reachability
+    // among the survivors. ord[p] < ord[n] < ord[s] already holds, so
+    // every bypass is in-order -- no reorder, no possible cycle.
+    for (const Node p : bwd_) {
+        const auto up = static_cast<std::size_t>(p);
+        for (const Node s : fwd_) {
+            assert(ord_[up] < ord_[static_cast<std::size_t>(s)]);
+            adj_[up].push_back(s);
+            radj_[static_cast<std::size_t>(s)].push_back(p);
+        }
+    }
+
+    adj_[un].clear();
+    radj_[un].clear();
+    freeList_.push_back(n);
+    --numLive_;
+}
+
+void
+IncrementalGraph::compact(const std::vector<Node> &remap, Node newCount)
+{
+    assert(!poisoned_ && "cannot compact a poisoned graph");
+    assert(remap.size() >= numNodes_);
+    assert(static_cast<std::size_t>(newCount) == numLive_);
+
+    // Move live slots down onto the dense prefix. remap is monotone
+    // ascending on live ids, so by the time slot remap[old] is written
+    // its original occupant (if it was live) has already moved out;
+    // swapping (not moving) keeps every vector's capacity in
+    // circulation for the allocation-free steady state.
+    for (std::size_t old = 0; old < numNodes_; ++old) {
+        const Node nw = remap[old];
+        if (nw < 0)
+            continue;
+        const auto unw = static_cast<std::size_t>(nw);
+        assert(unw <= old);
+        if (unw != old) {
+            std::swap(adj_[unw], adj_[old]);
+            std::swap(radj_[unw], radj_[old]);
+            ord_[unw] = ord_[old];
+        }
+    }
+
+    // Rewrite edge targets into the new id space. Retired nodes were
+    // purged from every list at retireNode(), so all targets are live.
+    for (std::size_t i = 0; i < static_cast<std::size_t>(newCount); ++i) {
+        for (Node &t : adj_[i]) {
+            assert(remap[static_cast<std::size_t>(t)] >= 0);
+            t = remap[static_cast<std::size_t>(t)];
+        }
+        for (Node &t : radj_[i])
+            t = remap[static_cast<std::size_t>(t)];
+    }
+
+    // Renumber the order densely: sort live ids by their (gappy) ord
+    // value, then assign ranks. Rebases ordNext_ away from overflow.
+    fwd_.clear();
+    for (Node i = 0; i < newCount; ++i)
+        fwd_.push_back(i);
+    std::sort(fwd_.begin(), fwd_.end(), [this](Node a, Node b) {
+        return ord_[static_cast<std::size_t>(a)] <
+               ord_[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t rank = 0; rank < fwd_.size(); ++rank) {
+        ord_[static_cast<std::size_t>(fwd_[rank])] =
+            static_cast<std::int32_t>(rank);
+    }
+
+    numNodes_ = static_cast<std::size_t>(newCount);
+    freeList_.clear();
+    ordNext_ = newCount;
 }
 
 bool

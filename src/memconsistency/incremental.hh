@@ -21,6 +21,17 @@
  * Like the batch CycleGraph, all scratch is generation-stamped and
  * capacity-preserving: a graph owned by a streaming checker and reset
  * per iteration is allocation-free in the steady state.
+ *
+ * For bounded-window (soak) streaming the graph additionally supports
+ * node retirement and compaction. retireNode() splices a node out of
+ * the graph -- every live in-neighbour gains an edge to every live
+ * out-neighbour, so reachability (and therefore cycle detection) among
+ * the surviving nodes is preserved exactly -- and recycles its slot
+ * through a free list, keeping adj_/ord_/scratch sized to the live
+ * window instead of the whole trace. compact() remaps the live nodes
+ * onto a dense id prefix (capacity-preserving) and renumbers the
+ * topological order densely so ord values cannot drift toward overflow
+ * on multi-million-event streams.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_INCREMENTAL_HH
@@ -42,16 +53,26 @@ class IncrementalGraph
     void reset();
 
     /**
-     * Append a node at the end of the topological order. Inline: this
-     * runs twice per streamed event.
+     * Add a node at the end of the topological order, reusing a
+     * retired slot when one is free. Inline: this runs twice per
+     * streamed event.
      */
     Node
     addNode()
     {
+        ++numLive_;
+        if (!freeList_.empty()) {
+            // Recycled slot: retireNode() already cleared its lists.
+            const Node id = freeList_.back();
+            freeList_.pop_back();
+            ord_[static_cast<std::size_t>(id)] = ordNext_++;
+            return id;
+        }
         const auto id = static_cast<Node>(numNodes_);
         if (numNodes_ == adj_.size()) {
             adj_.emplace_back();
             radj_.emplace_back();
+            ord_.push_back(0);
             fwdStamp_.push_back(0);
             bwdStamp_.push_back(0);
             parent_.push_back(-1);
@@ -62,13 +83,18 @@ class IncrementalGraph
             radj_[numNodes_].clear();
         }
         ++numNodes_;
-        // New nodes join at the end of the order: every existing edge
-        // points at an older node, so the order stays consistent.
-        ord_.push_back(id);
+        // New and recycled nodes join at the end of the order (fresh
+        // ordNext_ index): they have no edges yet, so the order stays
+        // consistent.
+        ord_[static_cast<std::size_t>(id)] = ordNext_++;
         return id;
     }
 
+    /** Slots in use: the exclusive upper bound on valid node ids. */
     std::size_t numNodes() const { return numNodes_; }
+
+    /** Nodes added and not yet retired. */
+    std::size_t numLive() const { return numLive_; }
 
     /**
      * Insert the edge @p from -> @p to, restoring the topological
@@ -110,6 +136,32 @@ class IncrementalGraph
         return adj_[static_cast<std::size_t>(n)];
     }
 
+    /** Predecessors inserted so far (diagnostics / tests). */
+    const std::vector<Node> &predecessors(Node n) const
+    {
+        return radj_[static_cast<std::size_t>(n)];
+    }
+
+    /**
+     * Splice @p n out of the graph and recycle its slot. Every live
+     * in-neighbour gains a bypass edge to every live out-neighbour, so
+     * reachability -- and therefore cycle detection -- among the
+     * surviving nodes is exactly preserved; cycles that would have run
+     * *through* @p n can no longer be attributed to it, which is why
+     * callers only retire nodes that can receive no further incoming
+     * edge. Not callable on a poisoned graph.
+     */
+    void retireNode(Node n);
+
+    /**
+     * Remap the live nodes onto the dense id prefix [0, newCount) and
+     * renumber the topological order densely. @p remap gives each old
+     * id its new id, or a negative value for retired slots; it must be
+     * monotone ascending on live ids (node order is preserved).
+     * Capacity-preserving: no buffer shrinks, the free list empties.
+     */
+    void compact(const std::vector<Node> &remap, Node newCount);
+
   private:
     /** addEdge() slow path: self-loops and order repairs. */
     bool addEdgeSlow(Node from, Node to);
@@ -131,6 +183,12 @@ class IncrementalGraph
     /** Node -> index in the maintained topological order. */
     std::vector<std::int32_t> ord_;
     std::size_t numNodes_ = 0;
+    std::size_t numLive_ = 0;
+    /** Next topological-order index to hand out (monotone; compact()
+     *  and reset() rebase it so it cannot creep toward overflow). */
+    std::int32_t ordNext_ = 0;
+    /** Retired slots available for recycling. */
+    std::vector<Node> freeList_;
 
     bool poisoned_ = false;
     std::vector<Node> cycle_;

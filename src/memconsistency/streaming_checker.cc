@@ -18,9 +18,9 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
-template <typename E>
+template <typename L, typename E>
 std::size_t
-insertSorted(std::vector<E> &v, const E &el)
+insertSorted(L &v, const E &el)
 {
     // Events overwhelmingly arrive in per-thread program order, so the
     // append case is the hot path.
@@ -28,15 +28,15 @@ insertSorted(std::vector<E> &v, const E &el)
         v.push_back(el);
         return v.size() - 1;
     }
-    const auto it = std::upper_bound(v.begin(), v.end(), el);
-    const auto pos = static_cast<std::size_t>(it - v.begin());
-    v.insert(it, el);
+    const auto pos = static_cast<std::size_t>(
+        std::upper_bound(v.begin(), v.end(), el) - v.begin());
+    v.insertAt(pos, el);
     return pos;
 }
 
-template <typename E>
+template <typename L, typename E>
 std::size_t
-firstAtLeast(const std::vector<E> &v, const E &el)
+firstAtLeast(const L &v, const E &el)
 {
     // In-order streams search mostly past the end of the list.
     if (v.empty() || v.back() < el)
@@ -45,9 +45,9 @@ firstAtLeast(const std::vector<E> &v, const E &el)
         std::lower_bound(v.begin(), v.end(), el) - v.begin());
 }
 
-template <typename E>
+template <typename L, typename E>
 std::size_t
-firstAbove(const std::vector<E> &v, const E &el)
+firstAbove(const L &v, const E &el)
 {
     if (v.empty() || !(el < v.back()))
         return v.size();
@@ -62,38 +62,101 @@ firstAbove(const std::vector<E> &v, const E &el)
 std::int32_t &
 StreamingChecker::StampedMap::findOrInsert(std::uint64_t key)
 {
-    if (slots_.empty() || (live_ + 1) * 4 > slots_.size() * 3)
-        grow();
+    if (slots_.empty() || (live_ + tombs_ + 1) * 4 > slots_.size() * 3)
+        rehash();
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    std::size_t firstTomb = slots_.size();
     while (true) {
         Slot &s = slots_[i];
         if (s.gen != gen_) {
+            // End of the probe chain: insert, preferring the first
+            // tombstone passed on the way (keeps chains short).
+            if (firstTomb != slots_.size()) {
+                Slot &t = slots_[firstTomb];
+                t.key = key;
+                t.val = -1;
+                --tombs_;
+                ++live_;
+                return t.val;
+            }
             s.gen = gen_;
             s.key = key;
             s.val = -1;
             ++live_;
             return s.val;
         }
-        if (s.key == key)
+        if (s.val == kTomb) {
+            if (firstTomb == slots_.size())
+                firstTomb = i;
+        } else if (s.key == key) {
+            return s.val;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+std::int32_t
+StreamingChecker::StampedMap::find(std::uint64_t key) const
+{
+    if (slots_.empty())
+        return -1;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (true) {
+        const Slot &s = slots_[i];
+        if (s.gen != gen_)
+            return -1;
+        if (s.key == key && s.val != kTomb)
             return s.val;
         i = (i + 1) & mask;
     }
 }
 
 void
-StreamingChecker::StampedMap::grow()
+StreamingChecker::StampedMap::erase(std::uint64_t key)
 {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    if (slots_.empty())
+        return;
     const std::size_t mask = slots_.size() - 1;
-    for (const Slot &s : old) {
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (true) {
+        Slot &s = slots_[i];
         if (s.gen != gen_)
+            return;
+        if (s.key == key && s.val != kTomb) {
+            s.val = kTomb;
+            --live_;
+            ++tombs_;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+StreamingChecker::StampedMap::rehash()
+{
+    // Swap through the retained scratch buffer: a same-size rebuild
+    // (tombstone purge, the steady state of a bounded-window stream)
+    // allocates nothing.
+    std::swap(slots_, scratch_);
+    const std::size_t newSize =
+        (scratch_.empty() || (live_ + 1) * 4 > scratch_.size() * 3)
+            ? std::max<std::size_t>(1024, scratch_.size() * 2)
+            : scratch_.size();
+    slots_.assign(newSize, Slot{});
+    live_ = 0;
+    tombs_ = 0;
+    const std::size_t mask = newSize - 1;
+    for (const Slot &s : scratch_) {
+        if (s.gen != gen_ || s.val == kTomb)
             continue;
         std::size_t i = static_cast<std::size_t>(mix64(s.key)) & mask;
         while (slots_[i].gen == gen_)
             i = (i + 1) & mask;
         slots_[i] = s;
+        ++live_;
     }
 }
 
@@ -123,6 +186,7 @@ StreamingChecker::ThreadState::clear()
     rels.clear();
     pendingRmw.clear();
     chainAt.clear();
+    maxRetiredPoi = -1;
     touched = false;
 }
 
@@ -139,6 +203,14 @@ StreamingChecker::begin()
         threads_[static_cast<std::size_t>(pid)].clear();
     touchedPids_.clear();
     chainCount_ = 0;
+    valueFree_.clear();
+    ageFifo_.clear();
+    ageHead_ = 0;
+    retireScratch_.clear();
+    liveHighWater_ = 0;
+    truncatedStragglers_ = 0;
+    truncatedStaleReads_ = 0;
+    sinceCompact_ = 0;
     eventsConsumed_ = 0;
     detectionEvents_ = 0;
     pending_ = 0;
@@ -149,15 +221,25 @@ StreamingChecker::begin()
 // -- node space -------------------------------------------------------
 
 StreamingChecker::Node
-StreamingChecker::newNode(EventId ev, Pid pid, Addr aux)
+StreamingChecker::newNode(EventId ev, Pid pid, Addr aux, std::int32_t poi,
+                          std::uint8_t slot, AddrId aid)
 {
     const Node n = uniproc_.addNode();
     const Node g = ghb_.addNode();
     assert(n == g && "graphs share one node space");
     (void)g;
-    nodes_.push_back(NodeMeta{ev, pid, aux, kNoNode, kNoNode, kNoNode,
-                              kNoNode, kNoNode, kNoNode, kNoNode,
-                              kNoNode, kNoNode});
+    const NodeMeta meta{ev,      pid,     aux,     kInitVal, kNoNode,
+                        kNoNode, kNoNode, kNoNode, kNoNode,  kNoNode,
+                        kNoNode, kNoNode, kNoNode, poi,      aid,
+                        slot,    kPairDone};
+    // Node ids recycle in bounded-window mode, so the meta array is
+    // slot-indexed rather than append-only.
+    if (static_cast<std::size_t>(n) < nodes_.size())
+        nodes_[static_cast<std::size_t>(n)] = meta;
+    else
+        nodes_.push_back(meta);
+    if (window_ != 0)
+        ageFifo_.push_back(n);
     return n;
 }
 
@@ -168,8 +250,9 @@ StreamingChecker::initNodeOf(AddrId aid, Addr addr)
     if (a >= initNode_.size())
         initNode_.resize(a + 1, kNoNode);
     Node &n = initNode_[a];
+    assert(n != kRetiredNode && "callers guard the retired-init case");
     if (n == kNoNode)
-        n = newNode(kNoEvent, kInitPid, addr);
+        n = newNode(kNoEvent, kInitPid, addr, -1, 2, aid);
     return n;
 }
 
@@ -211,29 +294,48 @@ StreamingChecker::ingest(const ExecWitness &ew, EventId id,
 {
     const Event &e = ew.event(id);
     const Pid pid = e.iiid.pid;
-    const Node n = newNode(id, pid, kNoAddr);
     // The witness interned the address at record time; reuse its
     // dense id instead of probing a second map.
     const AddrId aid = ew.addrId(id);
+    const Node n = newNode(
+        id, pid, kNoAddr, e.iiid.poi,
+        static_cast<std::uint8_t>(e.isRead() ? 1 : 2), aid);
+    if (e.rmw)
+        nodes_[static_cast<std::size_t>(n)].flags &=
+            static_cast<std::uint8_t>(~kPairDone);
+    if (!e.isRead())
+        nodes_[static_cast<std::size_t>(n)].value = e.value;
     const Elem el{e.iiid.poi,
                   static_cast<std::uint8_t>(e.isRead() ? 1 : 2), n};
     ThreadState &t = threadOf(pid);
+    if (window_ != 0 && e.iiid.poi <= t.maxRetiredPoi) {
+        // Straggler behind the retirement frontier: orderings through
+        // already-retired same-thread events are lost. Counted so a
+        // truncated stream can never masquerade as a clean one.
+        ++truncatedStragglers_;
+    }
     insertPoLoc(t, aid, el);
     if (e.isRead()) {
         if (e.rmw && full_) {
-            insertFence(
-                t, Elem{e.iiid.poi, 0, newNode(kNoEvent, pid, kNoAddr)});
+            insertFence(t, Elem{e.iiid.poi, 0,
+                                newNode(kNoEvent, pid, kNoAddr,
+                                        e.iiid.poi, 0, aid)});
         }
         insertRead(t, el, e.rmw);
         resolveRead(n, e.value, aid, e.addr);
     } else {
         insertWrite(t, el, e.rmw);
         if (e.rmw && full_) {
-            insertFence(
-                t, Elem{e.iiid.poi, 3, newNode(kNoEvent, pid, kNoAddr)});
+            insertFence(t, Elem{e.iiid.poi, 3,
+                                newNode(kNoEvent, pid, kNoAddr,
+                                        e.iiid.poi, 3, aid)});
         }
         registerWrite(n, e.value, overwritten, aid, e.addr);
     }
+    if (window_ != 0)
+        ageWindow();
+    if (liveHighWater_ < ghb_.numLive())
+        liveHighWater_ = ghb_.numLive();
 }
 
 void
@@ -251,7 +353,7 @@ StreamingChecker::insertPoLoc(ThreadState &t, AddrId aid, Elem el)
             chains_.emplace_back();
         ++chainCount_;
     }
-    std::vector<Elem> &chain = chains_[static_cast<std::size_t>(slot)];
+    ElemList &chain = chains_[static_cast<std::size_t>(slot)];
     const std::size_t pos = insertSorted(chain, el);
     if (pos > 0)
         edgeU(chain[pos - 1].node, el.node);
@@ -449,7 +551,7 @@ StreamingChecker::insertFence(ThreadState &t, Elem el)
 
     // Upstream: the chain tail alone when the class chains, else every
     // access since the previous fence. Downstream is the mirror image.
-    const auto upstream = [&](const std::vector<Elem> &v, bool chained) {
+    const auto upstream = [&](const ElemList &v, bool chained) {
         if (chained) {
             const std::size_t i = firstAtLeast(v, el);
             if (i > 0)
@@ -461,7 +563,7 @@ StreamingChecker::insertFence(ThreadState &t, Elem el)
             edgeG(v[i].node, n);
         }
     };
-    const auto downstream = [&](const std::vector<Elem> &v, bool chained) {
+    const auto downstream = [&](const ElemList &v, bool chained) {
         if (chained) {
             const std::size_t i = firstAbove(v, el);
             if (i < v.size())
@@ -486,12 +588,18 @@ StreamingChecker::valueInfoIdx(WriteVal v)
 {
     std::int32_t &slot = valueMap_.findOrInsert(v);
     if (slot < 0) {
-        slot = static_cast<std::int32_t>(valueInfoCount_);
-        if (valueInfoCount_ < valueInfo_.size())
-            valueInfo_[valueInfoCount_] = ValueInfo{};
-        else
-            valueInfo_.emplace_back();
-        ++valueInfoCount_;
+        if (!valueFree_.empty()) {
+            slot = valueFree_.back();
+            valueFree_.pop_back();
+            valueInfo_[static_cast<std::size_t>(slot)] = ValueInfo{};
+        } else {
+            slot = static_cast<std::int32_t>(valueInfoCount_);
+            if (valueInfoCount_ < valueInfo_.size())
+                valueInfo_[valueInfoCount_] = ValueInfo{};
+            else
+                valueInfo_.emplace_back();
+            ++valueInfoCount_;
+        }
     }
     return slot;
 }
@@ -500,6 +608,15 @@ void
 StreamingChecker::resolveRead(Node r, WriteVal v, AddrId aid, Addr addr)
 {
     if (v == kInitVal) {
+        const auto a = static_cast<std::size_t>(aid);
+        if (a < initNode_.size() && initNode_[a] == kRetiredNode) {
+            // Init read after the init node retired (> window stale):
+            // the rf cannot bind, so the stream stays incomplete and
+            // reports truncation instead of a clean verdict.
+            ++truncatedStaleReads_;
+            ++pending_;
+            return;
+        }
         bindRf(r, initNodeOf(aid, addr));
         return;
     }
@@ -520,7 +637,17 @@ StreamingChecker::registerWrite(Node w, WriteVal v, WriteVal overwritten,
                                 AddrId aid, Addr addr)
 {
     if (overwritten == kInitVal) {
-        bindCo(initNodeOf(aid, addr), w);
+        const auto a = static_cast<std::size_t>(aid);
+        if (a < initNode_.size() && initNode_[a] == kRetiredNode) {
+            // Overwriting init after its node retired: in unbounded
+            // mode this is a co fork (the retire needed a successor),
+            // but the evidence is gone -- count the truncation and
+            // leave the co predecessor unresolved.
+            ++truncatedStaleReads_;
+            ++pending_;
+        } else {
+            bindCo(initNodeOf(aid, addr), w);
+        }
     } else {
         const auto oi = static_cast<std::size_t>(valueInfoIdx(overwritten));
         if (valueInfo_[oi].writer != kNoNode) {
@@ -577,6 +704,8 @@ StreamingChecker::bindRf(Node r, Node w)
         // fr: the read precedes its source's co-successor.
         edgeU(r, succ);
         edgeG(r, succ);
+        rm.flags |= kFrDone;
+        noteCandidate(r);
     } else {
         rm.readerNext = wm.readersHead;
         wm.readersHead = r;
@@ -605,11 +734,15 @@ StreamingChecker::bindCo(Node prev, Node w)
     Node r = pm.readersHead;
     pm.readersHead = kNoNode;
     while (r != kNoNode) {
-        const Node next = nodes_[static_cast<std::size_t>(r)].readerNext;
+        NodeMeta &rm = nodes_[static_cast<std::size_t>(r)];
+        const Node next = rm.readerNext;
         edgeU(r, w);
         edgeG(r, w);
+        rm.flags |= kFrDone;
+        noteCandidate(r);
         r = next;
     }
+    noteCandidate(prev);
     const Node pr = nodes_[static_cast<std::size_t>(w)].pairRead;
     if (pr != kNoNode)
         checkPairAtomicity(pr, w);
@@ -620,7 +753,9 @@ StreamingChecker::checkPairAtomicity(Node r, Node w)
 {
     const Node src = nodes_[static_cast<std::size_t>(r)].rfSrc;
     const Node pred = nodes_[static_cast<std::size_t>(w)].coPred;
-    if (src == kNoNode || pred == kNoNode)
+    // pred == kRetiredNode means the check already ran: a write's co
+    // predecessor only retires once its successor's pair is done.
+    if (src == kNoNode || pred == kNoNode || pred == kRetiredNode)
         return;
     if (pred != src) {
         violA_ = r;
@@ -628,6 +763,12 @@ StreamingChecker::checkPairAtomicity(Node r, Node w)
         violC_ = w;
         fail(CheckResult::Kind::AtomicityViolation);
     }
+    nodes_[static_cast<std::size_t>(r)].flags |= kPairDone;
+    nodes_[static_cast<std::size_t>(w)].flags |= kPairDone;
+    noteCandidate(r);
+    noteCandidate(w);
+    // The predecessor may have been waiting on this pair check.
+    noteCandidate(pred);
 }
 
 // -- edge insertion / violation recording -----------------------------
@@ -651,6 +792,218 @@ StreamingChecker::fail(CheckResult::Kind kind)
 {
     violationKind_ = kind;
     throw Detected{};
+}
+
+// -- bounded-window retirement ----------------------------------------
+
+bool
+StreamingChecker::retirable(const NodeMeta &m) const
+{
+    switch (m.slot) {
+    case 0:
+    case 3:
+        // Fences receive edges only from same-thread list scans, which
+        // the retirement removal blocks (counted as stragglers).
+        return true;
+    case 1:
+        // Read: rf bound, fr emitted, RMW atomicity checked.
+        return m.rfSrc != kNoNode && (m.flags & kFrDone) != 0 &&
+               (m.flags & kPairDone) != 0;
+    default: {
+        // Write (or init): co successor exists, every reader's fr is
+        // flushed, both its own and its successor's RMW pairs are
+        // checked (the successor still reads coPred until then), and
+        // -- so new readers' fr edges always target a live successor
+        // -- its own predecessor retired first (co-chain order).
+        if (m.coSucc == kNoNode || m.readersHead != kNoNode)
+            return false;
+        if ((m.flags & kPairDone) == 0)
+            return false;
+        const NodeMeta &s = nodes_[static_cast<std::size_t>(m.coSucc)];
+        if ((s.flags & kPairDone) == 0)
+            return false;
+        return m.pid == kInitPid || (m.flags & kCoPredRetired) != 0;
+    }
+    }
+}
+
+void
+StreamingChecker::eraseElem(ElemList &v, const Elem &el)
+{
+    const std::size_t pos = firstAtLeast(v, el);
+    if (pos < v.size() && v[pos].node == el.node &&
+        v[pos].poi == el.poi && v[pos].slot == el.slot) {
+        v.eraseAt(pos);
+    }
+}
+
+void
+StreamingChecker::retireNow(Node n)
+{
+    NodeMeta &m = nodes_[static_cast<std::size_t>(n)];
+    m.flags |= kRetired;
+    const Elem el{m.poi, m.slot, n};
+    if (m.pid != kInitPid) {
+        ThreadState &t = threadOf(m.pid);
+        if (t.maxRetiredPoi < m.poi)
+            t.maxRetiredPoi = m.poi;
+        switch (m.slot) {
+        case 0:
+        case 3:
+            eraseElem(t.fences, el);
+            break;
+        case 1:
+            eraseElem(t.reads, el);
+            if (acqrel_ && m.pairWrite != kNoNode)
+                eraseElem(t.acqs, el);
+            eraseElem(chains_[static_cast<std::size_t>(
+                          t.chainAt[static_cast<std::size_t>(m.aid)])],
+                      el);
+            break;
+        default:
+            eraseElem(t.writes, el);
+            if (acqrel_ && m.pairRead != kNoNode)
+                eraseElem(t.rels, el);
+            eraseElem(chains_[static_cast<std::size_t>(
+                          t.chainAt[static_cast<std::size_t>(m.aid)])],
+                      el);
+            break;
+        }
+    } else {
+        // Init node: tombstone the per-address slot so stale init
+        // accesses are detected (and counted) instead of binding to a
+        // recycled node.
+        initNode_[static_cast<std::size_t>(m.aid)] = kRetiredNode;
+    }
+    if (m.slot == 2) {
+        // Erase the value binding (only if this write published it:
+        // duplicate values keep the first registration).
+        if (m.value != kInitVal) {
+            const std::int32_t vslot = valueMap_.find(m.value);
+            if (vslot >= 0 &&
+                valueInfo_[static_cast<std::size_t>(vslot)].writer == n) {
+                valueMap_.erase(m.value);
+                valueInfo_[static_cast<std::size_t>(vslot)] = ValueInfo{};
+                valueFree_.push_back(vslot);
+            }
+        }
+        // Unblock the co successor (live by construction) and cascade.
+        NodeMeta &s = nodes_[static_cast<std::size_t>(m.coSucc)];
+        s.coPred = kRetiredNode;
+        s.flags |= kCoPredRetired;
+        retireScratch_.push_back(m.coSucc);
+    }
+    uniproc_.retireNode(n);
+    ghb_.retireNode(n);
+}
+
+void
+StreamingChecker::drainRetirements()
+{
+    while (!retireScratch_.empty()) {
+        const Node n = retireScratch_.back();
+        retireScratch_.pop_back();
+        const NodeMeta &m = nodes_[static_cast<std::size_t>(n)];
+        if ((m.flags & kRetired) != 0 || (m.flags & kAgedOut) == 0 ||
+            !retirable(m)) {
+            continue;
+        }
+        retireNow(n);
+    }
+}
+
+void
+StreamingChecker::ageWindow()
+{
+    while (ageFifo_.size() - ageHead_ > window_) {
+        const Node n = ageFifo_[ageHead_++];
+        nodes_[static_cast<std::size_t>(n)].flags |= kAgedOut;
+        retireScratch_.push_back(n);
+        if (ageHead_ > 1024 && ageHead_ >= ageFifo_.size() - ageHead_) {
+            ageFifo_.erase(ageFifo_.begin(),
+                           ageFifo_.begin() +
+                               static_cast<std::ptrdiff_t>(ageHead_));
+            ageHead_ = 0;
+        }
+    }
+    drainRetirements();
+    // Periodic compaction: rebase node ids and order indices so the
+    // slot space tracks the live set, not the stream length.
+    if (++sinceCompact_ >= window_ * 8 + 4096) {
+        sinceCompact_ = 0;
+        if (ghb_.numNodes() > ghb_.numLive() + window_ / 4 + 64)
+            compactNow();
+    }
+}
+
+void
+StreamingChecker::compactNow()
+{
+    if (violationDetected())
+        return;
+    drainRetirements();
+    const std::size_t slots = ghb_.numNodes();
+    remapScratch_.assign(slots, kNoNode);
+    Node next = 0;
+    for (std::size_t i = 0; i < slots; ++i) {
+        if ((nodes_[i].flags & kRetired) == 0)
+            remapScratch_[i] = next++;
+    }
+    if (static_cast<std::size_t>(next) == slots)
+        return;
+    uniproc_.compact(remapScratch_, next);
+    ghb_.compact(remapScratch_, next);
+
+    // Stale references to retired (possibly recycled) nodes are never
+    // read again -- map them to kRetiredNode rather than leaving a
+    // dangling id that could alias a live node.
+    const auto remap = [this](Node &n) {
+        if (n >= 0) {
+            const Node nw = remapScratch_[static_cast<std::size_t>(n)];
+            n = nw >= 0 ? nw : kRetiredNode;
+        }
+    };
+    for (std::size_t old = 0; old < slots; ++old) {
+        const Node nw = remapScratch_[old];
+        if (nw >= 0 && static_cast<std::size_t>(nw) != old)
+            nodes_[static_cast<std::size_t>(nw)] = nodes_[old];
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(next); ++i) {
+        NodeMeta &m = nodes_[i];
+        remap(m.rfSrc);
+        remap(m.coPred);
+        remap(m.coSucc);
+        remap(m.readersHead);
+        remap(m.readerNext);
+        remap(m.pendingReadNext);
+        remap(m.pendingCoNext);
+        remap(m.pairRead);
+        remap(m.pairWrite);
+    }
+    for (Node &n : initNode_)
+        remap(n);
+    for (const Pid pid : touchedPids_) {
+        ThreadState &t = threads_[static_cast<std::size_t>(pid)];
+        for (ElemList *l : {&t.reads, &t.writes, &t.fences, &t.acqs,
+                            &t.rels}) {
+            for (Elem *e = l->begin(); e != l->end(); ++e)
+                remap(e->node);
+        }
+        for (auto &[poi, node] : t.pendingRmw)
+            remap(node);
+    }
+    for (std::size_t i = 0; i < chainCount_; ++i) {
+        for (Elem *e = chains_[i].begin(); e != chains_[i].end(); ++e)
+            remap(e->node);
+    }
+    for (std::size_t i = 0; i < valueInfoCount_; ++i) {
+        ValueInfo &v = valueInfo_[i];
+        remap(v.writer);
+        remap(v.pendingReadsHead);
+        remap(v.pendingCoHead);
+    }
+    for (std::size_t i = ageHead_; i < ageFifo_.size(); ++i)
+        remap(ageFifo_[i]);
 }
 
 // -- replay / rendering -----------------------------------------------
@@ -716,6 +1069,16 @@ StreamingChecker::earlyStopResult(const ExecWitness &ew) const
                       nodeString(ew, violC_);
         break;
     }
+    if (window_ != 0 && (ew.droppedEvents() != 0 || windowTruncated())) {
+        res.message += "\n  [window truncated: " +
+                       std::to_string(ew.droppedEvents()) +
+                       " events evicted, " +
+                       std::to_string(truncatedStragglers_) +
+                       " straggler orderings dropped, " +
+                       std::to_string(truncatedStaleReads_) +
+                       " stale accesses unresolved; the cycle's tail "
+                       "may predate the retained window]";
+    }
     return res;
 }
 
@@ -723,8 +1086,12 @@ std::string
 StreamingChecker::nodeString(const ExecWitness &ew, Node n) const
 {
     const NodeMeta &m = nodes_[static_cast<std::size_t>(n)];
-    if (m.event != kNoEvent)
+    if (m.event != kNoEvent) {
+        if (!ew.eventRetained(m.event)) {
+            return "<evicted event #" + std::to_string(m.event) + ">";
+        }
         return ew.event(m.event).toString();
+    }
     const Addr addr = m.aux;
     if (addr != kNoAddr) {
         Event init;

@@ -43,6 +43,27 @@
  *
  * All state is capacity-preserving and generation-stamped: begin() is
  * O(touched state) and steady-state iterations allocate nothing.
+ *
+ * Bounded-window mode (setWindow(W), W > 0) additionally keeps memory
+ * O(live set) instead of O(trace): once an event is older than the
+ * last W recorded events AND fully resolved -- a read has its rf bound,
+ * its fr emitted, and its RMW pair checked; a write has its co
+ * predecessor retired, a co successor, no reads still awaiting fr, and
+ * its (and its successor's) RMW pair checked -- it is *retired*: its
+ * remaining obligations fold into the per-thread/per-location frontier
+ * lists, its value mapping is erased, and its node is spliced out of
+ * both graphs (IncrementalGraph::retireNode bypass edges preserve
+ * reachability among live nodes exactly) and recycled. Periodic
+ * compaction remaps the live nodes onto a dense id prefix. Violations
+ * whose closing edge lands within the window are detected exactly as
+ * in unbounded mode; orderings that would have run through retired
+ * events are dropped and *counted* (truncatedStragglers /
+ * truncatedStaleReads), never silently ignored: a stream that loses
+ * constraints this way reports window truncation instead of a clean
+ * verdict. Windowed mode assumes write values are unique within a
+ * window span (the McVerSi generator guarantees this); a value reused
+ * W events after its first writer retired re-binds to the newer
+ * writer.
  */
 
 #ifndef MCVERSI_MEMCONSISTENCY_STREAMING_CHECKER_HH
@@ -84,6 +105,47 @@ class StreamingChecker final : public WitnessEventSink
 
     /** Start a new stream (new witness); keeps all capacity. */
     void begin();
+
+    /**
+     * Bound the live set to roughly the last @p events recorded events
+     * (0 = unbounded, the default: byte-identical to pre-window
+     * behavior). Takes effect at the next begin(). See the file
+     * comment for the retirement rules and truncation semantics.
+     */
+    void setWindow(std::size_t events) { window_ = events; }
+
+    std::size_t window() const { return window_; }
+
+    /** Peak live (un-retired) node count this stream. */
+    std::size_t liveNodeHighWater() const { return liveHighWater_; }
+
+    /**
+     * Events whose program-order arrival was so late that orderings
+     * through already-retired same-thread events were dropped.
+     */
+    std::uint64_t truncatedStragglers() const { return truncatedStragglers_; }
+
+    /**
+     * Reads (or overwrites) of a value whose producing write -- or of
+     * the init state after its node -- retired: the access stays
+     * unresolved, so the stream can never report complete.
+     */
+    std::uint64_t truncatedStaleReads() const { return truncatedStaleReads_; }
+
+    /** True when the window dropped at least one ordering constraint. */
+    bool
+    windowTruncated() const
+    {
+        return truncatedStragglers_ + truncatedStaleReads_ > 0;
+    }
+
+    /**
+     * Remap the live nodes of both graphs (and every structure that
+     * names a node) onto a dense id prefix. Runs automatically every
+     * few windows in bounded mode; public so tests can force it.
+     * No-op after a detected violation.
+     */
+    void compactNow();
 
     /**
      * Throw StreamingViolation out of onRecord() when a violation is
@@ -143,6 +205,22 @@ class StreamingChecker final : public WitnessEventSink
   private:
     using Node = IncrementalGraph::Node;
     static constexpr Node kNoNode = -1;
+    /**
+     * A node reference whose target retired (bounded-window mode).
+     * Distinct from kNoNode so "was bound, now gone" never reads as
+     * "never bound".
+     */
+    static constexpr Node kRetiredNode = -2;
+
+    // NodeMeta::flags bits.
+    static constexpr std::uint8_t kAgedOut = 1 << 0;
+    static constexpr std::uint8_t kRetired = 1 << 1;
+    /** fr edge emitted (or will never be needed): reads only. */
+    static constexpr std::uint8_t kFrDone = 1 << 2;
+    /** RMW atomicity check ran (set at creation for non-RMW nodes). */
+    static constexpr std::uint8_t kPairDone = 1 << 3;
+    /** This write's co predecessor has itself retired. */
+    static constexpr std::uint8_t kCoPredRetired = 1 << 4;
 
     /** Internal control-flow sentinel: a violation was recorded. */
     struct Detected
@@ -151,8 +229,10 @@ class StreamingChecker final : public WitnessEventSink
 
     /**
      * Open-addressing u64 -> int32 map with O(1) generation-stamped
-     * clear; capacity only ever grows. Values are dense indices the
-     * caller assigns (fresh entries start at -1).
+     * clear and tombstoned erase; capacity only ever grows (rehashes
+     * swap through a retained scratch buffer, so the steady state
+     * allocates nothing). Values are dense indices the caller assigns
+     * (fresh entries start at -1; -2 is reserved for tombstones).
      */
     class StampedMap
     {
@@ -168,19 +248,27 @@ class StreamingChecker final : public WitnessEventSink
                 gen_ = 1;
             }
             live_ = 0;
+            tombs_ = 0;
         }
         std::int32_t &findOrInsert(std::uint64_t key);
+        /** Value of @p key, or -1 when absent. */
+        std::int32_t find(std::uint64_t key) const;
+        /** Drop @p key (tombstoned; reclaimed at the next rehash). */
+        void erase(std::uint64_t key);
 
       private:
+        static constexpr std::int32_t kTomb = -2;
         struct Slot
         {
             std::uint64_t key = 0;
             std::uint32_t gen = 0;
             std::int32_t val = -1;
         };
-        void grow();
+        void rehash();
         std::vector<Slot> slots_;
+        std::vector<Slot> scratch_;
         std::size_t live_ = 0;
+        std::size_t tombs_ = 0;
         std::uint32_t gen_ = 1;
     };
 
@@ -203,18 +291,73 @@ class StreamingChecker final : public WitnessEventSink
         }
     };
 
+    /**
+     * Sorted Elem sequence with O(1) amortized erase-at-front: a
+     * head-offset wrapper over a vector that compacts lazily.
+     * Retirement removes elements almost always at the front (events
+     * retire in near program order), and a plain vector::erase there
+     * would shift the whole live window on every retirement.
+     */
+    class ElemList
+    {
+      public:
+        bool empty() const { return head_ == v_.size(); }
+        std::size_t size() const { return v_.size() - head_; }
+        const Elem &operator[](std::size_t i) const { return v_[head_ + i]; }
+        const Elem &back() const { return v_.back(); }
+        const Elem *begin() const { return v_.data() + head_; }
+        const Elem *end() const { return v_.data() + v_.size(); }
+        /** Mutable iteration (compactNow() node-id remapping). */
+        Elem *begin() { return v_.data() + head_; }
+        Elem *end() { return v_.data() + v_.size(); }
+        void push_back(const Elem &el) { v_.push_back(el); }
+        void
+        insertAt(std::size_t pos, const Elem &el)
+        {
+            v_.insert(v_.begin() + static_cast<std::ptrdiff_t>(head_ + pos),
+                      el);
+        }
+        void
+        eraseAt(std::size_t pos)
+        {
+            if (pos == 0) {
+                ++head_;
+                if (head_ > 64 && head_ >= v_.size() - head_) {
+                    v_.erase(v_.begin(),
+                             v_.begin() + static_cast<std::ptrdiff_t>(head_));
+                    head_ = 0;
+                }
+            } else {
+                v_.erase(v_.begin() +
+                         static_cast<std::ptrdiff_t>(head_ + pos));
+            }
+        }
+        void
+        clear()
+        {
+            v_.clear();
+            head_ = 0;
+        }
+
+      private:
+        std::vector<Elem> v_;
+        std::size_t head_ = 0;
+    };
+
     struct ThreadState
     {
-        std::vector<Elem> reads;
-        std::vector<Elem> writes;
-        std::vector<Elem> fences;
+        ElemList reads;
+        ElemList writes;
+        ElemList fences;
         /** Acquire (RMW read) / release (RMW write) elems (acqrel). */
-        std::vector<Elem> acqs;
-        std::vector<Elem> rels;
+        ElemList acqs;
+        ElemList rels;
         /** Outstanding RMW read halves awaiting their write (poi). */
         std::vector<std::pair<std::int32_t, Node>> pendingRmw;
         /** Per-address po-loc chain slot (witness AddrId -> chains_). */
         std::vector<std::int32_t> chainAt;
+        /** Highest poi retired from this thread (window truncation). */
+        std::int32_t maxRetiredPoi = -1;
         /** Registered in touchedPids_ this stream (see threadOf()). */
         bool touched = false;
 
@@ -230,13 +373,17 @@ class StreamingChecker final : public WitnessEventSink
         Node pendingCoHead = kNoNode;
     };
 
-    /** Per-node metadata (one record appended by newNode()). */
+    /** Per-node metadata (one record per node slot, see newNode()). */
     struct NodeMeta
     {
         EventId event;
         Pid pid;
         /** Address of an init node; kNoAddr for events and fences. */
         Addr aux;
+        /** Written value (writes; kInitVal otherwise): retirement
+         *  erases it from the value map without the witness event,
+         *  which a windowed witness may have evicted. */
+        WriteVal value;
         Node rfSrc;
         Node coPred;
         Node coSucc;
@@ -247,11 +394,33 @@ class StreamingChecker final : public WitnessEventSink
         Node pendingCoNext;
         Node pairRead;
         Node pairWrite;
+        /** Program-order index (Elem reconstruction at retirement). */
+        std::int32_t poi;
+        /** Witness AddrId (po-loc chain lookup at retirement). */
+        AddrId aid;
+        /** Elem slot: 0 pre-fence, 1 read, 2 write, 3 post-fence. */
+        std::uint8_t slot;
+        std::uint8_t flags;
     };
 
     // -- node space (shared by both graphs) ---------------------------
-    Node newNode(EventId ev, Pid pid, Addr aux);
+    Node newNode(EventId ev, Pid pid, Addr aux, std::int32_t poi,
+                 std::uint8_t slot, AddrId aid);
     Node initNodeOf(AddrId aid, Addr addr);
+
+    // -- bounded-window retirement ------------------------------------
+    bool retirable(const NodeMeta &m) const;
+    void retireNow(Node n);
+    /** Queue @p n for a retirement attempt at the end of the event. */
+    void
+    noteCandidate(Node n)
+    {
+        if (window_ != 0 && n >= 0)
+            retireScratch_.push_back(n);
+    }
+    void drainRetirements();
+    void ageWindow();
+    void eraseElem(ElemList &v, const Elem &el);
 
     // -- event ingestion ----------------------------------------------
     void ingest(const ExecWitness &ew, EventId id, WriteVal overwritten);
@@ -298,7 +467,9 @@ class StreamingChecker final : public WitnessEventSink
     StampedMap valueMap_;
     std::vector<ValueInfo> valueInfo_;
     std::size_t valueInfoCount_ = 0;
-    /** Init node per witness AddrId, grown on demand. */
+    /** ValueInfo slots freed by write retirement. */
+    std::vector<std::int32_t> valueFree_;
+    /** Init node per witness AddrId (kRetiredNode once retired). */
     std::vector<Node> initNode_;
 
     // Per-thread program-order state.
@@ -306,8 +477,23 @@ class StreamingChecker final : public WitnessEventSink
     std::vector<Pid> touchedPids_;
 
     /** Pool of per (thread, address) po-loc chains (see chainAt). */
-    std::vector<std::vector<Elem>> chains_;
+    std::vector<ElemList> chains_;
     std::size_t chainCount_ = 0;
+
+    // Bounded-window state (all idle when window_ == 0).
+    std::size_t window_ = 0;
+    /** Un-aged nodes in creation order (head-offset ring). */
+    std::vector<Node> ageFifo_;
+    std::size_t ageHead_ = 0;
+    /** Retirement candidates collected while ingesting one event. */
+    std::vector<Node> retireScratch_;
+    /** Old-id -> new-id scratch for compactNow(). */
+    std::vector<Node> remapScratch_;
+    std::size_t liveHighWater_ = 0;
+    std::uint64_t truncatedStragglers_ = 0;
+    std::uint64_t truncatedStaleReads_ = 0;
+    /** Events since the last automatic compaction. */
+    std::uint64_t sinceCompact_ = 0;
 
     // Stream / violation state.
     bool throwOnViolation_ = false;

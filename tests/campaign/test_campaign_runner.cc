@@ -269,3 +269,88 @@ TEST(CampaignSummary, NonFiniteDoublesExportAsNullAndEmptyFields)
     EXPECT_EQ(csv.find("nan"), std::string::npos);
     EXPECT_EQ(csv.find("inf"), std::string::npos);
 }
+
+TEST(CampaignRunner, WindowedCampaignMatchesUnboundedWhenNothingDrops)
+{
+    // A witness window large enough to retain every iteration's stream
+    // must not change campaign behavior at all: per-test verdicts are
+    // byte-identical by the checker's differential suite, and the GA
+    // trajectory (which feeds on the NDT fitness signal accumulated
+    // from the finalized witness) must match too -- the windowed path
+    // replays the retained ring into scratch for exactly this reason.
+    CampaignSpec spec;
+    spec.bug = "MESI,LQ+IS,Inv";
+    spec.generator = "McVerSi-ALL";
+    spec.seed = 1;
+    spec.testSize = 96;
+    spec.iterations = 2;
+    spec.memSize = 1024;
+    spec.population = 16;
+    spec.maxTestRuns = 25;
+    spec.maxWallSeconds = 120.0;
+    spec.checkMode = "streaming";
+
+    CampaignSpec windowed = spec;
+    windowed.witnessWindow = 8192;
+
+    const CampaignResult unbounded = CampaignRunner::runOne(spec);
+    const CampaignResult ringed = CampaignRunner::runOne(windowed);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.error;
+    ASSERT_TRUE(ringed.ok()) << ringed.error;
+    EXPECT_TRUE(unbounded.harness.bugFound);
+    EXPECT_EQ(ringed.harness.bugFound, unbounded.harness.bugFound);
+    EXPECT_EQ(ringed.harness.testRunsToBug,
+              unbounded.harness.testRunsToBug);
+    EXPECT_EQ(ringed.harness.eventsUntilDetection,
+              unbounded.harness.eventsUntilDetection);
+    EXPECT_EQ(ringed.harness.eventsExecuted,
+              unbounded.harness.eventsExecuted);
+    EXPECT_EQ(ringed.harness.detail, unbounded.harness.detail);
+}
+
+TEST(CampaignSummary, ZeroEventCampaignsExportNullCheckCost)
+{
+    // A campaign that never executed an event (budget exhausted before
+    // the first test, or interrupted immediately) has no per-event
+    // checking cost: check_us_per_event must render as JSON null / an
+    // empty CSV cell, never as a 0/0 nan token.
+    CampaignSummary summary;
+    CampaignResult r;
+    r.spec.checkMode = "streaming";
+    r.spec.witnessWindow = 4096;
+    r.harness.eventsExecuted = 0;
+    r.harness.checkSeconds = 0.0;
+    summary.results.push_back(r);
+
+    const std::string json = summary.toJson(true);
+    EXPECT_NE(json.find("\"check_us_per_event\":null"),
+              std::string::npos);
+    // The bounded-window knob is part of the exported spec echo.
+    EXPECT_NE(json.find("\"witness_window\":4096"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+
+    const std::string csv = summary.toCsv(true);
+    const std::size_t eol = csv.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    const std::string header = csv.substr(0, eol);
+    const std::size_t eor = csv.find('\n', eol + 1);
+    const std::string row = csv.substr(eol + 1, eor - eol - 1);
+    const auto column = [](const std::string &line,
+                           const std::string &upto) {
+        // Count commas before the named field / field position.
+        return static_cast<std::size_t>(
+            std::count(line.begin(),
+                       line.begin() +
+                           static_cast<std::ptrdiff_t>(line.find(upto)),
+                       ','));
+    };
+    ASSERT_NE(header.find("check_us_per_event"), std::string::npos);
+    const std::size_t col = column(header, "check_us_per_event");
+    std::size_t start = 0;
+    for (std::size_t c = 0; c < col; ++c)
+        start = row.find(',', start) + 1;
+    const std::size_t end = row.find(',', start);
+    EXPECT_EQ(row.substr(start, end - start), "");
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+}

@@ -41,6 +41,8 @@ TEST(CampaignSpec, EveryFieldRoundTripsThroughString)
     spec.maxWallSeconds = 2.5;
     spec.litmusIterations = 9;
     spec.recordNdt = true;
+    spec.checkMode = "streaming";
+    spec.witnessWindow = 2048;
 
     const CampaignSpec parsed =
         CampaignSpec::fromString(spec.toString());
@@ -359,6 +361,50 @@ TEST(CampaignSpec, ModelKeyParsesValidatesAndExpands)
     plain.base.set("model=rc");
     ASSERT_EQ(plain.expand().size(), 1u);
     EXPECT_EQ(plain.expand()[0].model, "rc");
+}
+
+TEST(CampaignSpec, WitnessWindowParsesValidatesAndRoundTrips)
+{
+    CampaignSpec spec;
+    EXPECT_EQ(spec.witnessWindow, 0u); // unbounded by default
+
+    // Suffixed sizes parse like the other size keys; off/0 disable.
+    spec.set("check-mode=streaming");
+    spec.set("witness-window=8k");
+    EXPECT_EQ(spec.witnessWindow, 8u * 1024u);
+    spec.set("witness-window=off");
+    EXPECT_EQ(spec.witnessWindow, 0u);
+    spec.set("witness-window=0");
+    EXPECT_EQ(spec.witnessWindow, 0u);
+    EXPECT_THROW(spec.set("witness-window=maybe"),
+                 std::invalid_argument);
+    EXPECT_THROW(spec.set("witness-window=-1"), std::invalid_argument);
+
+    spec.set("witness-window=4096");
+    EXPECT_EQ(CampaignSpec::fromString(spec.toString()).witnessWindow,
+              4096u);
+    EXPECT_NO_THROW(spec.validate());
+
+    // The knob reaches the harness workload params.
+    EXPECT_EQ(spec.harnessParams().workload.witnessWindow, 4096u);
+
+    // Bounded windows require streaming checking (post-hoc needs the
+    // whole event log)...
+    CampaignSpec posthoc;
+    posthoc.witnessWindow = 4096;
+    EXPECT_THROW(posthoc.validate(), std::invalid_argument);
+    // ...at least one iteration's worth of in-flight events...
+    CampaignSpec tiny;
+    tiny.checkMode = "streaming";
+    tiny.witnessWindow = 32;
+    EXPECT_THROW(tiny.validate(), std::invalid_argument);
+    // ...and a sane upper bound.
+    CampaignSpec huge;
+    huge.checkMode = "streaming";
+    huge.witnessWindow = (std::size_t{1} << 26) + 1;
+    EXPECT_THROW(huge.validate(), std::invalid_argument);
+    huge.witnessWindow = std::size_t{1} << 26;
+    EXPECT_NO_THROW(huge.validate());
 }
 
 TEST(CampaignListHelpers, ThreadCountParsing)

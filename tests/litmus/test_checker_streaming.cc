@@ -201,6 +201,80 @@ TEST(CheckerStreaming, RandomCorruptedWitnessesAllModels)
     EXPECT_GT(violations, 50);
 }
 
+namespace {
+
+/**
+ * Re-record @p src (finalized or not) into @p dst, which may be in
+ * windowed ring mode -- the litmus-side equivalent of a workload
+ * recording straight into a bounded witness.
+ */
+void
+rerecordInto(const mc::ExecWitness &src, mc::ExecWitness &dst)
+{
+    const auto &ows = src.overwrites();
+    std::size_t oi = 0;
+    const auto num = static_cast<mc::EventId>(src.numEvents());
+    for (mc::EventId id = 0; id < num; ++id) {
+        const mc::Event &e = src.event(id);
+        if (e.isInit())
+            continue;
+        if (e.isWrite()) {
+            ASSERT_LT(oi, ows.size());
+            ASSERT_EQ(ows[oi].first, id);
+            dst.recordWrite(e.iiid.pid, e.iiid.poi, e.addr, e.value,
+                            ows[oi].second, e.rmw);
+            ++oi;
+        } else {
+            dst.recordRead(e.iiid.pid, e.iiid.poi, e.addr, e.value,
+                           e.rmw);
+        }
+    }
+}
+
+} // namespace
+
+TEST(CheckerStreaming, WindowedFullRingParityAllModels)
+{
+    // Ring mode with the whole stream retained (window >= stream
+    // length): clean streams return the unqualified fast-path Ok, and
+    // dirty or incomplete streams replay the ring through the exact
+    // post-hoc pipeline -- either way the verdict must be
+    // byte-identical to unbounded checking, anomalies included.
+    Rng rng(0x57e404);
+    for (int i = 0; i < 40; ++i) {
+        const int threads = 2 + static_cast<int>(rng.below(4));
+        const int ops = 20 + static_cast<int>(rng.below(80));
+        const int addrs = 1 + static_cast<int>(rng.below(4));
+        const bool corrupt = (i % 2) == 0;
+        mc::ExecWitness ew = randomWitness(rng, threads, ops, addrs,
+                                           corrupt);
+        const std::size_t window = ew.numEvents() + 64;
+        for (const std::string &model : mc::modelNames()) {
+            const mc::Checker checker(mc::makeModel(model));
+            const mc::CheckResult want = checker.check(ew);
+
+            mc::ExecWitness ring;
+            ring.setWindow(window);
+            mc::StreamingChecker sc(mc::modelProfile(model));
+            sc.setWindow(window);
+            ring.setEventSink(&sc);
+            sc.begin();
+            rerecordInto(ew, ring);
+            ring.setEventSink(nullptr);
+            ASSERT_EQ(ring.droppedEvents(), 0u);
+
+            const mc::CheckResult got = checker.checkStreamed(ring, sc);
+            const std::string label = std::string(corrupt ? "corrupt"
+                                                          : "clean") +
+                                      " #" + std::to_string(i) + " [" +
+                                      model + "]";
+            EXPECT_EQ(got.kind, want.kind) << label;
+            EXPECT_EQ(got.message, want.message) << label;
+            EXPECT_EQ(got.cycle, want.cycle) << label;
+        }
+    }
+}
+
 TEST(CheckerStreaming, OneCheckerReusedAcrossStreams)
 {
     // A single StreamingChecker cycled over witnesses of different

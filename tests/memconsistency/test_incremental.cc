@@ -193,3 +193,167 @@ TEST(IncrementalGraph, ResetReusesCapacityAndClearsPoison)
     EXPECT_FALSE(g.addEdge(b2, a2));
     EXPECT_EQ(g.lastCycle(), (std::vector<Node>{a2, b2}));
 }
+
+TEST(IncrementalGraphRetire, BypassPreservesReachability)
+{
+    // a -> n -> b; retiring n must leave a -> b reachable, so closing
+    // b -> a is still detected as a cycle among the survivors.
+    IncrementalGraph g;
+    const Node a = g.addNode();
+    const Node n = g.addNode();
+    const Node b = g.addNode();
+    EXPECT_TRUE(g.addEdge(a, n));
+    EXPECT_TRUE(g.addEdge(n, b));
+    g.retireNode(n);
+    EXPECT_EQ(g.numLive(), 2u);
+    // The bypass edge a -> b took n's place.
+    EXPECT_EQ(g.successors(a), (std::vector<Node>{b}));
+    EXPECT_EQ(g.predecessors(b), (std::vector<Node>{a}));
+    EXPECT_FALSE(g.addEdge(b, a));
+    EXPECT_TRUE(g.hasCycle());
+}
+
+TEST(IncrementalGraphRetire, RecyclesSlotsAndPurgesDuplicates)
+{
+    IncrementalGraph g;
+    const Node a = g.addNode();
+    const Node n = g.addNode();
+    const Node b = g.addNode();
+    // Duplicate edges in both directions around n: the retire must
+    // purge every copy from the neighbours' lists.
+    EXPECT_TRUE(g.addEdge(a, n));
+    EXPECT_TRUE(g.addEdge(a, n));
+    EXPECT_TRUE(g.addEdge(n, b));
+    EXPECT_TRUE(g.addEdge(n, b));
+    g.retireNode(n);
+    for (const Node s : g.successors(a))
+        EXPECT_NE(s, n);
+    for (const Node p : g.predecessors(b))
+        EXPECT_NE(p, n);
+    // One bypass edge, not four: neighbours are deduped first.
+    EXPECT_EQ(g.successors(a), (std::vector<Node>{b}));
+
+    // The freed slot is recycled before any fresh slot is allocated.
+    const std::size_t slots = g.numNodes();
+    const Node n2 = g.addNode();
+    EXPECT_EQ(n2, n);
+    EXPECT_EQ(g.numNodes(), slots);
+    EXPECT_EQ(g.numLive(), 3u);
+    // The recycled node joins at the end of the order: edges from the
+    // old survivors into it are in-order fast paths.
+    EXPECT_TRUE(g.addEdge(b, n2));
+    EXPECT_FALSE(g.hasCycle());
+}
+
+TEST(IncrementalGraphRetire, ChainRetirementKeepsEndToEndOrdering)
+{
+    // Retire every interior node of a long chain; the two endpoints
+    // must still be ordered, detected via the closing back-edge.
+    IncrementalGraph g;
+    constexpr int kNodes = 128;
+    std::vector<Node> nodes;
+    for (int i = 0; i < kNodes; ++i)
+        nodes.push_back(g.addNode());
+    for (int i = 0; i + 1 < kNodes; ++i)
+        EXPECT_TRUE(g.addEdge(nodes[static_cast<std::size_t>(i)],
+                              nodes[static_cast<std::size_t>(i + 1)]));
+    for (int i = 1; i + 1 < kNodes; ++i)
+        g.retireNode(nodes[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(g.numLive(), 2u);
+    EXPECT_FALSE(g.addEdge(nodes[kNodes - 1], nodes[0]));
+    EXPECT_TRUE(g.hasCycle());
+}
+
+TEST(IncrementalGraphRetire, CompactRemapsOntoDensePrefix)
+{
+    IncrementalGraph g;
+    std::vector<Node> nodes;
+    for (int i = 0; i < 6; ++i)
+        nodes.push_back(g.addNode());
+    // 0 -> 2 -> 4 and 1 -> 2; retire the odd nodes (1, 3, 5).
+    EXPECT_TRUE(g.addEdge(nodes[0], nodes[2]));
+    EXPECT_TRUE(g.addEdge(nodes[2], nodes[4]));
+    EXPECT_TRUE(g.addEdge(nodes[1], nodes[2]));
+    g.retireNode(nodes[1]);
+    g.retireNode(nodes[3]);
+    g.retireNode(nodes[5]);
+
+    // Live ids {0, 2, 4} -> dense {0, 1, 2}, order preserved.
+    std::vector<Node> remap{0, -1, 1, -1, 2, -1};
+    g.compact(remap, 3);
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numLive(), 3u);
+    EXPECT_EQ(g.successors(0), (std::vector<Node>{1}));
+    EXPECT_EQ(g.successors(1), (std::vector<Node>{2}));
+    EXPECT_EQ(g.predecessors(1), (std::vector<Node>{0}));
+    // The order survived the renumbering: the closing edge cycles.
+    EXPECT_FALSE(g.addEdge(2, 0));
+    EXPECT_TRUE(g.hasCycle());
+}
+
+TEST(IncrementalGraphRetire, DifferentialAgainstFullGraphReachability)
+{
+    // Random interleavings of addNode/addEdge/retire/compact. The
+    // reference CycleGraph keeps every node forever; because bypass
+    // edges preserve reachability among live nodes exactly (including
+    // paths through retired ones), an edge between live nodes must
+    // close a cycle in the incremental graph iff it does in the full
+    // reference graph. Retired nodes are never used as endpoints again
+    // (the checker guarantees the same invariant).
+    Rng rng(0xde7143);
+    constexpr std::size_t kMaxNodes = 64;
+    for (int round = 0; round < 100; ++round) {
+        IncrementalGraph inc;
+        CycleGraph ref(kMaxNodes);
+        std::vector<Node> live;    // incremental-graph ids
+        std::vector<Node> refId;   // live[i] <-> refId[i]
+        std::size_t refNodes = 0;
+        bool poisoned = false;
+
+        for (int op = 0; op < 300 && !poisoned; ++op) {
+            const auto pick = rng.below(10);
+            if (pick < 4 || live.size() < 2) {
+                if (refNodes == kMaxNodes)
+                    continue;
+                live.push_back(inc.addNode());
+                refId.push_back(static_cast<Node>(refNodes++));
+            } else if (pick < 8) {
+                const auto i = rng.below(live.size());
+                const auto j = rng.below(live.size());
+                ref.addEdge(refId[i], refId[j]);
+                const bool incAcyclic = inc.addEdge(live[i], live[j]);
+                const bool refAcyclic = !ref.findCycle().has_value();
+                ASSERT_EQ(incAcyclic, refAcyclic)
+                    << "round " << round << " op " << op;
+                poisoned = !incAcyclic;
+            } else if (pick < 9) {
+                const auto i = rng.below(live.size());
+                inc.retireNode(live[i]);
+                live.erase(live.begin() + static_cast<long>(i));
+                refId.erase(refId.begin() + static_cast<long>(i));
+                // The reference keeps the node: paths through it stand
+                // in for the bypass edges.
+            } else if (!live.empty()) {
+                // Compact: dense new ids in ascending old-id order.
+                std::vector<Node> remap(inc.numNodes(), -1);
+                std::vector<std::size_t> order(live.size());
+                for (std::size_t k = 0; k < live.size(); ++k)
+                    order[k] = k;
+                std::sort(order.begin(), order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return live[a] < live[b];
+                          });
+                for (std::size_t rank = 0; rank < order.size(); ++rank) {
+                    remap[static_cast<std::size_t>(live[order[rank]])] =
+                        static_cast<Node>(rank);
+                }
+                inc.compact(remap, static_cast<Node>(live.size()));
+                for (std::size_t k = 0; k < live.size(); ++k) {
+                    live[k] =
+                        remap[static_cast<std::size_t>(live[k])];
+                }
+            }
+        }
+        ASSERT_EQ(inc.numLive(), live.size());
+    }
+}

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Bounded-window streaming tests: windowed-vs-unbounded verdict
+ * differentials (clean and in-window-violation streams), the
+ * retirement-safety boundary (violating edge just inside vs. just
+ * outside the window), O(window) live-node bounds on long traces, and
+ * mid-stream compaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "memconsistency/checker.hh"
+#include "memconsistency/models/registry.hh"
+#include "memconsistency/streaming_checker.hh"
+
+using namespace mcversi;
+
+namespace {
+
+/** One recordRead()/recordWrite() call, replayable into any witness. */
+struct Rec
+{
+    bool write;
+    Pid pid;
+    std::int32_t poi;
+    Addr addr;
+    WriteVal value;       // Read value / written value.
+    WriteVal overwritten; // Writes only.
+};
+
+/**
+ * Random interleaved trace over a simulated memory; with @p corrupt, a
+ * fraction of reads observe stale produced values (coherence
+ * violations that both checkers must agree on).
+ */
+std::vector<Rec>
+randomTrace(Rng &rng, int threads, int ops, int addrs, bool corrupt)
+{
+    std::vector<Rec> trace;
+    std::vector<WriteVal> memory(static_cast<std::size_t>(addrs),
+                                 kInitVal);
+    std::vector<std::int32_t> poi(static_cast<std::size_t>(threads), 0);
+    std::vector<WriteVal> produced{kInitVal};
+    WriteVal next = 1;
+    for (int i = 0; i < ops; ++i) {
+        const Pid pid = static_cast<Pid>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        const auto ai = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(addrs)));
+        const Addr addr = 0x100 + 64 * static_cast<Addr>(ai);
+        const std::int32_t p = poi[static_cast<std::size_t>(pid)]++;
+        if (rng.uniform() < 0.5) {
+            WriteVal v = memory[ai];
+            if (corrupt && rng.boolWithProb(0.15)) {
+                v = produced[static_cast<std::size_t>(
+                    rng.below(produced.size()))];
+            }
+            trace.push_back({false, pid, p, addr, v, kInitVal});
+        } else {
+            const WriteVal v = next++;
+            trace.push_back({true, pid, p, addr, v, memory[ai]});
+            memory[ai] = v;
+            produced.push_back(v);
+        }
+    }
+    return trace;
+}
+
+/**
+ * Deterministic clean trace with bounded reuse distance: threads take
+ * turns, addresses cycle round-robin, every read observes a write at
+ * most 2 * addrs events old. A window comfortably above that distance
+ * therefore never truncates anything.
+ */
+std::vector<Rec>
+cyclicTrace(int threads, int ops, int addrs)
+{
+    std::vector<Rec> trace;
+    trace.reserve(static_cast<std::size_t>(ops));
+    std::vector<WriteVal> memory(static_cast<std::size_t>(addrs),
+                                 kInitVal);
+    std::vector<std::int32_t> poi(static_cast<std::size_t>(threads), 0);
+    WriteVal next = 1;
+    for (int i = 0; i < ops; ++i) {
+        const Pid pid = static_cast<Pid>(i % threads);
+        // Write/read pairs cycle the address space together, so every
+        // address keeps being overwritten (a value that is never
+        // overwritten has no fr edge to wait for, but also pins its
+        // readers live -- real soak traffic keeps overwriting).
+        const auto ai = static_cast<std::size_t>((i / 2) % addrs);
+        const Addr addr = 0x100 + 64 * static_cast<Addr>(ai);
+        const std::int32_t p = poi[static_cast<std::size_t>(pid)]++;
+        if (i % 2 == 0) {
+            const WriteVal v = next++;
+            trace.push_back({true, pid, p, addr, v, memory[ai]});
+            memory[ai] = v;
+        } else {
+            trace.push_back({false, pid, p, addr, memory[ai], kInitVal});
+        }
+    }
+    return trace;
+}
+
+/** Record @p trace into @p ew, streaming each event through @p sc. */
+void
+recordTrace(const std::vector<Rec> &trace, mc::ExecWitness &ew,
+            mc::StreamingChecker &sc, std::size_t window)
+{
+    ew.reset();
+    ew.setWindow(window);
+    sc.setWindow(window);
+    ew.setEventSink(&sc);
+    sc.begin();
+    for (const Rec &r : trace) {
+        if (r.write)
+            ew.recordWrite(r.pid, r.poi, r.addr, r.value, r.overwritten);
+        else
+            ew.recordRead(r.pid, r.poi, r.addr, r.value);
+    }
+    ew.setEventSink(nullptr);
+}
+
+/**
+ * Check @p trace with window @p window and require the verdict
+ * byte-identical to the unbounded post-hoc verdict. Valid whenever the
+ * ring retains the whole stream (window >= trace length).
+ */
+void
+expectWindowedParity(const std::vector<Rec> &trace,
+                     const std::string &model, std::size_t window,
+                     const std::string &label)
+{
+    const mc::Checker checker(mc::makeModel(model));
+
+    mc::ExecWitness full;
+    mc::StreamingChecker fullSc(mc::modelProfile(model));
+    recordTrace(trace, full, fullSc, 0);
+    const mc::CheckResult want = checker.check(full);
+
+    mc::ExecWitness ring;
+    mc::StreamingChecker sc(mc::modelProfile(model));
+    recordTrace(trace, ring, sc, window);
+    ASSERT_EQ(ring.droppedEvents(), 0u) << label;
+    const mc::CheckResult got = checker.checkStreamed(ring, sc);
+
+    EXPECT_EQ(got.kind, want.kind) << label;
+    EXPECT_EQ(got.message, want.message) << label;
+    EXPECT_EQ(got.cycle, want.cycle) << label;
+}
+
+} // namespace
+
+TEST(StreamingWindow, CleanStreamsMatchUnboundedAcrossModels)
+{
+    Rng rng(0x9a7e01);
+    for (int iter = 0; iter < 12; ++iter) {
+        const int threads = 2 + static_cast<int>(rng.below(3));
+        const int ops = 40 + static_cast<int>(rng.below(160));
+        const int addrs = 1 + static_cast<int>(rng.below(5));
+        const auto trace = randomTrace(rng, threads, ops, addrs, false);
+        for (const std::string &model : mc::modelNames()) {
+            expectWindowedParity(
+                trace, model, static_cast<std::size_t>(ops) + 64,
+                model + " clean iter " + std::to_string(iter));
+        }
+    }
+}
+
+TEST(StreamingWindow, InWindowViolationsMatchUnboundedAcrossModels)
+{
+    Rng rng(0x9a7e02);
+    int violations = 0;
+    for (int iter = 0; iter < 30; ++iter) {
+        const int threads = 2 + static_cast<int>(rng.below(3));
+        const int ops = 30 + static_cast<int>(rng.below(100));
+        const int addrs = 1 + static_cast<int>(rng.below(4));
+        const auto trace = randomTrace(rng, threads, ops, addrs, true);
+        for (const std::string &model : mc::modelNames()) {
+            expectWindowedParity(
+                trace, model, static_cast<std::size_t>(ops) + 64,
+                model + " corrupt iter " + std::to_string(iter));
+        }
+        const mc::Checker checker(mc::makeModel("sc"));
+        mc::ExecWitness ew;
+        mc::StreamingChecker sc(mc::modelProfile("sc"));
+        recordTrace(trace, ew, sc, 0);
+        violations += checker.check(ew).ok() ? 0 : 1;
+    }
+    // The corruption scheme must actually produce violating streams,
+    // or the parity above proves nothing.
+    EXPECT_GT(violations, 15);
+}
+
+/**
+ * Satellite: retirement safety at the window boundary. The same CoRR
+ * shape (w x=1; w x=2; ... filler ...; r x=2; r x=1) either keeps the
+ * violating writes live (window > filler: identical violation verdict)
+ * or retires them (window < filler: no false verdict -- an explicit
+ * window-truncated diagnostic instead of a silent pass).
+ */
+TEST(StreamingWindow, ViolatingEdgeJustInsideWindowKeepsVerdict)
+{
+    const int filler = 300;
+    std::vector<Rec> trace;
+    trace.push_back({true, 0, 0, 0x100, 1, kInitVal}); // w x=1
+    trace.push_back({true, 0, 1, 0x100, 2, 1});        // w x=2
+    const auto body = cyclicTrace(2, filler, 3);
+    for (const Rec &r : body) {
+        // Shift filler onto threads 1..2, disjoint addresses, and a
+        // disjoint value range (init values stay init).
+        const auto shift = [](WriteVal v) {
+            return v == kInitVal ? kInitVal : v + 100;
+        };
+        trace.push_back({r.write, static_cast<Pid>(r.pid + 1), r.poi,
+                         r.addr + 0x1000, shift(r.value),
+                         shift(r.overwritten)});
+    }
+    trace.push_back({false, 0, 2, 0x100, 2, kInitVal}); // r x=2
+    trace.push_back({false, 0, 3, 0x100, 1, kInitVal}); // r x=1 (stale)
+
+    // Whole stream in the ring: verdict byte-identical to unbounded.
+    for (const std::string &model : mc::modelNames())
+        expectWindowedParity(trace, model, trace.size() + 64, model);
+}
+
+TEST(StreamingWindow, ViolatingEdgeOutsideWindowReportsTruncation)
+{
+    const int filler = 2000;
+    std::vector<Rec> trace;
+    trace.push_back({true, 0, 0, 0x100, 1, kInitVal}); // w x=1
+    trace.push_back({true, 0, 1, 0x100, 2, 1});        // w x=2
+    const auto body = cyclicTrace(2, filler, 3);
+    for (const Rec &r : body) {
+        const auto shift = [](WriteVal v) {
+            return v == kInitVal ? kInitVal : v + 100;
+        };
+        trace.push_back({r.write, static_cast<Pid>(r.pid + 1), r.poi,
+                         r.addr + 0x1000, shift(r.value),
+                         shift(r.overwritten)});
+    }
+    trace.push_back({false, 0, 2, 0x100, 2, kInitVal}); // r x=2
+    trace.push_back({false, 0, 3, 0x100, 1, kInitVal}); // r x=1 (stale)
+
+    const std::size_t window = 128;
+    const mc::Checker checker(mc::makeModel("sc"));
+    mc::ExecWitness ew;
+    mc::StreamingChecker sc(mc::modelProfile("sc"));
+    recordTrace(trace, ew, sc, window);
+
+    // The violating writes retired long before the stale reads arrive:
+    // no (unprovable) violation, but the stream must not pass as clean
+    // either -- the reads of evicted values keep it incomplete and the
+    // verdict carries an explicit truncation diagnostic.
+    EXPECT_FALSE(sc.violationDetected());
+    EXPECT_FALSE(sc.streamComplete());
+    EXPECT_GT(ew.droppedEvents(), 0u);
+
+    const mc::CheckResult res = checker.checkStreamed(ew, sc);
+    EXPECT_EQ(res.kind, mc::CheckResult::Kind::Ok);
+    EXPECT_NE(res.message.find("clean within retained window"),
+              std::string::npos)
+        << res.message;
+    EXPECT_NE(res.message.find("truncated"), std::string::npos)
+        << res.message;
+}
+
+TEST(StreamingWindow, ViolationAmongLiveEventsDetectedDespiteDrops)
+{
+    // Clean filler far beyond the window, then a CoRR violation whose
+    // four events all sit in the last handful of records: the online
+    // checker must still catch it, and the rendered verdict must carry
+    // the truncation note (the ring cannot replay the whole stream).
+    std::vector<Rec> trace = cyclicTrace(3, 2000, 4);
+    trace.push_back({true, 0, 1000, 0x9100, 9001, kInitVal});
+    trace.push_back({true, 0, 1001, 0x9100, 9002, 9001});
+    trace.push_back({false, 1, 1000, 0x9100, 9002, kInitVal});
+    trace.push_back({false, 1, 1001, 0x9100, 9001, kInitVal});
+
+    const std::size_t window = 256;
+    const mc::Checker checker(mc::makeModel("sc"));
+    mc::ExecWitness ew;
+    mc::StreamingChecker sc(mc::modelProfile("sc"));
+    recordTrace(trace, ew, sc, window);
+
+    EXPECT_TRUE(sc.violationDetected());
+    EXPECT_GT(ew.droppedEvents(), 0u);
+
+    const mc::CheckResult res = checker.checkStreamed(ew, sc);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.message.find("[window truncated:"), std::string::npos)
+        << res.message;
+}
+
+TEST(StreamingWindow, LiveNodesStayBoundedOnLongCleanStreams)
+{
+    const int ops = 20000;
+    const std::size_t window = 256;
+    const auto trace = cyclicTrace(4, ops, 6);
+
+    mc::ExecWitness ew;
+    mc::StreamingChecker sc(mc::modelProfile("tso"));
+    recordTrace(trace, ew, sc, window);
+
+    EXPECT_FALSE(sc.violationDetected());
+    EXPECT_EQ(sc.eventsConsumed(), static_cast<std::uint64_t>(ops));
+    // Retirement-free checking would peak at ~20k live nodes; the
+    // window must cap it at O(window), independent of trace length.
+    EXPECT_LE(sc.liveNodeHighWater(), window + window / 2 + 64)
+        << "live-node high water is O(trace), not O(window)";
+    // Bounded reuse distance + ample window: nothing was truncated, so
+    // the clean verdict is unqualified.
+    EXPECT_FALSE(sc.windowTruncated());
+    EXPECT_TRUE(sc.streamComplete());
+
+    const mc::Checker checker(mc::makeModel("tso"));
+    const mc::CheckResult res = checker.checkStreamed(ew, sc);
+    EXPECT_TRUE(res.ok()) << res.message;
+    EXPECT_TRUE(res.message.empty()) << res.message;
+}
+
+TEST(StreamingWindow, MidStreamCompactionPreservesVerdicts)
+{
+    // Clean stream with forced compaction every 500 events.
+    {
+        const auto trace = cyclicTrace(3, 5000, 4);
+        mc::ExecWitness ew;
+        mc::StreamingChecker sc(mc::modelProfile("sc"));
+        ew.setWindow(128);
+        sc.setWindow(128);
+        ew.setEventSink(&sc);
+        sc.begin();
+        int i = 0;
+        for (const Rec &r : trace) {
+            if (r.write)
+                ew.recordWrite(r.pid, r.poi, r.addr, r.value,
+                               r.overwritten);
+            else
+                ew.recordRead(r.pid, r.poi, r.addr, r.value);
+            if (++i % 500 == 0)
+                sc.compactNow();
+        }
+        ew.setEventSink(nullptr);
+        EXPECT_FALSE(sc.violationDetected());
+        EXPECT_FALSE(sc.windowTruncated());
+    }
+
+    // Violation after many compactions: node-id remapping must not
+    // lose or corrupt the live constraint graph.
+    {
+        std::vector<Rec> trace = cyclicTrace(3, 5000, 4);
+        trace.push_back({true, 0, 1000, 0x9100, 9001, kInitVal});
+        trace.push_back({true, 0, 1001, 0x9100, 9002, 9001});
+        trace.push_back({false, 1, 1000, 0x9100, 9002, kInitVal});
+        trace.push_back({false, 1, 1001, 0x9100, 9001, kInitVal});
+        mc::ExecWitness ew;
+        mc::StreamingChecker sc(mc::modelProfile("sc"));
+        ew.setWindow(128);
+        sc.setWindow(128);
+        ew.setEventSink(&sc);
+        sc.begin();
+        int i = 0;
+        for (const Rec &r : trace) {
+            if (r.write)
+                ew.recordWrite(r.pid, r.poi, r.addr, r.value,
+                               r.overwritten);
+            else
+                ew.recordRead(r.pid, r.poi, r.addr, r.value);
+            if (++i % 500 == 0)
+                sc.compactNow();
+        }
+        ew.setEventSink(nullptr);
+        EXPECT_TRUE(sc.violationDetected());
+    }
+}
+
+TEST(StreamingWindow, CheckerReusableAcrossWindowedStreams)
+{
+    // One checker alternating windowed and unbounded streams: begin()
+    // must fully reset retirement state, and setWindow() takes effect
+    // per stream.
+    mc::StreamingChecker sc(mc::modelProfile("sc"));
+    const mc::Checker checker(mc::makeModel("sc"));
+    const auto trace = cyclicTrace(3, 3000, 4);
+    for (int round = 0; round < 3; ++round) {
+        mc::ExecWitness ring;
+        recordTrace(trace, ring, sc, 128);
+        EXPECT_FALSE(sc.violationDetected());
+        EXPECT_TRUE(checker.checkStreamed(ring, sc).ok());
+
+        mc::ExecWitness full;
+        recordTrace(trace, full, sc, 0);
+        EXPECT_FALSE(sc.violationDetected());
+        EXPECT_TRUE(checker.checkStreamed(full, sc).ok());
+    }
+}

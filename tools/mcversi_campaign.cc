@@ -107,6 +107,13 @@ printUsage(std::FILE *out)
         "  litmus-iterations=N (12)   record-ndt=0|1 (0)\n"
         "  check-cache=N[k]|off (4096)  verdict-cache entries per\n"
         "                             checker (collective checking)\n"
+        "  check-mode=posthoc|streaming (posthoc)\n"
+        "  witness-window=N[k]|off (off)  bounded-window streaming:\n"
+        "                             retire resolved events older\n"
+        "                             than the last N recorded ones,\n"
+        "                             keeping soak-run memory\n"
+        "                             O(window); needs\n"
+        "                             check-mode=streaming\n"
         "\n"
         "islands>1 or batch>1 selects the batched multi-lane harness:\n"
         "one simulation lane per island, eval-threads workers.\n"
